@@ -1,0 +1,15 @@
+"""Ablation — Step-3 diversity selection and block-wise regeneration."""
+
+from conftest import run_once
+from repro.experiments import run_search_ablation
+
+
+def test_bench_search_ablation(benchmark, effort):
+    res = run_once(benchmark, run_search_ablation, "resnet18", effort)
+    assert res["full"]["top1"] > 30.0
+    # diversity costs evaluations; switching it off must reduce them
+    assert res["no_diversity"]["evaluations"] < res["full"]["evaluations"]
+    benchmark.extra_info["results"] = {
+        k: {"top1": round(v["top1"], 2), "evals": v["evaluations"]}
+        for k, v in res.items()
+    }

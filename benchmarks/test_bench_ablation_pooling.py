@@ -1,0 +1,13 @@
+"""Ablation — kurtosis-3 vs mean pooling of IR fingerprints (DESIGN.md)."""
+
+from conftest import run_once
+from repro.experiments import run_pooling_ablation
+
+
+def test_bench_pooling_ablation(benchmark, effort):
+    res = run_once(benchmark, run_pooling_ablation, "resnet18", effort)
+    # both must produce usable solutions; report the comparison
+    assert res["kurtosis"]["top1"] > 30.0
+    assert res["mean"]["top1"] > 20.0
+    benchmark.extra_info["kurtosis_top1"] = round(res["kurtosis"]["top1"], 2)
+    benchmark.extra_info["mean_top1"] = round(res["mean"]["top1"], 2)

@@ -1,0 +1,18 @@
+"""Fig. 1 — weight distributions (a) and relative-accuracy profiles (b)."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import run_fig1
+
+
+def test_bench_fig1(benchmark):
+    res = run_once(benchmark, run_fig1)
+    # (a) layer medians span orders of magnitude (distributional variance)
+    for model, spread in res["median_log10_spread"].items():
+        assert spread > 0.4, f"{model}: log10 spread {spread}"
+    # (b) LP accuracy tapers strongly; AdaptivFloat stays flat
+    assert res["lp_taper_range"] > 1.3 * res["af_taper_range"]
+    benchmark.extra_info["median_log10_spread"] = res["median_log10_spread"]
+    benchmark.extra_info["lp_taper_range"] = round(res["lp_taper_range"], 3)
+    benchmark.extra_info["af_taper_range"] = round(res["af_taper_range"], 3)

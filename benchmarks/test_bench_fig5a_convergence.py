@@ -1,0 +1,17 @@
+"""Fig. 5(a) — convergence under MSE / KL / global-contrastive /
+global-local-contrastive objectives."""
+
+from conftest import run_once
+from repro.experiments import run_fig5a
+
+
+def test_bench_fig5a(benchmark, effort):
+    res = run_once(benchmark, run_fig5a, effort)
+    final = res["final_top1"]
+    ours = final["global_local_contrastive"]
+    # shape target: ours ends at or near the best late-stage accuracy
+    # (within 2 points of the best baseline objective)
+    best_baseline = max(v for k, v in final.items()
+                        if k != "global_local_contrastive")
+    assert ours >= best_baseline - 2.0, final
+    benchmark.extra_info["final_top1"] = {k: round(v, 2) for k, v in final.items()}

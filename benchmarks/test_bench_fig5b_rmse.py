@@ -1,0 +1,15 @@
+"""Fig. 5(b) — per-layer quantization RMSE by number format on ViT."""
+
+from conftest import run_once
+from repro.experiments import run_fig5b
+
+
+def test_bench_fig5b(benchmark):
+    res = run_once(benchmark, run_fig5b)
+    means = res["mean_rmse"]
+    # headline: LP lowest mean RMSE; AdaptivFloat clearly worse than LP
+    assert res["best_format"] == "lp", means
+    assert res["lp_vs_adaptivfloat"] > 1.0
+    benchmark.extra_info["mean_rmse"] = {
+        k: round(v, 6) for k, v in means.items()
+    }

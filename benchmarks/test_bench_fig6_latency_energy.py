@@ -1,0 +1,17 @@
+"""Fig. 6 — normalized latency and energy across architectures."""
+
+from conftest import run_once
+from repro.experiments import run_fig6
+
+
+def test_bench_fig6(benchmark, effort):
+    res = run_once(benchmark, run_fig6, effort)
+    assert res["checks"]["lpa_lowest_latency"]
+    assert res["checks"]["ant_energy_leq_lpa"]
+    for wl, rows in res["normalized"].items():
+        # AdaptivFloat pays heavily on energy on both workloads
+        assert rows["AdaptivFloat"]["energy"] > 1.5, (wl, rows)
+    benchmark.extra_info["normalized"] = {
+        wl: {a: {k: round(v, 3) for k, v in m.items()} for a, m in rows.items()}
+        for wl, rows in res["normalized"].items()
+    }

@@ -1,0 +1,22 @@
+"""Table 1 — LPQ accuracy/compression on the CNN family."""
+
+from conftest import run_once
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, effort):
+    res = run_once(benchmark, run_table1, effort)
+    rows = res["rows"]
+    for model, row in rows.items():
+        # shape targets: modest top-1 drop at real compression.  The
+        # scaled-down models are more quantization-brittle than ImageNet
+        # ResNets (see DESIGN.md §6), so the drop budget is wider than
+        # the paper's <1pp while still excluding collapse.
+        assert row["drop"] <= 10.0, f"{model}: drop {row['drop']:.2f}%"
+        assert row["compression"] >= 4.0, f"{model}: {row['compression']:.1f}x"
+        assert 2.0 <= row["w_bits"] <= 8.0
+    assert res["mean_drop"] <= 7.0
+    benchmark.extra_info["rows"] = {
+        m: {k: round(v, 3) for k, v in r.items() if isinstance(v, float)}
+        for m, r in rows.items()
+    }

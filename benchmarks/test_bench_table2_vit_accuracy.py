@@ -1,0 +1,16 @@
+"""Table 2 — LPQ accuracy on the vision-transformer family."""
+
+from conftest import run_once
+from repro.experiments import run_table2
+
+
+def test_bench_table2(benchmark, effort):
+    res = run_once(benchmark, run_table2, effort)
+    for model, row in res["rows"].items():
+        assert row["drop"] <= 10.0, f"{model}: drop {row['drop']:.2f}%"
+        assert row["compression"] >= 3.0
+    assert res["mean_drop"] <= 7.0
+    benchmark.extra_info["rows"] = {
+        m: {k: round(v, 3) for k, v in r.items() if isinstance(v, float)}
+        for m, r in res["rows"].items()
+    }

@@ -1,0 +1,25 @@
+"""Table 3 — area / throughput / compute density vs ANT, BitFusion,
+AdaptivFloat on the full ResNet50 workload."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import TABLE3, run_table3
+
+
+def test_bench_table3(benchmark, effort):
+    res = run_once(benchmark, run_table3, effort)
+    rows = res["rows"]
+    # component-calibrated areas must match the published synthesis
+    for arch, (area, _, _, total) in TABLE3.items():
+        assert rows[arch]["compute_area_um2"] == pytest.approx(area, rel=1e-3)
+        assert rows[arch]["total_area_mm2"] == pytest.approx(total, abs=0.02)
+    # headline: ~2x compute density over ANT / BitFusion
+    assert res["density_gain_vs_ant"] > 1.5
+    assert res["density_gain_vs_bitfusion"] > 1.5
+    # AdaptivFloat the worst density, as in the paper
+    densities = {k: v["tops_per_mm2"] for k, v in rows.items()}
+    assert min(densities, key=densities.get) == "AdaptivFloat"
+    benchmark.extra_info["rows"] = {
+        k: {kk: round(vv, 2) for kk, vv in v.items()} for k, v in rows.items()
+    }

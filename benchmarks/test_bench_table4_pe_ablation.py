@@ -1,0 +1,25 @@
+"""Table 4 — PE-type ablation: density, accuracy, energy efficiency."""
+
+from conftest import run_once
+from repro.experiments import run_table4
+
+
+def test_bench_table4(benchmark, effort):
+    res = run_once(benchmark, run_table4, effort)
+    rows = res["rows"]
+    # density ordering: LPA-2 > LPA-2/4/8 > LPA-8 > Posit, AdaptivFloat
+    assert rows["LPA-2"]["density"] > rows["LPA-2/4/8"]["density"]
+    assert rows["LPA-2/4/8"]["density"] > rows["LPA-8"]["density"]
+    assert rows["LPA-8"]["density"] > rows["Posit-2/4/8"]["density"]
+    # efficiency ordering mirrors density for the LPA variants
+    assert rows["LPA-2"]["gops_per_watt"] > rows["LPA-2/4/8"]["gops_per_watt"]
+    assert rows["LPA-2/4/8"]["gops_per_watt"] > rows["LPA-8"]["gops_per_watt"]
+    # accuracy: LPA-8 best, mixed close behind, LPA-2 collapses
+    assert rows["LPA-8"]["top1"] >= rows["LPA-2/4/8"]["top1"] - 1.0
+    assert rows["LPA-2/4/8"]["top1"] - rows["LPA-2"]["top1"] > 20.0
+    # mixed precision dominates the posit PE at the same widths
+    assert rows["LPA-2/4/8"]["top1"] >= rows["Posit-2/4/8"]["top1"] - 1.0
+    benchmark.extra_info["rows"] = {
+        k: {kk: round(vv, 2) for kk, vv in v.items()} for k, v in rows.items()
+    }
+    benchmark.extra_info["fp_top1"] = round(res["fp_top1"], 2)

@@ -1,0 +1,20 @@
+"""repro — reproduction of "Algorithm-Hardware Co-Design of
+Distribution-Aware Logarithmic-Posit Encodings for Efficient DNN
+Inference" (DAC 2024).
+
+Subpackages
+-----------
+- :mod:`repro.numerics` — LP, posit, LNS, float/int baseline formats.
+- :mod:`repro.nn` — numpy DNN framework (forward + backward).
+- :mod:`repro.models` — ResNet/MobileNet/ViT-family model zoo.
+- :mod:`repro.data` — synthetic calibration/evaluation dataset.
+- :mod:`repro.quant` — LPQ genetic post-training quantization.
+- :mod:`repro.accel` — LPA systolic-array accelerator model + baselines.
+- :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from .numerics import LogPositFormat, LPParams, lp_quantize
+
+__version__ = "1.0.0"
+
+__all__ = ["LogPositFormat", "LPParams", "lp_quantize", "__version__"]

@@ -1,0 +1,81 @@
+"""LPA: LP-based DNN accelerator model + ANT/BitFusion/AdaptivFloat
+baselines (paper Section 5 and 6.2).
+
+Bit-accurate pieces: unified LP decoder/encoder lanes, log↔linear
+converters, the LP PE multiply/accumulate path.  Analytic pieces: the
+weight-stationary systolic cycle model and the component-calibrated
+area/energy model.
+"""
+
+from .archs import (
+    ALL_ARCHS,
+    ArchConfig,
+    BUFFER_AREA_MM2,
+    BUFFER_KB,
+    adaptivfloat_arch,
+    ant,
+    bitfusion,
+    lpa,
+    posit_arch,
+)
+from .decoder import (
+    DecodedLanes,
+    MODES,
+    decode_activations,
+    decode_weights,
+    lane_values,
+    mode_for_bits,
+    pack_lanes,
+    unpack_lanes,
+)
+from .loglinear import (
+    converter_max_error,
+    linear2log,
+    linear2log_table,
+    log2linear,
+    log2linear_table,
+)
+from .pe import PEConfig, accumulate, multiply_stage, pack_count, pe_dot
+from .perf import PerfReport, evaluate_arch
+from .ppu import PPUResult, ppu_requantize
+from .systolic import LayerSim, simulate_layer, simulate_network
+from .workload import LayerShape, extract_workload
+
+__all__ = [
+    "ALL_ARCHS",
+    "ArchConfig",
+    "BUFFER_AREA_MM2",
+    "BUFFER_KB",
+    "DecodedLanes",
+    "LayerShape",
+    "LayerSim",
+    "MODES",
+    "PEConfig",
+    "PPUResult",
+    "PerfReport",
+    "accumulate",
+    "adaptivfloat_arch",
+    "ant",
+    "bitfusion",
+    "converter_max_error",
+    "decode_activations",
+    "decode_weights",
+    "evaluate_arch",
+    "extract_workload",
+    "lane_values",
+    "linear2log",
+    "linear2log_table",
+    "log2linear",
+    "log2linear_table",
+    "lpa",
+    "mode_for_bits",
+    "multiply_stage",
+    "pack_count",
+    "pack_lanes",
+    "pe_dot",
+    "ppu_requantize",
+    "posit_arch",
+    "simulate_layer",
+    "simulate_network",
+    "unpack_lanes",
+]

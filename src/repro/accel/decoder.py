@@ -1,0 +1,179 @@
+"""Unified LP decoder / encoder (paper Section 5.1, Fig. 3 and Fig. 4).
+
+The Weight Buffer stores packed 8-bit words whose interpretation depends
+on the PE MODE:
+
+* MODE-A — four 2-bit LP weights,
+* MODE-B — two 4-bit LP weights,
+* MODE-C — one 8-bit LP weight.
+
+The decoder mirrors the hardware pipeline behaviourally: a unified 2's
+complementer (multi-precision, Fig. 4(a)), a leading-zero/one counter
+(Fig. 4(b)) for the regime run-length, a shifter that removes the regime,
+and a ``ulfx`` constructor that applies ``es``/``sf``.  The output is the
+unified format used inside the PE array: per-lane sign bits, 16-bit regime
+*scale* values (already multiplied by 2^es and biased by −sf, as the
+"Regime Out" block in Fig. 3 does), and fixed-point ``ulfx`` codes.
+
+All functions are vectorized over arrays of packed words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..numerics import LPParams
+
+__all__ = ["MODES", "DecodedLanes", "unpack_lanes", "decode_weights",
+           "lane_values", "pack_lanes", "mode_for_bits"]
+
+#: MODE name -> (lane width in bits, lanes per 8-bit word)
+MODES: dict[str, tuple[int, int]] = {"A": (2, 4), "B": (4, 2), "C": (8, 1)}
+
+
+def mode_for_bits(bits: int) -> str:
+    for mode, (width, _) in MODES.items():
+        if width == bits:
+            return mode
+    raise ValueError(f"no PE MODE for {bits}-bit weights (need 2/4/8)")
+
+
+@dataclass(frozen=True)
+class DecodedLanes:
+    """Unified-format fields per lane: shape (..., lanes)."""
+
+    sign: np.ndarray  # 0/1
+    regime_scale: np.ndarray  # int: 2^es · k (before sf bias)
+    ulfx_code: np.ndarray  # int: ulfx · 2^frac_bits
+    frac_bits: int  # fixed-point position of ulfx_code
+    is_zero: np.ndarray  # bool
+    sf: float  # scale-factor bias (applied at evaluation)
+
+    @property
+    def lanes(self) -> int:
+        return self.sign.shape[-1]
+
+
+def unpack_lanes(words: np.ndarray, mode: str) -> np.ndarray:
+    """Split packed 8-bit words into lanes (Bit Unpack in Fig. 3)."""
+    width, lanes = MODES[mode]
+    w = np.asarray(words, dtype=np.int64) & 0xFF
+    out = np.empty(w.shape + (lanes,), dtype=np.int64)
+    mask = (1 << width) - 1
+    for i in range(lanes):
+        # lane 0 sits in the most-significant field
+        shift = width * (lanes - 1 - i)
+        out[..., i] = (w >> shift) & mask
+    return out
+
+
+def pack_lanes(lanes_arr: np.ndarray, mode: str) -> np.ndarray:
+    """Inverse of :func:`unpack_lanes` (used by the unified LP encoder)."""
+    width, lanes = MODES[mode]
+    la = np.asarray(lanes_arr, dtype=np.int64)
+    if la.shape[-1] != lanes:
+        raise ValueError(f"expected {lanes} lanes for MODE-{mode}")
+    word = np.zeros(la.shape[:-1], dtype=np.int64)
+    mask = (1 << width) - 1
+    for i in range(lanes):
+        shift = width * (lanes - 1 - i)
+        word |= (la[..., i] & mask) << shift
+    return word
+
+
+def _decode_fields(
+    codes: np.ndarray, n: int, es: int, rs: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Bit-level field extraction for one lane width.
+
+    Returns (sign, regime_scale=2^es·k, ulfx_code, is_zero, frac_bits).
+    Mirrors the hardware: 2's complement, leading-run count (capped at
+    rs), regime shift-out, remaining bits interpreted as es-integer +
+    log-fraction fixed point.
+    """
+    c = np.asarray(codes, dtype=np.int64) & ((1 << n) - 1)
+    # the LP encoder never emits the NaR pattern (10...0); the hardware
+    # decoder maps it to zero rather than spending exception logic on it
+    is_zero = (c == 0) | (c == (1 << (n - 1)))
+    sign = (c >> (n - 1)) & 1
+    mag = np.where(sign == 1, ((1 << n) - c) & ((1 << n) - 1), c)
+    body = mag & ((1 << (n - 1)) - 1)
+    nb = n - 1
+    max_run = min(nb, max(1, min(rs, nb)))
+    first = (body >> (nb - 1)) & 1 if nb >= 1 else np.zeros_like(body)
+    run = np.zeros_like(body)
+    alive = np.ones(body.shape, dtype=bool)
+    for i in range(max_run):
+        bit = (body >> (nb - 1 - i)) & 1
+        alive = alive & (bit == first)
+        run += alive.astype(np.int64)
+    consumed = np.minimum(run + 1, max_run)
+    k = np.where(first == 1, run - 1, -run)
+
+    remaining = nb - consumed
+    rem = body & ((np.int64(1) << remaining) - 1)
+    es_eff = min(es, max(nb - 1, 0))
+    e_avail = np.minimum(remaining, es_eff)
+    e = (rem >> (remaining - e_avail)) << (es_eff - e_avail)
+    fbits_each = remaining - e_avail  # varies per element
+    f = rem & ((np.int64(1) << fbits_each) - 1)
+    # normalize every lane's fraction to a common fixed-point position
+    frac_bits = max(nb - 1, 0)
+    ulfx_code = (e << frac_bits) + (f << (frac_bits - fbits_each))
+    regime_scale = k * (1 << es_eff)
+    return sign, regime_scale, ulfx_code, is_zero, frac_bits
+
+
+def decode_weights(words: np.ndarray, mode: str, params: LPParams) -> DecodedLanes:
+    """Unified LP weight decoder: packed words → per-lane fields."""
+    width, _ = MODES[mode]
+    p = params.clamped()
+    if p.n != width:
+        raise ValueError(
+            f"MODE-{mode} expects {width}-bit params, got n={p.n}"
+        )
+    lanes = unpack_lanes(words, mode)
+    sign, regime_scale, ulfx_code, is_zero, frac_bits = _decode_fields(
+        lanes, width, p.es_eff, p.rs_eff
+    )
+    return DecodedLanes(
+        sign=sign,
+        regime_scale=regime_scale,
+        ulfx_code=ulfx_code,
+        frac_bits=frac_bits,
+        is_zero=is_zero,
+        sf=p.sf,
+    )
+
+
+def decode_activations(codes: np.ndarray, params: LPParams) -> DecodedLanes:
+    """Activation decoder: one n-bit LP code per element, single lane.
+
+    In hardware 4-bit activations are stored zero-extended in 8-bit slots
+    (Section 5.1); behaviourally each element is a single lane with the
+    activation tensor's ⟨n, es, rs, sf⟩.
+    """
+    p = params.clamped()
+    c = np.asarray(codes, dtype=np.int64)[..., None]  # single lane axis
+    sign, regime_scale, ulfx_code, is_zero, frac_bits = _decode_fields(
+        c, p.n, p.es_eff, p.rs_eff
+    )
+    return DecodedLanes(
+        sign=sign,
+        regime_scale=regime_scale,
+        ulfx_code=ulfx_code,
+        frac_bits=frac_bits,
+        is_zero=is_zero,
+        sf=p.sf,
+    )
+
+
+def lane_values(decoded: DecodedLanes) -> np.ndarray:
+    """Real values of decoded lanes (Eq. 1) — used to verify the decoder
+    against the reference :func:`repro.numerics.lp_decode`."""
+    ulfx = decoded.ulfx_code / float(1 << decoded.frac_bits)
+    mag = np.exp2(decoded.regime_scale + ulfx - decoded.sf)
+    val = np.where(decoded.sign == 1, -mag, mag)
+    return np.where(decoded.is_zero, 0.0, val)

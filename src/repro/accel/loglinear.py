@@ -1,0 +1,69 @@
+"""Log↔linear fraction converters (paper Section 5.2, Accumulation Stage).
+
+LPA multiplies in the log domain (adds of ``ulfx``) but accumulates in the
+linear domain.  Instead of an expensive LUT, the paper derives gate-level
+converters from a Karnaugh map of the full truth table.  Behaviourally a
+gate network synthesized from a truth table *is* that truth table, so we
+model the converters as the exact 2^w-entry tables the K-maps were built
+from — including their rounding error, which is the real accuracy cost of
+the hardware.
+
+``log2linear_table(w)[i]`` maps the log-domain fraction f' = i/2^w to the
+linear fraction f = round((2^{f'} − 1)·2^w)/2^w, and ``linear2log_table``
+is the inverse construction.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "log2linear_table",
+    "linear2log_table",
+    "log2linear",
+    "linear2log",
+    "converter_max_error",
+]
+
+
+@lru_cache(maxsize=32)
+def log2linear_table(width: int = 8) -> np.ndarray:
+    """Integer table: log fraction code → linear fraction code."""
+    if not 1 <= width <= 16:
+        raise ValueError("converter width must be in [1, 16]")
+    codes = np.arange(1 << width)
+    frac = codes / float(1 << width)  # f' in [0, 1)
+    linear = np.exp2(frac) - 1.0  # f in [0, 1)
+    return np.round(linear * (1 << width)).astype(np.int64) & ((1 << width) - 1)
+
+
+@lru_cache(maxsize=32)
+def linear2log_table(width: int = 8) -> np.ndarray:
+    """Integer table: linear fraction code → log fraction code."""
+    if not 1 <= width <= 16:
+        raise ValueError("converter width must be in [1, 16]")
+    codes = np.arange(1 << width)
+    frac = codes / float(1 << width)  # f in [0, 1)
+    logf = np.log2(1.0 + frac)  # f' in [0, 1)
+    return np.round(logf * (1 << width)).astype(np.int64) & ((1 << width) - 1)
+
+
+def log2linear(code: np.ndarray, width: int = 8) -> np.ndarray:
+    """Apply the log→linear converter to integer fraction codes."""
+    return log2linear_table(width)[np.asarray(code, dtype=np.int64)]
+
+
+def linear2log(code: np.ndarray, width: int = 8) -> np.ndarray:
+    """Apply the linear→log converter to integer fraction codes."""
+    return linear2log_table(width)[np.asarray(code, dtype=np.int64)]
+
+
+def converter_max_error(width: int = 8) -> float:
+    """Worst-case absolute error of the log→linear conversion in value
+    terms (on 1.f ∈ [1, 2)); bounded by ~1 ulp of the fraction."""
+    codes = np.arange(1 << width)
+    exact = np.exp2(codes / float(1 << width))
+    approx = 1.0 + log2linear_table(width)[codes] / float(1 << width)
+    return float(np.max(np.abs(exact - approx)))

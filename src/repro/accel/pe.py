@@ -1,0 +1,147 @@
+"""LP Processing Element datapath model (paper Section 5.2).
+
+A PE holds 1/2/4 decoded weights (MODE-C/B/A) that share one eastbound
+input activation and produces that many partial sums per cycle.
+
+* **MUL stage** — log-domain multiply: per-lane adds of regime scales and
+  ``ulfx`` codes (no carries between lanes, as in Fig. 3's split adders).
+* **ACC stage** — the product's log fraction (``lnf``) is converted to a
+  linear fraction (``lf``) by the gate-level log→linear converter, aligned
+  to the running partial sum's exponent, and added.  Partial sums keep the
+  fraction linear (and only the encoder converts back) because they are
+  progressively accumulated down the column.
+
+The model is *value-faithful at field granularity*: products are exact in
+the log domain (hardware adds are exact), and the accumulation applies the
+two real precision losses of the datapath — the 8-bit log→linear
+conversion and the ``acc_frac_bits`` alignment of the linear fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..numerics import LPParams
+from .decoder import DecodedLanes, MODES, decode_weights, mode_for_bits
+from .loglinear import log2linear_table
+
+__all__ = ["PEConfig", "multiply_stage", "accumulate", "pe_dot", "pack_count"]
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """Datapath widths: defaults follow Fig. 3 (8-bit lnf/lf, 16-bit
+    regime/ulfx in the unified format)."""
+
+    converter_bits: int = 8
+    acc_frac_bits: int = 23  # linear-fraction bits kept while accumulating
+
+
+def pack_count(bits: int) -> int:
+    """Weights per PE for a weight width (MODE-A/B/C packing)."""
+    return MODES[mode_for_bits(bits)][1]
+
+
+def multiply_stage(
+    weights: DecodedLanes, act: DecodedLanes
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Log-domain multiply: returns (sign, exponent_scale, log_frac).
+
+    ``exponent_scale`` is the integer power-of-two part (regime·2^es + sf
+    bias + integer carry out of the fraction add); ``log_frac`` ∈ [0, 1)
+    is the fractional log2 part, still in the log domain.
+    """
+    ws = weights.sign
+    # activation has a single lane broadcast against the weight lanes
+    a_sign = act.sign[..., 0:1]
+    sign = ws ^ a_sign
+    w_ulfx = weights.ulfx_code / float(1 << weights.frac_bits)
+    a_ulfx = act.ulfx_code[..., 0:1] / float(1 << act.frac_bits)
+    total = (
+        weights.regime_scale
+        + act.regime_scale[..., 0:1]
+        + w_ulfx
+        + a_ulfx
+    )
+    exp_scale = np.floor(total).astype(np.int64)
+    log_frac = total - exp_scale
+    zero = weights.is_zero | act.is_zero[..., 0:1]
+    return np.where(zero, 0, sign), np.where(zero, -(10**6), exp_scale), np.where(
+        zero, 0.0, log_frac
+    )
+
+
+def accumulate(
+    sign: np.ndarray,
+    exp_scale: np.ndarray,
+    log_frac: np.ndarray,
+    sf_total: float,
+    config: PEConfig | None = None,
+) -> np.ndarray:
+    """ACC stage over the reduction axis (axis 0) of the product fields.
+
+    Applies the 8-bit log→linear conversion to each product, aligns to a
+    fixed accumulator fraction, and sums — returning real partial sums.
+    """
+    config = config or PEConfig()
+    cw = config.converter_bits
+    table = log2linear_table(cw)
+    codes = np.round(log_frac * (1 << cw)).astype(np.int64)
+    # rounding to 2^cw means the fraction carried into the next binade
+    carry = codes >> cw
+    codes = codes & ((1 << cw) - 1)
+    lf = 1.0 + table[codes] / float(1 << cw)  # linear 1.f in [1, 2)
+    value = np.where(sign == 1, -lf, lf) * np.exp2(
+        exp_scale + carry - sf_total
+    )
+    # alignment: quantize every addend to the accumulator's fixed point
+    step = np.exp2(
+        np.floor(np.log2(np.maximum(np.abs(value).max(axis=0), 1e-300)))
+        - config.acc_frac_bits
+    )
+    aligned = np.round(value / step) * step
+    return aligned.sum(axis=0)
+
+
+def pe_dot(
+    w: np.ndarray,
+    a: np.ndarray,
+    w_params: LPParams,
+    a_params: LPParams,
+    config: PEConfig | None = None,
+) -> np.ndarray:
+    """Dot products through the full bit-level PE path.
+
+    ``w``: (K, P) real weights (P = packed output lanes sharing each
+    activation), ``a``: (K,) real activations.  Weights/activations are
+    first LP-encoded (as the buffers store them), decoded by the unified
+    decoder, multiplied in the log domain and accumulated.  Returns (P,)
+    partial sums.
+    """
+    from ..numerics import lp_encode
+
+    config = config or PEConfig()
+    w = np.asarray(w, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    if w.ndim != 2 or a.ndim != 1 or w.shape[0] != a.shape[0]:
+        raise ValueError("w must be (K, P) and a must be (K,)")
+    wp = w_params.clamped()
+    ap = a_params.clamped()
+    mode_w = mode_for_bits(wp.n)
+    lanes = MODES[mode_w][1]
+    if w.shape[1] != lanes:
+        raise ValueError(
+            f"{wp.n}-bit weights pack {lanes}/PE; got {w.shape[1]} columns"
+        )
+    from .decoder import pack_lanes
+
+    w_codes = lp_encode(w, wp)  # (K, P) lane codes
+    packed = pack_lanes(w_codes, mode_w)  # (K,) words
+    decoded_w = decode_weights(packed, mode_w, wp)
+    from .decoder import decode_activations
+
+    decoded_a = decode_activations(lp_encode(a, ap), ap)
+    sign, exp_scale, log_frac = multiply_stage(decoded_w, decoded_a)
+    return accumulate(sign, exp_scale, log_frac, wp.sf + ap.sf, config)

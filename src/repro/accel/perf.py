@@ -1,0 +1,65 @@
+"""End-to-end performance/area/energy evaluation (Tables 3-4, Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .archs import ArchConfig
+from .systolic import LayerSim, simulate_network
+from .workload import LayerShape
+
+__all__ = ["PerfReport", "evaluate_arch"]
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Aggregate metrics for one network on one architecture."""
+
+    arch: str
+    total_macs: int
+    total_cycles: int
+    latency_ms: float
+    throughput_gops: float
+    energy_mj: float
+    gops_per_watt: float
+    compute_area_um2: float
+    total_area_mm2: float
+    compute_density_tops_mm2: float
+
+    def normalized_to(self, other: "PerfReport") -> tuple[float, float]:
+        """(latency, energy) of self normalised to ``other`` (Fig. 6)."""
+        return (
+            self.latency_ms / other.latency_ms,
+            self.energy_mj / other.energy_mj,
+        )
+
+
+def evaluate_arch(
+    shapes: list[LayerShape],
+    arch: ArchConfig,
+    weight_bits: list[int],
+    act_bits: list[int] | int = 8,
+    batch: int = 1,
+) -> PerfReport:
+    """Run the cycle model over a network and aggregate Table-3 metrics."""
+    sims: list[LayerSim] = simulate_network(shapes, arch, weight_bits, act_bits, batch)
+    cycles = sum(s.cycles for s in sims)
+    macs = sum(s.macs for s in sims)
+    seconds = cycles / (arch.freq_ghz * 1e9)
+    ops = 2.0 * macs
+    gops = ops / seconds / 1e9
+    energy_j = sum(s.energy_pj for s in sims) * 1e-12
+    watts = energy_j / seconds
+    compute_um2 = arch.compute_area_um2()
+    return PerfReport(
+        arch=arch.name,
+        total_macs=macs,
+        total_cycles=cycles,
+        latency_ms=seconds * 1e3,
+        throughput_gops=gops,
+        energy_mj=energy_j * 1e3,
+        gops_per_watt=gops / watts if watts > 0 else 0.0,
+        compute_area_um2=compute_um2,
+        total_area_mm2=arch.total_area_mm2(),
+        compute_density_tops_mm2=(ops / seconds / 1e12) / (compute_um2 / 1e6),
+    )

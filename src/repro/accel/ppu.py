@@ -1,0 +1,79 @@
+"""Post-Processing Unit (paper Section 5.1).
+
+The PPU sits between the output buffer and memory: it quantizes the
+PE-array's wide partial sums down to 4- or 8-bit LP, computes the
+activation scale factor for the next layer, and applies the layer's
+non-linearity (ReLU / softmax).  The encoder performs the linear→log
+fraction conversion with the same gate-table converter the PE uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..numerics import LPParams, lp_encode, lp_decode, tensor_log_center
+from .loglinear import linear2log_table
+
+__all__ = ["PPUResult", "ppu_requantize"]
+
+
+@dataclass(frozen=True)
+class PPUResult:
+    """Output of one PPU pass over a partial-sum tile."""
+
+    codes: np.ndarray  # packed LP codes (int)
+    values: np.ndarray  # decoded real values (what the next layer sees)
+    params: LPParams  # the activation LP parameters used
+    scale_factor: float  # the sf computed by the PPU
+
+
+def _encoder_fraction_loss(x: np.ndarray, width: int = 8) -> np.ndarray:
+    """Model the encoder's linear→log fraction conversion error.
+
+    Partial sums arrive with a *linear* fraction; the unified LP encoder
+    converts it to the log domain through the gate-table converter before
+    bit-packing (Section 5.2).  This applies that table's rounding.
+    """
+    out = np.zeros_like(np.asarray(x, dtype=np.float64))
+    nz = x != 0
+    mag = np.abs(x[nz])
+    e = np.floor(np.log2(mag))
+    lf = mag / np.exp2(e)  # 1.f in [1, 2)
+    codes = np.round((lf - 1.0) * (1 << width)).astype(np.int64)
+    carry = codes >> width
+    codes &= (1 << width) - 1
+    lnf = linear2log_table(width)[codes] / float(1 << width)
+    out[nz] = np.sign(x[nz]) * np.exp2(e + carry + lnf)
+    return out
+
+
+def ppu_requantize(
+    partial_sums: np.ndarray,
+    act_bits: int = 8,
+    es: int = 2,
+    rs: int = 3,
+    relu: bool = False,
+    converter_bits: int = 8,
+) -> PPUResult:
+    """Quantize partial sums to LP activations as the PPU does.
+
+    Pipeline: optional ReLU → scale-factor computation (log-centre of the
+    tile) → linear→log conversion → LP encode at ⟨act_bits, es, rs, sf⟩.
+    """
+    if act_bits not in (4, 8):
+        raise ValueError("the PPU emits 4- or 8-bit LP activations")
+    x = np.asarray(partial_sums, dtype=np.float64)
+    if relu:
+        x = np.maximum(x, 0.0)
+    sf = tensor_log_center(x)
+    params = LPParams(
+        n=act_bits, es=min(es, max(act_bits - 3, 0)),
+        rs=min(rs, act_bits - 1), sf=sf,
+    )
+    x_conv = _encoder_fraction_loss(x, converter_bits)
+    codes = lp_encode(x_conv, params)
+    values = lp_decode(codes, params)
+    return PPUResult(codes=codes, values=values, params=params,
+                     scale_factor=sf)

@@ -1,0 +1,106 @@
+"""Cycle-level model of a weight-stationary systolic array (Section 5.1).
+
+For one layer GEMM (M, K, N) on an R×C array the weights tile into
+⌈K/R⌉ × ⌈N/C_eff⌉ stationary tiles; each tile streams M activations east
+with a pipeline fill of R cycles and drain of C cycles.  LPA's weight
+packing multiplies effective columns; ANT/BitFusion fusion shrinks the
+effective array instead.  Memory traffic is overlapped (double-buffered
+PEs, Section 5.2) and the layer is roofline-limited by DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from .archs import ArchConfig
+from .workload import LayerShape
+
+__all__ = ["LayerSim", "simulate_layer", "simulate_network"]
+
+
+@dataclass(frozen=True)
+class LayerSim:
+    """Cycle/energy simulation of one layer on one architecture."""
+
+    name: str
+    weight_bits: int
+    act_bits: int
+    macs: int
+    compute_cycles: int
+    memory_cycles: int
+    energy_pj: float
+
+    @property
+    def cycles(self) -> int:
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def utilization(self) -> float:
+        """Achieved MACs per cycle over the array's nominal 64 MACs."""
+        return self.macs / self.cycles
+
+
+def simulate_layer(
+    shape: LayerShape,
+    arch: ArchConfig,
+    weight_bits: int,
+    act_bits: int,
+    batch: int = 1,
+) -> LayerSim:
+    """Simulate one layer; returns cycles and energy."""
+    wb = arch.snap_weight_bits(weight_bits)
+    ab = min(8, max(4, act_bits))
+    rows_eff, cols_eff = arch.effective_dims(wb, ab)
+
+    m = shape.m * batch
+    compute = 0
+    for _ in range(shape.groups):
+        k_tiles = math.ceil(shape.k / rows_eff)
+        n_tiles = math.ceil(shape.n / cols_eff)
+        # each stationary tile: fill (rows) + stream M + drain (cols)
+        compute += k_tiles * n_tiles * (rows_eff + m + arch.cols)
+    # groups share the fill pipeline poorly on small arrays; keep additive
+
+    # memory traffic (bytes): weights once per n-tile pass, activations
+    # once per k-tile pass, outputs once
+    weight_bytes = shape.weight_params * wb / 8
+    act_bytes = shape.act_elems * batch * ab / 8
+    out_bytes = shape.out_elems * batch * 2  # 16-bit partial sums to PPU
+    total_bytes = weight_bytes + act_bytes + out_bytes
+    memory = math.ceil(total_bytes / arch.dram_bytes_per_cycle)
+
+    macs = shape.macs * batch
+    energy = (
+        macs * arch.mac_energy_pj(wb)
+        + (weight_bytes + act_bytes) * arch.e_sram_pj_byte * 2  # rd + wr
+        + total_bytes * arch.e_dram_pj_byte
+    )
+    return LayerSim(
+        name=shape.name,
+        weight_bits=wb,
+        act_bits=ab,
+        macs=macs,
+        compute_cycles=int(compute),
+        memory_cycles=int(memory),
+        energy_pj=float(energy),
+    )
+
+
+def simulate_network(
+    shapes: list[LayerShape],
+    arch: ArchConfig,
+    weight_bits: list[int],
+    act_bits: list[int] | int = 8,
+    batch: int = 1,
+) -> list[LayerSim]:
+    """Simulate every layer of a network under per-layer precisions."""
+    if len(weight_bits) != len(shapes):
+        raise ValueError("need one weight width per layer")
+    if isinstance(act_bits, int):
+        act_bits = [act_bits] * len(shapes)
+    return [
+        simulate_layer(s, arch, wb, ab, batch)
+        for s, wb, ab in zip(shapes, weight_bits, act_bits)
+    ]

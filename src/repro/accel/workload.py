@@ -1,0 +1,158 @@
+"""Workload extraction: DNN layers → GEMM shapes for the cycle model.
+
+Each quantizable layer lowers to a GEMM of dimensions (M, K, N):
+
+* Conv2d — M = OH·OW (output pixels), K = (Cin/G)·KH·KW, N = Cout;
+  grouped convs execute their G independent GEMMs back to back.
+* Linear — M = tokens per image, K = in features, N = out features.
+
+Shapes are captured with forward hooks on a single-image probe pass, so
+any model built from :mod:`repro.nn` layers works unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Conv2d, Linear, Module, quantizable_layers
+
+__all__ = [
+    "LayerShape",
+    "extract_workload",
+    "paper_resnet50_shapes",
+    "paper_vit_b_shapes",
+]
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """GEMM view of one layer, per image."""
+
+    name: str
+    m: int  # output rows (pixels / tokens)
+    k: int  # reduction depth
+    n: int  # output channels / features
+    groups: int = 1
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n * self.groups
+
+    @property
+    def weight_params(self) -> int:
+        return self.k * self.n * self.groups
+
+    @property
+    def act_elems(self) -> int:
+        return self.m * self.k * self.groups
+
+    @property
+    def out_elems(self) -> int:
+        return self.m * self.n * self.groups
+
+
+def extract_workload(model: Module, image_size: int = 32) -> list[LayerShape]:
+    """Probe the model with one image and return per-layer GEMM shapes."""
+    layers = quantizable_layers(model)
+    outputs: dict[str, tuple[int, ...]] = {}
+    removers = []
+    for name, layer in layers:
+
+        def hook(_mod, out, _name=name):
+            outputs[_name] = out.shape
+
+        removers.append(layer.add_forward_hook(hook))
+    model.eval()
+    try:
+        model(np.zeros((1, 3, image_size, image_size), dtype=np.float32))
+    finally:
+        for remove in removers:
+            remove()
+
+    shapes: list[LayerShape] = []
+    for name, layer in layers:
+        out_shape = outputs[name]
+        if isinstance(layer, Conv2d):
+            oh, ow = out_shape[2], out_shape[3]
+            g = layer.groups
+            shapes.append(
+                LayerShape(
+                    name=name,
+                    m=oh * ow,
+                    k=(layer.in_channels // g) * layer.kernel_size**2,
+                    n=layer.out_channels // g,
+                    groups=g,
+                )
+            )
+        elif isinstance(layer, Linear):
+            m = int(np.prod(out_shape[:-1]))  # batch dim is 1 in the probe
+            shapes.append(
+                LayerShape(name=name, m=m, k=layer.in_features,
+                           n=layer.out_features)
+            )
+        else:  # pragma: no cover - quantizable_layers only yields these
+            raise TypeError(f"unexpected layer type {type(layer)}")
+    return shapes
+
+
+def paper_resnet50_shapes() -> list[LayerShape]:
+    """Layer GEMMs of the full ImageNet ResNet-50 (224×224 input).
+
+    The hardware experiments (Tables 3-4, Fig. 6) depend only on layer
+    *dimensions*, which are architecture constants — so the cycle model
+    runs the paper's actual workload even though accuracy experiments use
+    the scaled-down trained models.
+    """
+    shapes: list[LayerShape] = [
+        LayerShape("conv1", m=112 * 112, k=3 * 49, n=64)
+    ]
+    spatial = 56
+    cin = 64
+    stage_widths = (64, 128, 256, 512)
+    stage_depths = (3, 4, 6, 3)
+    for s, (width, depth) in enumerate(zip(stage_widths, stage_depths)):
+        for block in range(depth):
+            stride = 2 if (s > 0 and block == 0) else 1
+            out_sp = spatial // stride
+            prefix = f"layer{s + 1}.{block}"
+            shapes.append(
+                LayerShape(f"{prefix}.conv1", m=spatial * spatial, k=cin, n=width)
+            )
+            shapes.append(
+                LayerShape(
+                    f"{prefix}.conv2", m=out_sp * out_sp, k=width * 9, n=width
+                )
+            )
+            shapes.append(
+                LayerShape(
+                    f"{prefix}.conv3", m=out_sp * out_sp, k=width, n=width * 4
+                )
+            )
+            if block == 0:
+                shapes.append(
+                    LayerShape(
+                        f"{prefix}.downsample",
+                        m=out_sp * out_sp,
+                        k=cin,
+                        n=width * 4,
+                    )
+                )
+            cin = width * 4
+            spatial = out_sp
+    shapes.append(LayerShape("fc", m=1, k=2048, n=1000))
+    return shapes
+
+
+def paper_vit_b_shapes() -> list[LayerShape]:
+    """Layer GEMMs of ViT-B/16 at 224×224 (197 tokens, dim 768)."""
+    tokens, dim = 197, 768
+    shapes = [LayerShape("patch_embed", m=196, k=3 * 256, n=dim)]
+    for i in range(12):
+        shapes.append(LayerShape(f"blocks.{i}.qkv", m=tokens, k=dim, n=3 * dim))
+        shapes.append(LayerShape(f"blocks.{i}.proj", m=tokens, k=dim, n=dim))
+        shapes.append(LayerShape(f"blocks.{i}.fc1", m=tokens, k=dim, n=4 * dim))
+        shapes.append(LayerShape(f"blocks.{i}.fc2", m=tokens, k=4 * dim, n=dim))
+    shapes.append(LayerShape("head", m=1, k=dim, n=1000))
+    return shapes

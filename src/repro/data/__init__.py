@@ -1,0 +1,15 @@
+"""Synthetic data substrate standing in for ImageNet (see DESIGN.md)."""
+
+from .synthetic import (
+    NUM_CLASSES,
+    SyntheticImageDataset,
+    calibration_batch,
+    make_dataset,
+)
+
+__all__ = [
+    "NUM_CLASSES",
+    "SyntheticImageDataset",
+    "calibration_batch",
+    "make_dataset",
+]

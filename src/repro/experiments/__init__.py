@@ -1,0 +1,41 @@
+"""One harness per paper table/figure + reference constants + ablations."""
+
+from .ablations import run_pooling_ablation, run_search_ablation
+from .common import EFFORTS, Effort, eval_quantized, format_table, get_lpq_result
+from .fig1 import accuracy_profiles, run_fig1, weight_distributions
+from .fig5 import convergence_curves, format_rmse, run_fig5a, run_fig5b
+from .fig6 import run_fig6
+from .reference import TABLE1, TABLE2, TABLE3, TABLE4, paper_drop
+from .table1 import lpq_row, run_table1
+from .table2 import run_table2
+from .table3 import resnet50_bits, run_table3
+from .table4 import run_table4
+
+__all__ = [
+    "EFFORTS",
+    "Effort",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "accuracy_profiles",
+    "convergence_curves",
+    "eval_quantized",
+    "format_rmse",
+    "format_table",
+    "get_lpq_result",
+    "lpq_row",
+    "paper_drop",
+    "resnet50_bits",
+    "run_fig1",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6",
+    "run_pooling_ablation",
+    "run_search_ablation",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "weight_distributions",
+]

@@ -1,0 +1,85 @@
+"""Design-choice ablations called out in DESIGN.md (beyond the paper's
+own tables): kurtosis vs mean IR pooling, diversity-promoting selection
+on/off, block-wise vs whole-vector regeneration."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import calibration_batch
+from ..models import get_model
+from ..quant import (
+    FitnessConfig,
+    FitnessEvaluator,
+    LPQConfig,
+    LPQEngine,
+    collect_layer_stats,
+    derive_activation_params,
+    quantized,
+)
+from ..models.zoo import evaluate
+from .common import EFFORTS, test_set
+
+__all__ = ["run_pooling_ablation", "run_search_ablation"]
+
+
+def _search_accuracy(model, calib, stats, config, fitness_config=None,
+                     eval_images: int = 256) -> dict:
+    evaluator = FitnessEvaluator(
+        model, calib, stats.param_counts, fitness_config
+    )
+    engine = LPQEngine(evaluator, stats.weight_log_centers, config)
+    solution, fitness = engine.run()
+    from ..quant import bn_recalibrated
+
+    act = derive_activation_params(solution, stats)
+    images, labels = test_set(eval_images, seed=11)
+    with quantized(model, solution, act):
+        with bn_recalibrated(model, calib):
+            top1 = evaluate(model, images, labels)
+    return {
+        "top1": top1,
+        "fitness": fitness,
+        "mean_bits": solution.mean_weight_bits(),
+        "evaluations": evaluator.evaluations,
+    }
+
+
+def run_pooling_ablation(model_name: str = "resnet18", effort: str = "fast") -> dict:
+    """Kurtosis-3 pooling (paper) vs mean pooling of IR fingerprints."""
+    eff = EFFORTS[effort]
+    model = get_model(model_name)
+    calib = calibration_batch(eff.calib, seed=4)
+    stats = collect_layer_stats(model, calib)
+    return {
+        "kurtosis": _search_accuracy(
+            model, calib, stats, eff.config, FitnessConfig(pooling="kurtosis")
+        ),
+        "mean": _search_accuracy(
+            model, calib, stats, eff.config, FitnessConfig(pooling="mean")
+        ),
+    }
+
+
+def run_search_ablation(model_name: str = "resnet18", effort: str = "fast") -> dict:
+    """Step-3 diversity and block-wise regeneration switched off."""
+    eff = EFFORTS[effort]
+    model = get_model(model_name)
+    calib = calibration_batch(eff.calib, seed=5)
+    stats = collect_layer_stats(model, calib)
+    base = eff.config
+    variants = {
+        "full": base,
+        "no_diversity": LPQConfig(
+            population=base.population, passes=base.passes, cycles=base.cycles,
+            block_size=base.block_size, diversity=False, seed=base.seed,
+        ),
+        "no_blockwise": LPQConfig(
+            population=base.population, passes=base.passes, cycles=base.cycles,
+            block_size=base.block_size, blockwise=False, seed=base.seed,
+        ),
+    }
+    return {
+        name: _search_accuracy(model, calib, stats, cfg)
+        for name, cfg in variants.items()
+    }

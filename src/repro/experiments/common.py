@@ -1,0 +1,141 @@
+"""Shared plumbing for the experiment harnesses.
+
+Effort levels keep the benchmarks tractable on CPU: ``fast`` shrinks the
+GA budget and calibration batch (minutes per model), ``paper`` uses the
+published search parameters (K=20, P=10, C=4, 128 calibration images).
+Every harness accepts an effort label so EXPERIMENTS.md can be
+regenerated at full fidelity when time permits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..data import calibration_batch, make_dataset
+from ..models import get_model, zoo_dir
+from ..models.zoo import evaluate
+from ..numerics import LPParams
+from ..quant import LPQConfig, LPQResult, QuantSolution, lpq_quantize
+
+__all__ = ["EFFORTS", "Effort", "get_lpq_result", "eval_quantized",
+           "test_set", "format_table"]
+
+
+@dataclass(frozen=True)
+class Effort:
+    """Search/evaluation budget of one experiment run."""
+
+    name: str
+    calib: int
+    eval_images: int
+    config: LPQConfig
+
+
+EFFORTS: dict[str, Effort] = {
+    "smoke": Effort(
+        "smoke", calib=16, eval_images=128,
+        config=LPQConfig(population=4, passes=1, cycles=1, block_size=8,
+                         diversity_parents=2),
+    ),
+    # The fast effort cannot afford the paper's 1400+ fitness
+    # evaluations, so it searches the safer (4, 8) width set — at the
+    # published budget the GA has enough signal to keep 2-bit layers only
+    # where they are harmless (use effort="paper" for the full space).
+    "fast": Effort(
+        "fast", calib=64, eval_images=512,
+        config=LPQConfig(population=10, passes=2, cycles=1, block_size=6,
+                         diversity_parents=3, hw_widths=(4, 8)),
+    ),
+    "paper": Effort(
+        "paper", calib=128, eval_images=512,
+        config=LPQConfig(population=20, passes=10, cycles=4, block_size=4),
+    ),
+}
+
+
+def test_set(n: int = 512, seed: int = 0):
+    ds = make_dataset("test", n, seed=seed)
+    return ds.images, ds.labels
+
+
+def _result_cache_path(model_name: str, effort: str) -> Path:
+    return zoo_dir() / f"lpq_{model_name}_{effort}.json"
+
+
+def _serialize_result(res: LPQResult) -> dict:
+    return {
+        "solution": [[p.n, p.es, p.rs, p.sf] for p in res.solution.layer_params],
+        "act_params": [[p.n, p.es, p.rs, p.sf] for p in res.act_params],
+        "fitness": res.fitness,
+        "best_fitness": res.history.best_fitness,
+        "mean_bits": res.history.mean_bits,
+        "param_counts": res.stats.param_counts,
+        "evaluations": res.evaluations,
+    }
+
+
+def get_lpq_result(
+    model_name: str, effort: str = "fast", force: bool = False
+) -> tuple[object, QuantSolution, list[LPParams], dict]:
+    """LPQ-quantize a zoo model, caching the searched solution on disk.
+
+    Returns (model, weight solution, activation params, raw record).
+    """
+    eff = EFFORTS[effort]
+    model = get_model(model_name)
+    cache = _result_cache_path(model_name, effort)
+    if cache.exists() and not force:
+        rec = json.loads(cache.read_text())
+    else:
+        from ..quant import FitnessConfig
+
+        calib = calibration_batch(eff.calib, seed=1)
+        # λ is re-calibrated to this reproduction's L_CO scale (our
+        # cosine-normalised contrastive loss spans a smaller range than
+        # the paper's unnormalised one); 0.15 here plays the role the
+        # paper's 0.4 plays on ImageNet models. See DESIGN.md §6.
+        res = lpq_quantize(model, calib, config=eff.config,
+                           fitness_config=FitnessConfig(lam=0.15))
+        rec = _serialize_result(res)
+        cache.write_text(json.dumps(rec))
+    solution = QuantSolution(
+        tuple(LPParams(n=int(n), es=int(es), rs=int(rs), sf=float(sf))
+              for n, es, rs, sf in rec["solution"])
+    )
+    act = [
+        LPParams(n=int(n), es=int(es), rs=int(rs), sf=float(sf))
+        for n, es, rs, sf in rec["act_params"]
+    ]
+    return model, solution, act, rec
+
+
+def eval_quantized(model, solution, act_params, images, labels,
+                   bn_calib: np.ndarray | None = None) -> float:
+    """Top-1 (%) with the solution applied; model restored afterwards.
+
+    BatchNorm statistics are re-estimated on a calibration batch under
+    the quantized weights (standard PTQ deployment practice; see
+    DESIGN.md §6) — a no-op for LayerNorm-based transformers.
+    """
+    from ..quant import bn_recalibrated, quantized
+
+    if bn_calib is None:
+        bn_calib = calibration_batch(64, seed=1)
+    with quantized(model, solution, act_params):
+        with bn_recalibrated(model, bn_calib):
+            return evaluate(model, images, labels)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table for harness printouts (matches the paper rows)."""
+    cols = [max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+            for i, h in enumerate(headers)]
+    def fmt(row):
+        return "".join(str(v).ljust(c) for v, c in zip(row, cols))
+    lines = [fmt(headers), "-" * sum(cols)]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)

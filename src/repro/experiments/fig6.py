@@ -1,0 +1,52 @@
+"""Fig. 6 — normalized latency and energy of all architectures on
+ResNet50 and ViT-B.
+
+Shape targets: LPA lowest latency on both models; LPA energy slightly
+above ANT (native mixed-precision + conversion overheads), AdaptivFloat
+far worse on both axes.
+"""
+
+from __future__ import annotations
+
+from ..accel import ALL_ARCHS, evaluate_arch
+from ..accel.workload import paper_resnet50_shapes, paper_vit_b_shapes
+from .common import get_lpq_result
+from .table3 import resnet50_bits
+
+__all__ = ["run_fig6"]
+
+
+def _vit_bits(effort: str) -> tuple[list[int], list[int]]:
+    _, solution, act, _ = get_lpq_result("vit_b", effort)
+    shapes = paper_vit_b_shapes()
+    w = [solution[i % len(solution)].n for i in range(len(shapes))]
+    a = [act[i % len(act)].n for i in range(len(shapes))]
+    return w, a
+
+
+def run_fig6(effort: str = "fast") -> dict:
+    workloads = {
+        "resnet50": (paper_resnet50_shapes(), *resnet50_bits(effort)),
+        "vit_b": (paper_vit_b_shapes(), *_vit_bits(effort)),
+    }
+    out: dict[str, dict] = {}
+    for wl_name, (shapes, w_bits, a_bits) in workloads.items():
+        reports = {
+            name: evaluate_arch(shapes, arch, w_bits, a_bits)
+            for name, arch in ALL_ARCHS().items()
+        }
+        base = reports["LPA"]
+        out[wl_name] = {
+            name: dict(zip(("latency", "energy"), r.normalized_to(base)))
+            for name, r in reports.items()
+        }
+    checks = {
+        "lpa_lowest_latency": all(
+            min(rows, key=lambda k: rows[k]["latency"]) == "LPA"
+            for rows in out.values()
+        ),
+        "ant_energy_leq_lpa": all(
+            rows["ANT"]["energy"] <= 1.05 for rows in out.values()
+        ),
+    }
+    return {"normalized": out, "checks": checks}

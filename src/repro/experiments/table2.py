@@ -1,0 +1,25 @@
+"""Table 2 — LPQ quantization accuracy on ViTs (ViT-B, DeiT-S, Swin-T).
+
+Same harness as Table 1; the paper's block size for transformers is one
+attention block, which the fast efforts approximate with their block
+width over the ~4-layers-per-block encoder structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import EFFORTS
+from .reference import TABLE2
+from .table1 import lpq_row
+
+__all__ = ["run_table2"]
+
+
+def run_table2(effort: str = "fast", models=("vit_b", "deit_s", "swin_t")) -> dict:
+    rows = {m: lpq_row(m, effort) for m in models}
+    return {
+        "rows": rows,
+        "mean_drop": float(np.mean([r["drop"] for r in rows.values()])),
+        "paper": TABLE2,
+    }

@@ -1,0 +1,48 @@
+"""Table 3 — area / throughput / compute density of LPA vs baselines.
+
+All designs: 8×8 weight-stationary array, 512 kB buffers, 28 nm.  The
+workload is the paper's actual ResNet50 layer dimensions; per-layer
+precisions come from an LPQ search on the ResNet50 analogue (whose 54
+layers map one-to-one onto the full network's 54 GEMMs).
+"""
+
+from __future__ import annotations
+
+from ..accel import ALL_ARCHS, evaluate_arch
+from ..accel.workload import paper_resnet50_shapes
+from .common import get_lpq_result
+from .reference import TABLE3
+
+__all__ = ["resnet50_bits", "run_table3"]
+
+
+def resnet50_bits(effort: str = "fast") -> tuple[list[int], list[int]]:
+    """Per-layer (weight, activation) widths from LPQ on the ResNet50
+    analogue, mapped index-wise onto the full ResNet50 GEMM list."""
+    _, solution, act, _ = get_lpq_result("resnet50", effort)
+    shapes = paper_resnet50_shapes()
+    w = [solution[i % len(solution)].n for i in range(len(shapes))]
+    a = [act[i % len(act)].n for i in range(len(shapes))]
+    return w, a
+
+
+def run_table3(effort: str = "fast") -> dict:
+    shapes = paper_resnet50_shapes()
+    w_bits, a_bits = resnet50_bits(effort)
+    rows = {}
+    for name, arch in ALL_ARCHS().items():
+        r = evaluate_arch(shapes, arch, w_bits, a_bits)
+        rows[name] = {
+            "compute_area_um2": r.compute_area_um2,
+            "gops": r.throughput_gops,
+            "tops_per_mm2": r.compute_density_tops_mm2,
+            "total_area_mm2": r.total_area_mm2,
+        }
+    lpa_density = rows["LPA"]["tops_per_mm2"]
+    return {
+        "rows": rows,
+        "density_gain_vs_ant": lpa_density / rows["ANT"]["tops_per_mm2"],
+        "density_gain_vs_bitfusion": lpa_density
+        / rows["BitFusion"]["tops_per_mm2"],
+        "paper": TABLE3,
+    }

@@ -1,0 +1,47 @@
+"""Model zoo: ResNet/MobileNet/ViT/DeiT/Swin analogues of the paper's
+benchmark suite, trained on the synthetic dataset and cached on disk.
+"""
+
+from .mobilenet import InvertedResidual, MobileNetV2, mobilenetv2_mini
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet18_mini, resnet50_mini
+from .swin import PatchMerging, SwinBlock, SwinTransformer, swin_t_mini
+from .vit import EncoderBlock, VisionTransformer, deit_s_mini, vit_b_mini
+from .zoo import (
+    CNN_MODELS,
+    MODEL_REGISTRY,
+    TrainRecipe,
+    VIT_MODELS,
+    evaluate,
+    fp_model_size_mb,
+    get_model,
+    train_model,
+    zoo_dir,
+)
+
+__all__ = [
+    "BasicBlock",
+    "Bottleneck",
+    "CNN_MODELS",
+    "EncoderBlock",
+    "InvertedResidual",
+    "MODEL_REGISTRY",
+    "MobileNetV2",
+    "PatchMerging",
+    "ResNet",
+    "SwinBlock",
+    "SwinTransformer",
+    "TrainRecipe",
+    "VIT_MODELS",
+    "VisionTransformer",
+    "deit_s_mini",
+    "evaluate",
+    "fp_model_size_mb",
+    "get_model",
+    "mobilenetv2_mini",
+    "resnet18_mini",
+    "resnet50_mini",
+    "swin_t_mini",
+    "train_model",
+    "vit_b_mini",
+    "zoo_dir",
+]

@@ -1,0 +1,136 @@
+"""ResNet-18/50 analogues (He et al.) scaled to 32×32 synthetic images.
+
+Architecturally faithful: BasicBlock for ResNet-18, Bottleneck (4×
+expansion) for ResNet-50, stage layouts [2,2,2,2] and [3,4,6,3], stride-2
+downsampling at stage boundaries with 1×1 projection shortcuts.  Channel
+widths are scaled down so the models train in seconds on CPU while still
+exhibiting the layer-wise weight-distribution variance of Fig. 1(a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["BasicBlock", "Bottleneck", "ResNet", "resnet18_mini", "resnet50_mini"]
+
+
+def _conv_bn(cin: int, cout: int, k: int, stride: int = 1) -> nn.Sequential:
+    return nn.Sequential(
+        nn.Conv2d(cin, cout, k, stride=stride, padding=k // 2, bias=False),
+        nn.BatchNorm2d(cout),
+    )
+
+
+class BasicBlock(nn.Module):
+    """conv3-bn-relu-conv3-bn + identity/projection shortcut, then relu."""
+
+    expansion = 1
+
+    def __init__(self, cin: int, cout: int, stride: int = 1) -> None:
+        super().__init__()
+        self.body = nn.Sequential(
+            nn.Conv2d(cin, cout, 3, stride=stride, padding=1, bias=False),
+            nn.BatchNorm2d(cout),
+            nn.ReLU(),
+            nn.Conv2d(cout, cout, 3, padding=1, bias=False),
+            nn.BatchNorm2d(cout),
+        )
+        self.shortcut = (
+            _conv_bn(cin, cout, 1, stride) if stride != 1 or cin != cout else None
+        )
+        self.relu = nn.ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.body(x)
+        skip = x if self.shortcut is None else self.shortcut(x)
+        return self.relu(main + skip)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.relu.backward(grad)
+        g_skip = g if self.shortcut is None else self.shortcut.backward(g)
+        return self.body.backward(g) + g_skip
+
+
+class Bottleneck(nn.Module):
+    """1×1 reduce — 3×3 — 1×1 expand (×4) with shortcut (ResNet-50)."""
+
+    expansion = 4
+
+    def __init__(self, cin: int, width: int, stride: int = 1) -> None:
+        super().__init__()
+        cout = width * self.expansion
+        self.body = nn.Sequential(
+            nn.Conv2d(cin, width, 1, bias=False),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+            nn.Conv2d(width, width, 3, stride=stride, padding=1, bias=False),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+            nn.Conv2d(width, cout, 1, bias=False),
+            nn.BatchNorm2d(cout),
+        )
+        self.shortcut = (
+            _conv_bn(cin, cout, 1, stride) if stride != 1 or cin != cout else None
+        )
+        self.relu = nn.ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.body(x)
+        skip = x if self.shortcut is None else self.shortcut(x)
+        return self.relu(main + skip)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.relu.backward(grad)
+        g_skip = g if self.shortcut is None else self.shortcut.backward(g)
+        return self.body.backward(g) + g_skip
+
+
+class ResNet(nn.Module):
+    def __init__(
+        self,
+        block: type,
+        layers: list[int],
+        widths: list[int],
+        num_classes: int,
+        in_channels: int = 3,
+    ) -> None:
+        super().__init__()
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, widths[0], 3, padding=1, bias=False),
+            nn.BatchNorm2d(widths[0]),
+            nn.ReLU(),
+        )
+        stages = []
+        cin = widths[0]
+        for i, (count, width) in enumerate(zip(layers, widths)):
+            for j in range(count):
+                stride = 2 if (i > 0 and j == 0) else 1
+                stages.append(block(cin, width, stride))
+                cin = width * block.expansion
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.GlobalAvgPool()
+        self.head = nn.Linear(cin, num_classes)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem(x)
+        x = self.stages(x)
+        x = self.pool(x)
+        return self.head(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.head.backward(grad)
+        g = self.pool.backward(g)
+        g = self.stages.backward(g)
+        return self.stem.backward(g)
+
+
+def resnet18_mini(num_classes: int = 16) -> ResNet:
+    """ResNet-18 analogue: BasicBlock ×[2,2,2,2], widths 16→128."""
+    return ResNet(BasicBlock, [2, 2, 2, 2], [16, 32, 64, 128], num_classes)
+
+
+def resnet50_mini(num_classes: int = 16) -> ResNet:
+    """ResNet-50 analogue: Bottleneck ×[3,4,6,3], widths 8→64 (×4 expand)."""
+    return ResNet(Bottleneck, [3, 4, 6, 3], [8, 16, 32, 64], num_classes)

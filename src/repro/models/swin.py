@@ -1,0 +1,124 @@
+"""Swin Transformer analogue (Liu et al.): windowed attention + merging.
+
+Faithful signature pieces: alternating W-MSA / shifted SW-MSA blocks with
+the boundary attention mask, patch merging (2×2 concat + linear reduce)
+between stages, pre-norm residual MLPs, mean-pooled head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .vit import Mlp
+
+__all__ = ["SwinBlock", "PatchMerging", "SwinTransformer", "swin_t_mini"]
+
+
+class SwinBlock(nn.Module):
+    """LN → (S)W-MSA → residual, LN → MLP → residual on (B,H,W,D) maps."""
+
+    def __init__(
+        self, dim: int, num_heads: int, window: int, shift: int,
+        mlp_ratio: float = 4.0,
+    ) -> None:
+        super().__init__()
+        self.norm1 = nn.LayerNorm(dim)
+        self.attn = nn.WindowAttention(dim, num_heads, window, shift)
+        self.norm2 = nn.LayerNorm(dim)
+        self.mlp = Mlp(dim, int(dim * mlp_ratio))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = grad + self.norm2.backward(self.mlp.backward(grad))
+        return g + self.norm1.backward(self.attn.backward(g))
+
+
+class PatchMerging(nn.Module):
+    """2×2 neighbourhood concat (4D) + linear reduction to 2D channels."""
+
+    def __init__(self, dim: int) -> None:
+        super().__init__()
+        self.dim = dim
+        self.norm = nn.LayerNorm(4 * dim)
+        self.reduce = nn.Linear(4 * dim, 2 * dim, bias=False)
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, h, w, d = x.shape
+        if h % 2 or w % 2:
+            raise ValueError("feature map must have even spatial dims")
+        self._shape = x.shape
+        quads = np.concatenate(
+            [x[:, 0::2, 0::2], x[:, 1::2, 0::2], x[:, 0::2, 1::2], x[:, 1::2, 1::2]],
+            axis=-1,
+        )  # (B, H/2, W/2, 4D)
+        return self.reduce(self.norm(quads))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        b, h, w, d = self._shape
+        g = self.norm.backward(self.reduce.backward(grad))  # (B,H/2,W/2,4D)
+        out = np.zeros((b, h, w, d))
+        out[:, 0::2, 0::2] = g[..., 0 * d : 1 * d]
+        out[:, 1::2, 0::2] = g[..., 1 * d : 2 * d]
+        out[:, 0::2, 1::2] = g[..., 2 * d : 3 * d]
+        out[:, 1::2, 1::2] = g[..., 3 * d : 4 * d]
+        return out
+
+
+class SwinTransformer(nn.Module):
+    def __init__(
+        self,
+        num_classes: int,
+        image_size: int = 32,
+        patch_size: int = 4,
+        dim: int = 48,
+        depths: tuple[int, ...] = (2, 2),
+        num_heads: tuple[int, ...] = (3, 6),
+        window: int = 4,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.patch_embed = nn.Conv2d(3, dim, patch_size, stride=patch_size)
+        stages: list[nn.Module] = []
+        d = dim
+        for s, (depth, heads) in enumerate(zip(depths, num_heads)):
+            if s > 0:
+                stages.append(PatchMerging(d))
+                d *= 2
+            for i in range(depth):
+                shift = 0 if i % 2 == 0 else window // 2
+                stages.append(SwinBlock(d, heads, window, shift))
+        self.stages = nn.Sequential(*stages)
+        self.norm = nn.LayerNorm(d)
+        self.head = nn.Linear(d, num_classes)
+        self._map_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        fm = self.patch_embed(x)  # (B, D, H', W')
+        fm = fm.transpose(0, 2, 3, 1)  # (B, H', W', D)
+        fm = self.stages(fm)
+        fm = self.norm(fm)
+        self._map_shape = fm.shape
+        pooled = fm.mean(axis=(1, 2))
+        return self.head(pooled)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._map_shape is not None
+        b, h, w, d = self._map_shape
+        g_pool = self.head.backward(grad)  # (B, D)
+        g_fm = np.broadcast_to(g_pool[:, None, None, :], (b, h, w, d)) / (h * w)
+        g_fm = self.norm.backward(np.ascontiguousarray(g_fm))
+        g_fm = self.stages.backward(g_fm)
+        g = g_fm.transpose(0, 3, 1, 2)
+        return self.patch_embed.backward(np.ascontiguousarray(g))
+
+
+def swin_t_mini(num_classes: int = 16) -> SwinTransformer:
+    """Swin-T analogue: 2 stages (dims 48→96), shifted 4×4 windows."""
+    return SwinTransformer(num_classes)

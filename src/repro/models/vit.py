@@ -1,0 +1,145 @@
+"""Vision Transformer analogues: ViT-B and DeiT-S (scaled down).
+
+Faithful structure: conv patch embedding, learned class token and position
+embeddings, pre-norm encoder blocks (LN → MHSA → residual, LN → MLP →
+residual), final LN, classification head on the class token.  The DeiT
+variant adds the distillation token and averages the two heads at
+inference, as in Touvron et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Parameter
+
+__all__ = ["EncoderBlock", "VisionTransformer", "vit_b_mini", "deit_s_mini"]
+
+
+class Mlp(nn.Module):
+    def __init__(self, dim: int, hidden: int) -> None:
+        super().__init__()
+        self.fc1 = nn.Linear(dim, hidden)
+        self.act = nn.GELU()
+        self.fc2 = nn.Linear(hidden, dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2(self.act(self.fc1(x)))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad)))
+
+
+class EncoderBlock(nn.Module):
+    """Pre-norm transformer block: two residual sub-layers."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0) -> None:
+        super().__init__()
+        self.norm1 = nn.LayerNorm(dim)
+        self.attn = nn.MultiHeadSelfAttention(dim, num_heads)
+        self.norm2 = nn.LayerNorm(dim)
+        self.mlp = Mlp(dim, int(dim * mlp_ratio))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = grad + self.norm2.backward(self.mlp.backward(grad))
+        return g + self.norm1.backward(self.attn.backward(g))
+
+
+class VisionTransformer(nn.Module):
+    def __init__(
+        self,
+        num_classes: int,
+        image_size: int = 32,
+        patch_size: int = 4,
+        dim: int = 96,
+        depth: int = 6,
+        num_heads: int = 4,
+        mlp_ratio: float = 4.0,
+        distilled: bool = False,
+    ) -> None:
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError("image size must be divisible by patch size")
+        self.dim = dim
+        self.distilled = distilled
+        self.num_prefix = 2 if distilled else 1
+        n_patches = (image_size // patch_size) ** 2
+        self.patch_embed = nn.Conv2d(3, dim, patch_size, stride=patch_size)
+        rng = np.random.default_rng(0)
+        self.cls_token = Parameter(rng.normal(0, 0.02, (1, 1, dim)))
+        if distilled:
+            self.dist_token = Parameter(rng.normal(0, 0.02, (1, 1, dim)))
+        self.pos_embed = Parameter(
+            rng.normal(0, 0.02, (1, n_patches + self.num_prefix, dim))
+        )
+        self.blocks = nn.Sequential(
+            *[EncoderBlock(dim, num_heads, mlp_ratio) for _ in range(depth)]
+        )
+        self.norm = nn.LayerNorm(dim)
+        self.head = nn.Linear(dim, num_classes)
+        if distilled:
+            self.head_dist = nn.Linear(dim, num_classes)
+        self._cache_b: int | None = None
+        self._grid: tuple[int, int] | None = None
+
+    def _tokens(self, x: np.ndarray) -> np.ndarray:
+        fm = self.patch_embed(x)  # (B, D, H', W')
+        b, d, h, w = fm.shape
+        self._grid = (h, w)
+        return fm.reshape(b, d, h * w).transpose(0, 2, 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        tokens = self._tokens(x)  # (B, N, D)
+        b = tokens.shape[0]
+        self._cache_b = b
+        prefix = [np.broadcast_to(self.cls_token.data, (b, 1, self.dim))]
+        if self.distilled:
+            prefix.append(np.broadcast_to(self.dist_token.data, (b, 1, self.dim)))
+        seq = np.concatenate(prefix + [tokens], axis=1) + self.pos_embed.data
+        seq = self.blocks(seq)
+        seq = self.norm(seq)
+        logits = self.head(seq[:, 0])
+        if self.distilled:
+            logits = (logits + self.head_dist(seq[:, 1])) / 2.0
+        return logits
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache_b is not None and self._grid is not None
+        b = self._cache_b
+        n_total = self.pos_embed.data.shape[1]
+        g_seq = np.zeros((b, n_total, self.dim))
+        if self.distilled:
+            g_seq[:, 0] = self.head.backward(grad / 2.0)
+            g_seq[:, 1] = self.head_dist.backward(grad / 2.0)
+        else:
+            g_seq[:, 0] = self.head.backward(grad)
+        g_seq = self.norm.backward(g_seq)
+        g_seq = self.blocks.backward(g_seq)
+        self.pos_embed.accumulate(g_seq.sum(axis=0, keepdims=True))
+        self.cls_token.accumulate(g_seq[:, :1].sum(axis=0, keepdims=True))
+        start = 1
+        if self.distilled:
+            self.dist_token.accumulate(g_seq[:, 1:2].sum(axis=0, keepdims=True))
+            start = 2
+        g_tokens = g_seq[:, start:]  # (B, N, D)
+        h, w = self._grid
+        g_fm = g_tokens.transpose(0, 2, 1).reshape(b, self.dim, h, w)
+        return self.patch_embed.backward(g_fm)
+
+
+def vit_b_mini(num_classes: int = 16) -> VisionTransformer:
+    """ViT-B analogue: dim 96, depth 6, 4 heads, patch 4 on 32×32."""
+    return VisionTransformer(num_classes, dim=96, depth=6, num_heads=4)
+
+
+def deit_s_mini(num_classes: int = 16) -> VisionTransformer:
+    """DeiT-S analogue: dim 64, depth 5, 4 heads, distillation token."""
+    return VisionTransformer(
+        num_classes, dim=64, depth=5, num_heads=4, distilled=True
+    )

@@ -1,0 +1,58 @@
+"""Minimal numpy DNN framework (forward + backward) used as the paper's
+PyTorch substitute: enough to train and run CNNs and vision transformers.
+"""
+
+from .attention import MultiHeadSelfAttention, WindowAttention
+from .functional import gelu, log_softmax, softmax
+from .layers import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    GlobalAvgPool,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    QuantizableMixin,
+    ReLU,
+)
+from .losses import accuracy, cross_entropy
+from .module import Module, Sequential
+from .optim import Adam, SGD
+from .recorder import quantizable_layers, record_activations
+from .tensor import Parameter, get_default_dtype, init_rng, seed, set_default_dtype
+
+__all__ = [
+    "Adam",
+    "Add",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GELU",
+    "GlobalAvgPool",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Parameter",
+    "QuantizableMixin",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "WindowAttention",
+    "accuracy",
+    "cross_entropy",
+    "gelu",
+    "get_default_dtype",
+    "init_rng",
+    "seed",
+    "set_default_dtype",
+    "log_softmax",
+    "quantizable_layers",
+    "record_activations",
+    "softmax",
+]

@@ -1,0 +1,29 @@
+"""Loss functions (forward value + input gradient in one call)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax, softmax
+
+__all__ = ["cross_entropy", "accuracy"]
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, label_smoothing: float = 0.0
+) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy.  Returns (mean loss, dloss/dlogits)."""
+    b, c = logits.shape
+    logp = log_softmax(logits, axis=-1)
+    onehot = np.zeros((b, c))
+    onehot[np.arange(b), labels] = 1.0
+    if label_smoothing:
+        onehot = onehot * (1 - label_smoothing) + label_smoothing / c
+    loss = float(-(onehot * logp).sum(axis=-1).mean())
+    grad = (softmax(logits, axis=-1) - onehot) / b
+    return loss, grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    return float((logits.argmax(axis=-1) == np.asarray(labels)).mean())

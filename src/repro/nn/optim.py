@@ -1,0 +1,74 @@
+"""Optimizers: SGD with momentum and Adam (with optional weight decay)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            p.data -= self.lr * v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1c = 1 - self.beta1**self._t
+        b2c = 1 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            p.data -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,52 @@
+"""Number-format substrate: posits, LP, LNS, floats, ints, flint.
+
+The paper's core data type is :class:`LogPositFormat` (LP); every other
+format here is either one of LP's primitives (posit, LNS) or a baseline
+the paper compares against (INT, minifloat, AdaptivFloat, ANT's flint).
+"""
+
+from .adaptivfloat import AdaptivFloatFormat
+from .base import (
+    BitLevelFormat,
+    NumberFormat,
+    QuantizationStats,
+    quantization_rmse,
+    relative_decimal_accuracy,
+)
+from .flint import FlintFormat
+from .intquant import IntFormat
+from .lns import LNSFormat
+from .logposit import LogPositFormat, LPParams, lp_decode, lp_encode, lp_quantize
+from .minifloat import MiniFloatFormat
+from .posit import PositFormat, posit_decode, posit_encode
+from .registry import (
+    FORMAT_FAMILIES,
+    calibrated_format,
+    make_format,
+    tensor_log_center,
+)
+
+__all__ = [
+    "AdaptivFloatFormat",
+    "BitLevelFormat",
+    "FlintFormat",
+    "FORMAT_FAMILIES",
+    "IntFormat",
+    "LNSFormat",
+    "LogPositFormat",
+    "LPParams",
+    "MiniFloatFormat",
+    "NumberFormat",
+    "PositFormat",
+    "QuantizationStats",
+    "calibrated_format",
+    "lp_decode",
+    "lp_encode",
+    "lp_quantize",
+    "make_format",
+    "posit_decode",
+    "posit_encode",
+    "quantization_rmse",
+    "tensor_log_center",
+    "relative_decimal_accuracy",
+]

@@ -1,0 +1,70 @@
+"""AdaptivFloat (Tambe et al., DAC 2020) — the paper's float baseline.
+
+AdaptivFloat is an ``n``-bit float whose *exponent bias* is chosen per
+tensor so that the largest representable value just covers the tensor's
+absolute maximum.  It adapts the dynamic-range *position* but — unlike LP —
+cannot change the distribution *shape*: its relative accuracy is flat
+(paper Fig. 1(b)), which is exactly the deficiency LP addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import NumberFormat
+from .minifloat import MiniFloatFormat
+
+__all__ = ["AdaptivFloatFormat"]
+
+
+@dataclass(frozen=True)
+class AdaptivFloatFormat(NumberFormat):
+    """n-bit adaptive float with tensor-calibrated exponent bias."""
+
+    n: int
+    ebits: int
+    exp_bias: int
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.n
+
+    @property
+    def name(self) -> str:
+        return f"afloat<{self.n},e{self.ebits},b{self.exp_bias}>"
+
+    def _inner(self) -> MiniFloatFormat:
+        return MiniFloatFormat(n=self.n, ebits=self.ebits, bias=self.exp_bias)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        return self._inner().quantize(x)
+
+    def dynamic_range(self) -> tuple[float, float]:
+        return self._inner().dynamic_range()
+
+    @staticmethod
+    def for_tensor(
+        x: np.ndarray, n: int, ebits: int | None = None
+    ) -> "AdaptivFloatFormat":
+        """Calibrate the exponent bias to the tensor (Tambe et al. §III).
+
+        The bias is set so that ``maxval >= max|x|`` with the tightest
+        possible margin, concentrating representable values on the
+        tensor's actual range.
+        """
+        if ebits is None:
+            # AdaptivFloat uses a small fixed exponent field; 4 bits for
+            # n >= 6, shrinking for very narrow widths.
+            ebits = int(np.clip(n - 2, 1, 4))
+        mag = np.abs(np.asarray(x, dtype=np.float64))
+        amax = float(mag.max()) if mag.size else 1.0
+        if amax <= 0:
+            amax = 1.0
+        mbits = n - 1 - ebits
+        # exponent of the top binade needed to cover amax
+        e_top = int(np.floor(np.log2(amax / (2.0 - np.exp2(-mbits))))) + 1
+        emax_code = (1 << ebits) - 1
+        bias = emax_code - e_top
+        return AdaptivFloatFormat(n=n, ebits=ebits, exp_bias=bias)

@@ -1,0 +1,60 @@
+"""Uniform integer / fixed-point quantization (the INT baseline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import NumberFormat
+
+__all__ = ["IntFormat"]
+
+
+@dataclass(frozen=True)
+class IntFormat(NumberFormat):
+    """Symmetric uniform quantizer: ``q = clamp(round(x / scale)) * scale``.
+
+    ``n``-bit two's-complement codes in ``[-(2^(n-1)), 2^(n-1) - 1]``.
+    """
+
+    n: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("integer quantization needs >= 2 bits")
+        if not self.scale > 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.n
+
+    @property
+    def name(self) -> str:
+        return f"int<{self.n},s={self.scale:.4g}>"
+
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.n - 1))
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.n - 1)) - 1
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        q = np.clip(np.round(x / self.scale), self.qmin, self.qmax)
+        return q * self.scale
+
+    def dynamic_range(self) -> tuple[float, float]:
+        return self.scale, self.qmax * self.scale
+
+    @staticmethod
+    def for_tensor(x: np.ndarray, n: int) -> "IntFormat":
+        """Min-max symmetric calibration (scale = max|x| / qmax)."""
+        amax = float(np.max(np.abs(np.asarray(x, dtype=np.float64))))
+        if amax <= 0:
+            amax = 1.0
+        return IntFormat(n=n, scale=amax / ((1 << (n - 1)) - 1))

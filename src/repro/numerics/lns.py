@@ -1,0 +1,83 @@
+"""Base-2 Logarithmic Number System (LNS) with fixed-point exponents.
+
+An LNS⟨n, ibits⟩ number is ``(-1)^s * 2^E`` where ``E`` is a signed
+fixed-point value with ``ibits`` integer bits and ``n - 1 - ibits``
+fraction bits.  A reserved pattern encodes zero.  LNS is one of LP's two
+primitive data types (the other being posits): it has *flat* relative
+accuracy across its whole dynamic range, whereas LP tapers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import NumberFormat
+
+__all__ = ["LNSFormat"]
+
+
+@dataclass(frozen=True)
+class LNSFormat(NumberFormat):
+    """Sign + fixed-point base-2 exponent; ``bias`` recenters the range."""
+
+    n: int
+    ibits: int
+    bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("LNS needs at least 2 bits (sign + exponent)")
+        if not 0 <= self.ibits <= self.n - 1:
+            raise ValueError(f"ibits must be in [0, {self.n - 1}]")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.n
+
+    @property
+    def name(self) -> str:
+        return f"lns<{self.n},{self.ibits},{self.bias:.4g}>"
+
+    @property
+    def _fbits(self) -> int:
+        return self.n - 1 - self.ibits
+
+    @property
+    def _step(self) -> float:
+        return float(np.exp2(-self._fbits))
+
+    def _exp_bounds(self) -> tuple[float, float]:
+        """Representable exponent range [lo, hi] (two's-complement-style)."""
+        half = float(np.exp2(self.ibits - 1)) if self.ibits > 0 else 0.5
+        lo = -half + self.bias
+        hi = half - self._step + self.bias
+        return lo, hi
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros_like(x)
+        nz = x != 0
+        lo, hi = self._exp_bounds()
+        e = np.clip(np.log2(np.abs(x[nz])), lo, hi)
+        eq = np.round((e - self.bias) / self._step) * self._step + self.bias
+        out[nz] = np.sign(x[nz]) * np.exp2(eq)
+        return out
+
+    def dynamic_range(self) -> tuple[float, float]:
+        lo, hi = self._exp_bounds()
+        return float(np.exp2(lo)), float(np.exp2(hi))
+
+    @staticmethod
+    def for_tensor(x: np.ndarray, n: int, ibits: int | None = None) -> "LNSFormat":
+        """Pick ``ibits``/``bias`` so the tensor's magnitudes are covered."""
+        mag = np.abs(np.asarray(x, dtype=np.float64))
+        mag = mag[mag > 0]
+        if mag.size == 0:
+            return LNSFormat(n=n, ibits=ibits if ibits is not None else (n - 1) // 2)
+        span = float(np.log2(mag.max()) - np.log2(mag.min()))
+        if ibits is None:
+            ibits = int(np.clip(np.ceil(np.log2(max(span, 1.0))) + 1, 1, n - 1))
+        center = float((np.log2(mag.max()) + np.log2(mag.min())) / 2.0)
+        return LNSFormat(n=n, ibits=ibits, bias=center)

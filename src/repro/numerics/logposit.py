@@ -1,0 +1,203 @@
+"""LP — the Logarithmic Posit data type (paper Section 3, Eq. 1).
+
+LP is a posit with every bit field parameterized, whose exponent and
+fraction are fused into one log-domain fixed-point field::
+
+    x<n, es, rs, sf> = (-1)^sign * 2^(2^es * k - sf) * 2^ulfx      (Eq. 1)
+
+where
+
+* ``n``  — total width (bits), controls precision / compression,
+* ``es`` — exponent size; each increment doubles the dynamic range,
+* ``rs`` — maximum regime field length; controls the *tapering* (shape),
+* ``sf`` — continuous scale-factor bias; shifts the region of maximum
+  accuracy away from magnitude 1 (standard posits have ``sf = 0``),
+* ``k``  — regime value from the run-length encoded regime field,
+* ``ulfx`` — Unified Logarithmic Fraction and eXponent: a fixed-point
+  number in ``[0, 2^es)`` whose integer part is the exponent ``e`` and
+  whose fractional part is ``f' = log2(1.f)``.
+
+Because the fraction is stored in the log domain, a hardware multiply is
+just a fixed-point add (LNS efficiency), and rounding happens in the log
+domain — both are modelled faithfully here.
+
+Bit layout (mirrors standard posit, negatives are two's complement)::
+
+    sign(1) | regime(run-length, <= rs bits) | ulfx integer+fraction
+
+The ``sf`` bias does not occupy bits; it is a per-tensor parameter held by
+the decoder (paper Fig. 3 feeds ``sf`` into the regime constructor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+import numpy as np
+
+from .base import BitLevelFormat
+from .posit import _decode_core, _encode_positive, _positive_table
+
+__all__ = ["LPParams", "LogPositFormat", "lp_decode", "lp_encode", "lp_quantize"]
+
+#: Search-space bounds used by LPQ (paper Section 4, Step 1).
+N_MIN, N_MAX = 2, 8
+ES_MIN = 0
+RS_MIN = 2
+
+
+@dataclass(frozen=True)
+class LPParams:
+    """The four LP parameters ⟨n, es, rs, sf⟩ of one tensor/layer.
+
+    Constraints (paper Section 3): ``es <= n - 3`` (1 sign + >=2 regime
+    bits must remain) and ``2 <= rs <= n - 1``.  Narrow widths where the
+    constraints cannot all hold (n = 2, 3) clamp ``rs``/``es`` to the
+    feasible range instead of failing, matching the hardware's behaviour
+    of simply having no bits left for the constrained field.
+    """
+
+    n: int
+    es: int
+    rs: int
+    sf: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not N_MIN <= self.n <= 16:
+            raise ValueError(f"LP width must be in [{N_MIN}, 16], got {self.n}")
+        if self.es < 0 or self.rs < 1:
+            raise ValueError(f"invalid LP fields es={self.es} rs={self.rs}")
+
+    @property
+    def es_eff(self) -> int:
+        """Exponent size actually usable at this width (``<= n - 3``, >= 0)."""
+        return min(self.es, max(self.n - 3, 0))
+
+    @property
+    def rs_eff(self) -> int:
+        """Regime cap actually usable at this width (``<= n - 1``)."""
+        return max(1, min(self.rs, self.n - 1))
+
+    def clamped(self) -> "LPParams":
+        """Return a copy with ``es``/``rs`` clamped into the feasible range."""
+        return replace(self, es=self.es_eff, rs=self.rs_eff)
+
+    @staticmethod
+    def random(rng: np.random.Generator, n: int | None = None) -> "LPParams":
+        """Sample uniformly from the LPQ search space (sf ~ U(-1e-3, 1e-3))."""
+        n = int(rng.integers(N_MIN, N_MAX + 1)) if n is None else n
+        es = int(rng.integers(0, max(n - 3, 0) + 1))
+        rs = int(rng.integers(RS_MIN, max(n - 1, RS_MIN) + 1))
+        sf = float(rng.uniform(-1e-3, 1e-3))
+        return LPParams(n=n, es=es, rs=rs, sf=sf)
+
+
+def lp_decode(pattern: np.ndarray, params: LPParams) -> np.ndarray:
+    """Decode LP bit patterns to float64 values (Eq. 1).
+
+    The shared posit decode core already interprets the post-regime bits as
+    ``e`` (es-bit integer) and ``f`` with value ``2^e * (1 + f)``; LP instead
+    means ``2^(e + f')`` with ``f'`` the *log-domain* fraction.  We therefore
+    decode structurally with the core and fix up the fraction semantics:
+    ``(1 + f) -> 2^(f)``.
+    """
+    p = params.clamped()
+    lin = _decode_core(pattern, p.n, p.es_eff, max_regime=p.rs_eff)
+    sign = np.sign(lin)
+    mag = np.abs(lin)
+    out = np.zeros_like(mag)
+    ok = (mag > 0) & np.isfinite(mag)
+    # mag = 2^scale * (1 + f); recover 2^scale (a power of two) and f, then
+    # reinterpret f as the log-domain fraction f' so value = 2^(scale + f').
+    exp2 = np.zeros_like(mag)
+    frac = np.zeros_like(mag)
+    exp2[ok] = np.floor(np.log2(mag[ok]))
+    frac[ok] = mag[ok] / np.exp2(exp2[ok]) - 1.0
+    out[ok] = np.exp2(exp2[ok] + frac[ok] - p.sf)
+    out = sign * out
+    out[np.isnan(lin)] = np.nan
+    return out
+
+
+@lru_cache(maxsize=1024)
+def _lp_positive_table(n: int, es: int, rs: int) -> tuple[np.ndarray, np.ndarray]:
+    """(sorted positive values at sf=0, matching patterns) for an LP format."""
+    base = LPParams(n=n, es=es, rs=rs, sf=0.0)
+    patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)
+    values = lp_decode(patterns, base)
+    order = np.argsort(values, kind="stable")
+    return values[order], patterns[order]
+
+
+def lp_encode(x: np.ndarray, params: LPParams) -> np.ndarray:
+    """Round reals to LP⟨n, es, rs, sf⟩ and return the bit patterns.
+
+    Rounding is performed in the log domain (round-to-nearest ``ulfx``),
+    exactly what the LPA datapath does.  Magnitudes outside the dynamic
+    range clamp to minpos/maxpos — posit semantics: no underflow to zero,
+    no overflow to infinity.
+    """
+    p = params.clamped()
+    x = np.asarray(x, dtype=np.float64)
+    values, patterns = _lp_positive_table(p.n, p.es_eff, p.rs_eff)
+    # sf only rescales the whole value set: search in the sf=0 table.
+    mag = np.abs(x) * np.exp2(p.sf)
+    out = np.zeros(x.shape, dtype=np.int64)
+    pos = mag > 0
+    clipped = np.clip(mag[pos], values[0], values[-1])
+    out[pos] = _encode_positive(clipped, values, patterns)
+    neg = x < 0
+    out[neg] = ((1 << p.n) - out[neg]) & ((1 << p.n) - 1)
+    return out
+
+
+def lp_quantize(x: np.ndarray, params: LPParams) -> np.ndarray:
+    """Project ``x`` onto the LP⟨n, es, rs, sf⟩ value set (encode∘decode)."""
+    p = params.clamped()
+    x = np.asarray(x, dtype=np.float64)
+    values, _ = _lp_positive_table(p.n, p.es_eff, p.rs_eff)
+    scaled = np.abs(x) * np.exp2(p.sf)
+    out = np.zeros(x.shape, dtype=np.float64)
+    pos = scaled > 0
+    clipped = np.clip(scaled[pos], values[0], values[-1])
+    logv = np.log2(values)
+    mids = 0.5 * (logv[:-1] + logv[1:])
+    idx = np.searchsorted(mids, np.log2(clipped), side="left")
+    out[pos] = values[idx] * np.exp2(-p.sf)
+    return np.where(x < 0, -out, out)
+
+
+@dataclass(frozen=True)
+class LogPositFormat(BitLevelFormat):
+    """LP⟨n, es, rs, sf⟩ as a :class:`NumberFormat`."""
+
+    params: LPParams
+
+    @staticmethod
+    def make(n: int, es: int, rs: int, sf: float = 0.0) -> "LogPositFormat":
+        return LogPositFormat(LPParams(n=n, es=es, rs=rs, sf=sf))
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.params.n
+
+    @property
+    def name(self) -> str:
+        p = self.params
+        return f"lp<{p.n},{p.es},{p.rs},{p.sf:.4g}>"
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        return lp_encode(x, self.params)
+
+    def decode(self, pattern: np.ndarray) -> np.ndarray:
+        return lp_decode(pattern, self.params)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        return lp_quantize(x, self.params)
+
+    def dynamic_range(self) -> tuple[float, float]:
+        p = self.params.clamped()
+        values, _ = _lp_positive_table(p.n, p.es_eff, p.rs_eff)
+        s = np.exp2(-p.sf)
+        return float(values[0] * s), float(values[-1] * s)

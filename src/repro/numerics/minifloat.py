@@ -1,0 +1,66 @@
+"""Parametric IEEE-754-style small floats (e.g. FP8-E4M3, FP6, FP4).
+
+``MiniFloatFormat(n, ebits, bias)`` has 1 sign bit, ``ebits`` exponent
+bits and ``n - 1 - ebits`` mantissa bits.  Subnormals are supported; the
+top exponent code is kept *finite* (no inf/NaN codes), as is standard in
+DNN inference formats — all patterns spend on representable values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import NumberFormat
+
+__all__ = ["MiniFloatFormat"]
+
+
+@dataclass(frozen=True)
+class MiniFloatFormat(NumberFormat):
+    n: int
+    ebits: int
+    bias: int | None = None  # default: IEEE bias 2^(ebits-1) - 1
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or not 1 <= self.ebits <= self.n - 1:
+            raise ValueError(f"invalid minifloat n={self.n} ebits={self.ebits}")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.n
+
+    @property
+    def mbits(self) -> int:
+        return self.n - 1 - self.ebits
+
+    @property
+    def exp_bias(self) -> int:
+        return self.bias if self.bias is not None else (1 << (self.ebits - 1)) - 1
+
+    @property
+    def name(self) -> str:
+        return f"fp<{self.n},e{self.ebits},b{self.exp_bias}>"
+
+    def dynamic_range(self) -> tuple[float, float]:
+        min_sub = np.exp2(1 - self.exp_bias - self.mbits)
+        emax = (1 << self.ebits) - 1 - self.exp_bias
+        maxval = np.exp2(emax) * (2.0 - np.exp2(-self.mbits))
+        return float(min_sub), float(maxval)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros_like(x)
+        nz = x != 0
+        mag = np.abs(x[nz])
+        emin = 1 - self.exp_bias  # smallest normal exponent
+        e = np.floor(np.log2(mag))
+        e = np.maximum(e, emin)  # below emin -> subnormal grid
+        step = np.exp2(e - self.mbits)
+        q = np.round(mag / step) * step
+        # rounding may carry into the next binade; that is already on-grid
+        _, maxval = self.dynamic_range()
+        q = np.minimum(q, maxval)
+        out[nz] = np.sign(x[nz]) * q
+        return out

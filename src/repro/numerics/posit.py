@@ -1,0 +1,155 @@
+"""Standard posit arithmetic (Gustafson & Yonemoto 2017), bit-accurate.
+
+A posit⟨n, es⟩ packs ``sign | regime | exponent(es) | fraction`` where the
+regime is run-length encoded: a run of ``m`` identical bits terminated by the
+opposite bit (or the end of the word) encodes ``k = m - 1`` for runs of ones
+and ``k = -m`` for runs of zeros.  The represented value is::
+
+    x = (-1)^s * 2^(2^es * k + e) * (1 + f)
+
+Negative numbers are the two's complement of the positive pattern.  The
+all-zeros pattern is 0 and ``1 0...0`` is NaR (decoded as NaN).
+
+``decode`` is the bit-accurate ground truth; ``encode`` projects reals onto
+the format through a cached value table (posits up to 16 bits have at most
+65536 code points, so exhaustive tables are cheap and exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .base import BitLevelFormat
+
+__all__ = ["PositFormat", "posit_decode", "posit_encode"]
+
+
+def _decode_core(pattern: np.ndarray, n: int, es: int, max_regime: int) -> np.ndarray:
+    """Shared posit/LP-style decode of ``sign|regime|...`` bit patterns.
+
+    Returns the real values for standard posits (``max_regime = n - 1``).
+    ``max_regime`` caps the regime field length, which is how Logarithmic
+    Posits parameterize tapering; standard posits use the full word.
+    """
+    p = np.asarray(pattern, dtype=np.int64) & ((1 << n) - 1)
+    out = np.zeros(p.shape, dtype=np.float64)
+    zero = p == 0
+    nar = p == (1 << (n - 1))
+
+    sign = (p >> (n - 1)) & 1
+    mag = np.where(sign == 1, ((1 << n) - p) & ((1 << n) - 1), p)
+    body = mag & ((1 << (n - 1)) - 1)  # the n-1 bits after the sign
+
+    nb = n - 1
+    first = (body >> (nb - 1)) & 1 if nb >= 1 else np.zeros_like(body)
+    # run length of the leading bit, capped at max_regime
+    run = np.zeros_like(body)
+    still = np.ones(body.shape, dtype=bool)
+    for i in range(min(nb, max_regime)):
+        bit = (body >> (nb - 1 - i)) & 1
+        match = still & (bit == first)
+        run += match.astype(np.int64)
+        still = match
+    consumed = np.minimum(run + 1, min(nb, max_regime))
+    k = np.where(first == 1, run - 1, -run)
+
+    remaining = nb - consumed
+    rem_bits = body & ((np.int64(1) << remaining) - 1)
+    e_avail = np.minimum(remaining, es)
+    # exponent bits sit at the top of the remaining field; missing low
+    # exponent bits are implicitly zero (posit standard truncation rule)
+    e = (rem_bits >> (remaining - e_avail)) << (es - e_avail)
+    f_bits = remaining - e_avail
+    f_int = rem_bits & ((np.int64(1) << f_bits) - 1)
+    frac = f_int.astype(np.float64) / np.exp2(f_bits.astype(np.float64))
+
+    scale = (np.exp2(es) * k + e).astype(np.float64)
+    val = np.exp2(scale) * (1.0 + frac)
+    out = np.where(sign == 1, -val, val)
+    out[zero] = 0.0
+    out[nar] = np.nan
+    return out
+
+
+def posit_decode(pattern: np.ndarray, n: int, es: int) -> np.ndarray:
+    """Decode standard posit⟨n, es⟩ bit patterns to float64 values."""
+    if not 2 <= n <= 16:
+        raise ValueError(f"posit width must be in [2, 16], got {n}")
+    if es < 0:
+        raise ValueError("es must be non-negative")
+    return _decode_core(pattern, n, es, max_regime=n - 1)
+
+
+@lru_cache(maxsize=256)
+def _positive_table(n: int, es: int, max_regime: int) -> tuple[np.ndarray, np.ndarray]:
+    """(sorted positive values, matching patterns) for a posit-style format."""
+    patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)  # positive codes
+    values = _decode_core(patterns, n, es, max_regime)
+    order = np.argsort(values, kind="stable")
+    return values[order], patterns[order]
+
+
+def _encode_positive(
+    mag: np.ndarray, values: np.ndarray, patterns: np.ndarray
+) -> np.ndarray:
+    """Round positive magnitudes to the nearest table value (log-domain ties).
+
+    Rounding happens in the log domain — the same place the LP/posit
+    hardware rounds — so the selected neighbour minimizes *relative* error.
+    """
+    logv = np.log2(values)
+    mids = 0.5 * (logv[:-1] + logv[1:])
+    idx = np.searchsorted(mids, np.log2(mag), side="left")
+    return patterns[idx]
+
+
+def posit_encode(x: np.ndarray, n: int, es: int) -> np.ndarray:
+    """Round reals to posit⟨n, es⟩ and return the bit patterns."""
+    x = np.asarray(x, dtype=np.float64)
+    values, patterns = _positive_table(n, es, n - 1)
+    mag = np.abs(x)
+    out = np.zeros(x.shape, dtype=np.int64)
+    pos = mag > 0
+    clipped = np.clip(mag[pos], values[0], values[-1])
+    codes = _encode_positive(clipped, values, patterns)
+    neg = x < 0
+    full = np.zeros(x.shape, dtype=np.int64)
+    full[pos] = codes
+    full[neg] = ((1 << n) - full[neg]) & ((1 << n) - 1)
+    out[:] = full
+    return out
+
+
+@dataclass(frozen=True)
+class PositFormat(BitLevelFormat):
+    """Standard posit⟨n, es⟩ as a :class:`NumberFormat`."""
+
+    n: int
+    es: int
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.n <= 16:
+            raise ValueError(f"posit width must be in [2, 16], got {self.n}")
+        if self.es < 0:
+            raise ValueError("es must be non-negative")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.n
+
+    @property
+    def name(self) -> str:
+        return f"posit<{self.n},{self.es}>"
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        return posit_encode(x, self.n, self.es)
+
+    def decode(self, pattern: np.ndarray) -> np.ndarray:
+        return posit_decode(pattern, self.n, self.es)
+
+    def dynamic_range(self) -> tuple[float, float]:
+        values, _ = _positive_table(self.n, self.es, self.n - 1)
+        return float(values[0]), float(values[-1])

@@ -1,0 +1,122 @@
+"""Factory for building calibrated number formats by name.
+
+Used by the Fig. 5(b) format-comparison experiment, where each format is
+calibrated to the tensor being quantized (per-tensor scale/bias) and then
+compared on per-layer RMSE.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from .adaptivfloat import AdaptivFloatFormat
+from .base import NumberFormat
+from .flint import FlintFormat
+from .intquant import IntFormat
+from .lns import LNSFormat
+from .logposit import LogPositFormat, LPParams
+from .minifloat import MiniFloatFormat
+from .posit import PositFormat
+
+__all__ = ["make_format", "calibrated_format", "FORMAT_FAMILIES", "tensor_log_center"]
+
+
+def make_format(spec: str) -> NumberFormat:
+    """Build a format from a compact spec string.
+
+    Examples: ``"lp:8,2,3,0.5"``, ``"posit:8,1"``, ``"int:8,0.01"``,
+    ``"fp:8,4"``, ``"lns:8,3"``, ``"flint:8"``, ``"afloat:8,4,7"``.
+    """
+    kind, _, rest = spec.partition(":")
+    args = [a for a in rest.split(",") if a]
+    if kind == "lp":
+        n, es, rs = (int(a) for a in args[:3])
+        sf = float(args[3]) if len(args) > 3 else 0.0
+        return LogPositFormat(LPParams(n=n, es=es, rs=rs, sf=sf))
+    if kind == "posit":
+        return PositFormat(n=int(args[0]), es=int(args[1]))
+    if kind == "int":
+        return IntFormat(n=int(args[0]), scale=float(args[1]))
+    if kind == "fp":
+        return MiniFloatFormat(n=int(args[0]), ebits=int(args[1]))
+    if kind == "lns":
+        bias = float(args[2]) if len(args) > 2 else 0.0
+        return LNSFormat(n=int(args[0]), ibits=int(args[1]), bias=bias)
+    if kind == "flint":
+        scale = float(args[1]) if len(args) > 1 else 1.0
+        return FlintFormat(n=int(args[0]), scale=scale)
+    if kind == "afloat":
+        return AdaptivFloatFormat(
+            n=int(args[0]), ebits=int(args[1]), exp_bias=int(args[2])
+        )
+    raise ValueError(f"unknown format spec {spec!r}")
+
+
+def tensor_log_center(x: np.ndarray) -> float:
+    """Scale factor centering LP's peak-accuracy region on a tensor.
+
+    The paper initializes ``sf`` from "the mean weight distribution of
+    that layer" (Section 4, Step 1).  LP's value is ``2^(2^es·k − sf) ·
+    2^ulfx`` (Eq. 1), so the region of maximum accuracy (k = 0) covers
+    magnitudes around ``2^−sf``; centering it on the distribution means
+    ``sf = −mean(log2 |x|)`` — the mean in the *log* domain, which is the
+    natural domain of an LNS-fraction format.
+    """
+    mag = np.abs(np.asarray(x, dtype=np.float64))
+    mag = mag[mag > 0]
+    if mag.size == 0:
+        return 0.0
+    return float(-np.mean(np.log2(mag)))
+
+
+def _calibrated_lp(x: np.ndarray, n: int) -> NumberFormat:
+    """LP adapted to the tensor by a small ⟨es, rs, sf⟩ grid search.
+
+    This mirrors the paper's Fig. 5(b) protocol, where LPQ searches the
+    format parameters of *every* format family; for LP the searchable
+    fields are ``es``, ``rs`` and ``sf`` (Section 3).  A coarse grid is
+    enough to expose LP's distribution-adaptivity.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sample = x.ravel()
+    if sample.size > 4096:
+        stride = sample.size // 4096 + 1
+        sample = sample[::stride]
+    center = tensor_log_center(sample)
+    best: tuple[float, NumberFormat] | None = None
+    for es in range(0, min(2, max(n - 3, 0)) + 1):
+        for rs in range(2, max(n - 1, 2) + 1):
+            for dsf in (-1.0, -0.5, 0.0, 0.5, 1.0):
+                fmt = LogPositFormat(LPParams(n=n, es=es, rs=rs, sf=center + dsf))
+                err = float(np.sqrt(np.mean((sample - fmt.quantize(sample)) ** 2)))
+                if best is None or err < best[0]:
+                    best = (err, fmt)
+    assert best is not None
+    return best[1]
+
+
+#: name -> calibrated-constructor; each takes (tensor, n) and returns a
+#: format adapted to that tensor, mirroring how each format family is used
+#: in practice (per-tensor scales for int/flint, bias for adaptivfloat...).
+FORMAT_FAMILIES: dict[str, Callable[[np.ndarray, int], NumberFormat]] = {
+    "int": lambda x, n: IntFormat.for_tensor(x, n),
+    "float": lambda x, n: MiniFloatFormat(n=n, ebits=min(4, n - 2)),
+    "adaptivfloat": lambda x, n: AdaptivFloatFormat.for_tensor(x, n),
+    "posit": lambda x, n: PositFormat(n=n, es=min(2, max(0, n - 3))),
+    "lns": lambda x, n: LNSFormat.for_tensor(x, n),
+    "flint": lambda x, n: FlintFormat.for_tensor(x, n),
+    "lp": _calibrated_lp,
+}
+
+
+def calibrated_format(family: str, x: np.ndarray, n: int) -> NumberFormat:
+    """Return ``family``'s format calibrated to tensor ``x`` at width ``n``."""
+    try:
+        ctor = FORMAT_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown format family {family!r}; choose from {sorted(FORMAT_FAMILIES)}"
+        ) from None
+    return ctor(np.asarray(x, dtype=np.float64), n)

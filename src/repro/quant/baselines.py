@@ -1,0 +1,57 @@
+"""Baseline PTQ with other number formats (min-max calibration).
+
+Used by the Fig. 5(b) format comparison and Table 1/2 context rows: every
+format family from :mod:`repro.numerics` is calibrated per layer and
+fake-quantized into the model exactly like LP, so accuracy comparisons
+isolate the *format*, not the pipeline.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..nn import Module, quantizable_layers
+from ..numerics import calibrated_format
+
+__all__ = ["quantize_with_family", "per_layer_rmse"]
+
+
+@contextlib.contextmanager
+def quantize_with_family(
+    model: Module, family: str, weight_bits: int, act_bits: int | None = None
+) -> Iterator[Module]:
+    """Fake-quantize all layer weights (and optionally inputs) with a
+    calibrated format of ``family`` at the given bit-widths."""
+    layers = quantizable_layers(model)
+    try:
+        for i, (_, layer) in enumerate(layers):
+            w = layer.weight.data
+            fmt = calibrated_format(family, w, weight_bits)
+            layer.weight_fq = fmt.quantize(w).astype(w.dtype)
+            if act_bits is not None and i > 0:
+                layer.input_fq = _act_quantizer(family, act_bits)
+        yield model
+    finally:
+        for _, layer in layers:
+            layer.clear_quant()
+
+
+def _act_quantizer(family: str, bits: int):
+    def quantize(x: np.ndarray) -> np.ndarray:
+        fmt = calibrated_format(family, x, bits)
+        return fmt.quantize(x).astype(x.dtype)
+
+    return quantize
+
+
+def per_layer_rmse(model: Module, family: str, bits: int) -> dict[str, float]:
+    """RMSE of weight quantization per layer for one format family."""
+    out: dict[str, float] = {}
+    for name, layer in quantizable_layers(model):
+        w = np.asarray(layer.weight.data, dtype=np.float64)
+        fmt = calibrated_format(family, w, bits)
+        out[name] = float(np.sqrt(np.mean((w - fmt.quantize(w)) ** 2)))
+    return out

@@ -1,0 +1,149 @@
+"""LPQ fitness function (paper Section 4.1).
+
+``L_F = L_CO · L_CR^λ`` where
+
+* ``L_CO`` is a **global-local contrastive objective** over kurtosis-pooled
+  intermediate representations (Eq. 6): for every calibration image ``p``
+  the quantized model's IR fingerprint must stay close to the FP model's
+  fingerprint of the *same* image (positive) and far from FP fingerprints
+  of *other* images (negatives).
+* ``L_CR`` rewards compression: Σ_l #PARAM_l · n_l, normalised here by the
+  8-bit footprint so it is a dimensionless ratio in (0, 1].
+
+Lower is better for both factors; λ = 0.4 balances them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Module, quantizable_layers, record_activations
+from .params import QuantSolution
+from .pooling import pool_representation
+
+__all__ = [
+    "FitnessConfig",
+    "ir_fingerprints",
+    "contrastive_objective",
+    "compression_ratio",
+    "FitnessEvaluator",
+]
+
+
+@dataclass(frozen=True)
+class FitnessConfig:
+    """Knobs of the fitness function; defaults follow the paper."""
+
+    tau: float = 0.07  # concentration level of the contrastive loss
+    lam: float = 0.4  # λ balancing L_CO and L_CR
+    pooling: str = "kurtosis"  # "kurtosis" (paper) | "mean" (ablation)
+
+
+def ir_fingerprints(
+    model: Module,
+    images: np.ndarray,
+    layer_names: list[str],
+    pooling: str = "kurtosis",
+) -> np.ndarray:
+    """(B, L) matrix: pooled IR of every layer, concatenated per image."""
+    with record_activations(model, layer_names) as acts:
+        model(images)
+    batch = len(images)
+    cols = []
+    for name in layer_names:
+        h = acts[name]
+        if pooling == "kurtosis":
+            cols.append(pool_representation(h, batch))
+        elif pooling == "mean":
+            from .pooling import mean_pool_representation
+
+            cols.append(mean_pool_representation(h, batch))
+        else:
+            raise ValueError(f"unknown pooling {pooling!r}")
+    return np.stack(cols, axis=1)
+
+
+def _normalize_rows(f: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    norm = np.linalg.norm(f, axis=1, keepdims=True)
+    return f / np.maximum(norm, eps)
+
+
+def contrastive_objective(
+    fq: np.ndarray, ffp: np.ndarray, tau: float = 0.07
+) -> float:
+    """Eq. 6 over fingerprint matrices (rows = images).
+
+    Fingerprints are row-normalised so the inner products are cosine
+    similarities and the exponentials are bounded.
+    """
+    q = _normalize_rows(np.asarray(fq, dtype=np.float64))
+    fp = _normalize_rows(np.asarray(ffp, dtype=np.float64))
+    sim = q @ fp.T / tau  # sim[p, p'] = <H_q_p, H_FP_p'> / τ
+    b = sim.shape[0]
+    pos = np.diag(sim)
+    mask = ~np.eye(b, dtype=bool)
+    # log(1 + e^{-pos} Σ_{p-} e^{neg}) computed stably in log space
+    neg_logsum = np.zeros(b)
+    for p in range(b):
+        row = sim[p][mask[p]]
+        m = row.max()
+        neg_logsum[p] = m + np.log(np.exp(row - m).sum())
+    z = neg_logsum - pos
+    loss = np.log1p(np.exp(np.minimum(z, 50.0)))
+    loss = np.where(z > 50.0, z, loss)  # asymptote for huge z
+    return float(loss.mean())
+
+
+def compression_ratio(solution: QuantSolution, param_counts: list[int]) -> float:
+    """Σ #PARAM_l · n_l normalised by the 8-bit footprint (∈ (0, 1])."""
+    bits = sum(p.n * c for p, c in zip(solution.layer_params, param_counts))
+    return bits / (8.0 * sum(param_counts))
+
+
+class FitnessEvaluator:
+    """Evaluates L_F for candidate solutions against a frozen FP reference.
+
+    The FP fingerprints are computed once; each candidate evaluation costs
+    a single quantized forward pass over the calibration batch.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        calib_images: np.ndarray,
+        param_counts: list[int],
+        config: FitnessConfig | None = None,
+    ) -> None:
+        from .quantizer import clear_quantization
+
+        self.model = model
+        self.images = calib_images
+        self.param_counts = param_counts
+        self.config = config or FitnessConfig()
+        self.layer_names = [n for n, _ in quantizable_layers(model)]
+        clear_quantization(model)
+        model.eval()
+        self.fp_fingerprints = ir_fingerprints(
+            model, calib_images, self.layer_names, self.config.pooling
+        )
+        self.evaluations = 0
+
+    def __call__(
+        self, solution: QuantSolution, act_params=None
+    ) -> float:
+        from .quantizer import bn_recalibrated, quantized
+
+        with quantized(self.model, solution, act_params):
+            # evaluate the candidate as it would be deployed: with BN
+            # statistics re-estimated under the quantized weights
+            with bn_recalibrated(self.model, self.images):
+                fq = ir_fingerprints(
+                    self.model, self.images, self.layer_names,
+                    self.config.pooling,
+                )
+        self.evaluations += 1
+        lco = contrastive_objective(fq, self.fp_fingerprints, self.config.tau)
+        lcr = compression_ratio(solution, self.param_counts)
+        return lco * lcr**self.config.lam

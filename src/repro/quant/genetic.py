@@ -1,0 +1,178 @@
+"""LPQ's block-wise genetic search (paper Section 4, Steps 1-4).
+
+The four steps:
+
+1. **Candidate initialization** — K random Δ vectors, sf sampled in a
+   small ball around each layer's weight-distribution centre.
+2. **Re-generation** — the two fittest candidates parent a child; only a
+   *block* of B consecutive layers is regenerated (Eqs. 2-5), all other
+   layers copy the best parent.
+3. **Diversity-promoting selection** — five random parents are each
+   crossed with the Step-2 child; the best of those diverse children also
+   enters the population, fighting premature convergence.
+4. **Evaluation & population update** — fitness of all children computed,
+   population extended, ranking by fitness.
+
+The loop runs P passes over all blocks with C cycles per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..numerics import LPParams
+from .params import QuantSolution, clamp_lp_params, random_solution
+
+__all__ = ["LPQConfig", "LPQEngine", "SearchHistory"]
+
+
+@dataclass(frozen=True)
+class LPQConfig:
+    """Search hyper-parameters.  Paper defaults: K=20, P=10, C=4, B=4
+    (CNNs) or one attention block (ViTs); five diversity parents.
+
+    ``hw_widths`` restricts n to LPA-packable widths (Section 5.1
+    constrains the LPQ search space of n to integer powers of 2 for
+    hardware execution).  ``diversity``/``blockwise`` are ablation
+    switches for the Step-3 and block-regeneration design choices.
+    """
+
+    population: int = 20  # K
+    passes: int = 10  # P
+    cycles: int = 4  # C
+    block_size: int = 4  # B
+    diversity_parents: int = 5
+    hw_widths: tuple[int, ...] | None = (2, 4, 8)
+    diversity: bool = True
+    blockwise: bool = True
+    seed: int = 0
+
+
+@dataclass
+class SearchHistory:
+    """Best fitness and solution after every population update."""
+
+    best_fitness: list[float] = field(default_factory=list)
+    mean_bits: list[float] = field(default_factory=list)
+
+    def record(self, fitness: float, solution: QuantSolution) -> None:
+        self.best_fitness.append(fitness)
+        self.mean_bits.append(solution.mean_weight_bits())
+
+
+def _rand_int_between(rng: np.random.Generator, lo: int, hi: int) -> int:
+    """Uniform integer in [lo, hi] (inclusive), tolerating lo > hi."""
+    if lo > hi:
+        lo, hi = hi, lo
+    return int(rng.integers(lo, hi + 1))
+
+
+class LPQEngine:
+    """Runs the genetic search against a fitness evaluator.
+
+    ``evaluator(solution)`` must return a scalar (lower = fitter); see
+    :class:`repro.quant.fitness.FitnessEvaluator`.
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        layer_log_centers: list[float],
+        config: LPQConfig | None = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.centers = list(layer_log_centers)
+        self.config = config or LPQConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.num_layers = len(self.centers)
+        self.population: list[tuple[QuantSolution, float]] = []
+        self.history = SearchHistory()
+
+    # -- Step 1 ---------------------------------------------------------
+    def initialize(self) -> None:
+        """Sample K candidates and pre-compute their fitness."""
+        self.population = []
+        for _ in range(self.config.population):
+            sol = random_solution(
+                self.rng, self.num_layers, self.centers, self.config.hw_widths
+            )
+            self.population.append((sol, self.evaluator(sol)))
+        self._rank()
+        best_sol, best_fit = self.population[0]
+        self.history.record(best_fit, best_sol)
+
+    def _rank(self) -> None:
+        self.population.sort(key=lambda item: item[1])
+
+    # -- Step 2 ---------------------------------------------------------
+    def _regenerate_layer(
+        self, p1: LPParams, p2: LPParams, center: float
+    ) -> LPParams:
+        """Child layer parameters from two parents (Eqs. 2-5).
+
+        min/max±1 ranges for the dynamic-range fields (n, es), mean-based
+        for the shape fields (rs, sf); sf gets a small uniform perturbation
+        (the paper's η(−10⁻³, 10⁻³) ball — the '10³' in Eq. 5 is read as a
+        typo for 10⁻³, consistent with Step 1).
+        """
+        rng = self.rng
+        n = _rand_int_between(rng, min(p1.n, p2.n) - 1, max(p1.n, p2.n) + 1)
+        es = _rand_int_between(rng, min(p1.es, p2.es) - 1, max(p1.es, p2.es) + 1)
+        rs = _rand_int_between(rng, 0, int(np.ceil((p1.rs + p2.rs) / 2.0)) + 1)
+        sf = (p1.sf + p2.sf) / 2.0 + float(rng.uniform(-1e-3, 1e-3))
+        return clamp_lp_params(n, es, rs, sf, self.config.hw_widths)
+
+    def _make_child(
+        self, p1: QuantSolution, p2: QuantSolution, block: range
+    ) -> QuantSolution:
+        """Regenerate `block` from both parents, copy the rest from p1."""
+        params = list(p1.layer_params)
+        for i in block:
+            params[i] = self._regenerate_layer(p1[i], p2[i], self.centers[i])
+        return QuantSolution(tuple(params))
+
+    def _blocks(self) -> list[range]:
+        b = self.config.block_size if self.config.blockwise else self.num_layers
+        return [
+            range(start, min(start + b, self.num_layers))
+            for start in range(0, self.num_layers, b)
+        ]
+
+    # -- Steps 2-4 for one block ----------------------------------------
+    def step(self, block: range) -> None:
+        best, second = self.population[0][0], self.population[1][0]
+        child = self._make_child(best, second, block)
+
+        # Step 3: diversity-promoting selection
+        diverse: list[QuantSolution] = []
+        if self.config.diversity:
+            for _ in range(self.config.diversity_parents):
+                random_parent = random_solution(
+                    self.rng, self.num_layers, self.centers, self.config.hw_widths
+                )
+                diverse.append(self._make_child(child, random_parent, block))
+
+        # Step 4: evaluation and population update
+        child_fit = self.evaluator(child)
+        self.population.append((child, child_fit))
+        if diverse:
+            scored = [(d, self.evaluator(d)) for d in diverse]
+            scored.sort(key=lambda item: item[1])
+            self.population.append(scored[0])
+        self._rank()
+        # bound population growth: keep the K fittest
+        del self.population[self.config.population :]
+        self.history.record(self.population[0][1], self.population[0][0])
+
+    # -- full search ------------------------------------------------------
+    def run(self) -> tuple[QuantSolution, float]:
+        """P passes × blocks × C cycles; returns (best solution, fitness)."""
+        if not self.population:
+            self.initialize()
+        for _ in range(self.config.passes):
+            for block in self._blocks():
+                for _ in range(self.config.cycles):
+                    self.step(block)
+        return self.population[0]

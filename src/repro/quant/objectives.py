@@ -1,0 +1,98 @@
+"""Baseline quantization objectives compared in Fig. 5(a).
+
+All baselines are *global* losses on the final model output; the paper
+shows they either overfit the calibration set (MSE, KL) or miss the
+representational collapse of intermediate layers (global contrastive).
+Each evaluator shares the interface of
+:class:`repro.quant.fitness.FitnessEvaluator` so the GA engine can swap
+objectives for the convergence experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, softmax
+from .fitness import FitnessConfig, compression_ratio, contrastive_objective
+from .params import QuantSolution
+
+__all__ = ["OutputObjectiveEvaluator", "OBJECTIVES"]
+
+
+def _mse(q: np.ndarray, fp: np.ndarray) -> float:
+    return float(np.mean((q - fp) ** 2))
+
+
+def _kl(q: np.ndarray, fp: np.ndarray, eps: float = 1e-9) -> float:
+    """KL(FP || quantized) over softmax outputs."""
+    p = softmax(np.asarray(fp, dtype=np.float64))
+    r = softmax(np.asarray(q, dtype=np.float64))
+    return float(np.mean(np.sum(p * (np.log(p + eps) - np.log(r + eps)), axis=-1)))
+
+
+def _cosine(q: np.ndarray, fp: np.ndarray, eps: float = 1e-12) -> float:
+    qn = q / np.maximum(np.linalg.norm(q, axis=-1, keepdims=True), eps)
+    fn = fp / np.maximum(np.linalg.norm(fp, axis=-1, keepdims=True), eps)
+    return float(np.mean(1.0 - np.sum(qn * fn, axis=-1)))
+
+
+def _global_contrastive(q: np.ndarray, fp: np.ndarray, tau: float = 0.07) -> float:
+    """Contrastive loss on final outputs only (Evol-Q style)."""
+    return contrastive_objective(q, fp, tau)
+
+
+_GLOBAL_LOSSES = {
+    "mse": _mse,
+    "kl": _kl,
+    "cosine": _cosine,
+    "global_contrastive": _global_contrastive,
+}
+
+#: objective name -> human label used in the Fig. 5(a) harness
+OBJECTIVES = {
+    "mse": "MSE",
+    "kl": "KL-Divergence",
+    "cosine": "Cosine",
+    "global_contrastive": "Global Contrastive",
+    "global_local_contrastive": "Global-Local Contrastive (ours)",
+}
+
+
+class OutputObjectiveEvaluator:
+    """Fitness from a global (final-output) loss plus the L_CR factor."""
+
+    def __init__(
+        self,
+        model: Module,
+        calib_images: np.ndarray,
+        param_counts: list[int],
+        objective: str,
+        config: FitnessConfig | None = None,
+    ) -> None:
+        from .quantizer import clear_quantization
+
+        if objective not in _GLOBAL_LOSSES:
+            raise ValueError(
+                f"unknown objective {objective!r}; choose from "
+                f"{sorted(_GLOBAL_LOSSES)}"
+            )
+        self.model = model
+        self.images = calib_images
+        self.param_counts = param_counts
+        self.objective = objective
+        self.config = config or FitnessConfig()
+        clear_quantization(model)
+        model.eval()
+        self.fp_output = np.asarray(model(calib_images), dtype=np.float64)
+        self.evaluations = 0
+
+    def __call__(self, solution: QuantSolution, act_params=None) -> float:
+        from .quantizer import bn_recalibrated, quantized
+
+        with quantized(self.model, solution, act_params):
+            with bn_recalibrated(self.model, self.images):
+                out = np.asarray(self.model(self.images), dtype=np.float64)
+        self.evaluations += 1
+        loss = _GLOBAL_LOSSES[self.objective](out, self.fp_output)
+        lcr = compression_ratio(solution, self.param_counts)
+        return loss * lcr**self.config.lam

@@ -1,0 +1,94 @@
+"""High-level post-training quantization API.
+
+``lpq_quantize(model, calib_images)`` runs the full LPQ pipeline — layer
+statistics, fitness evaluator, genetic search, activation-parameter
+derivation — and returns everything needed to deploy or score the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Module
+from ..numerics import LPParams
+from .fitness import FitnessConfig, FitnessEvaluator
+from .genetic import LPQConfig, LPQEngine, SearchHistory
+from .objectives import OutputObjectiveEvaluator
+from .params import QuantSolution
+from .quantizer import (
+    LayerStats,
+    collect_layer_stats,
+    derive_activation_params,
+)
+
+__all__ = ["LPQResult", "lpq_quantize"]
+
+
+@dataclass
+class LPQResult:
+    """Outcome of an LPQ search."""
+
+    solution: QuantSolution
+    act_params: list[LPParams]
+    fitness: float
+    history: SearchHistory
+    stats: LayerStats
+    evaluations: int
+
+    @property
+    def mean_weight_bits(self) -> float:
+        return self.solution.mean_weight_bits()
+
+    @property
+    def mean_act_bits(self) -> float:
+        return float(np.mean([p.n for p in self.act_params]))
+
+    def model_size_mb(self) -> float:
+        return self.solution.model_size_mb(self.stats.param_counts)
+
+
+def lpq_quantize(
+    model: Module,
+    calib_images: np.ndarray,
+    config: LPQConfig | None = None,
+    fitness_config: FitnessConfig | None = None,
+    objective: str = "global_local_contrastive",
+    act_sf_mode: str = "calibrated",
+) -> LPQResult:
+    """Run LPQ on ``model`` using an unlabelled calibration batch.
+
+    ``objective`` selects the fitness:  the paper's global-local
+    contrastive objective by default, or one of the Fig. 5(a) baselines
+    ("mse", "kl", "cosine", "global_contrastive").
+    """
+    config = config or LPQConfig()
+    stats = collect_layer_stats(model, calib_images)
+    if objective == "global_local_contrastive":
+        evaluator = FitnessEvaluator(
+            model, calib_images, stats.param_counts, fitness_config
+        )
+    else:
+        evaluator = OutputObjectiveEvaluator(
+            model, calib_images, stats.param_counts, objective, fitness_config
+        )
+
+    def evaluate_with_acts(solution):
+        # candidates are scored in their *deployed* configuration:
+        # weights and activations quantized together (activation params
+        # follow deterministically from the weight params, Section 4)
+        acts = derive_activation_params(solution, stats, mode=act_sf_mode)
+        return evaluator(solution, acts)
+
+    engine = LPQEngine(evaluate_with_acts, stats.weight_log_centers, config)
+    solution, fitness = engine.run()
+    act_params = derive_activation_params(solution, stats, mode=act_sf_mode)
+    return LPQResult(
+        solution=solution,
+        act_params=act_params,
+        fitness=fitness,
+        history=engine.history,
+        stats=stats,
+        evaluations=evaluator.evaluations,
+    )

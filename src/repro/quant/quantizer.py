@@ -1,0 +1,191 @@
+"""Applying LP quantization solutions to models (fake-quantization).
+
+Weights are replaced by their LP-quantized values through each layer's
+``weight_fq`` override; activations are quantized at layer inputs through
+``input_fq``.  The FP weights are never modified, so quantization can be
+applied/removed freely — the standard fake-quantization simulation used
+by PTQ frameworks (the paper's LPQ is implemented the same way on
+PyTorch).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..nn import Module, quantizable_layers, record_activations
+from ..numerics import LPParams, lp_quantize, tensor_log_center
+from .params import QuantSolution, clamp_lp_params
+
+__all__ = [
+    "LayerStats",
+    "collect_layer_stats",
+    "derive_activation_params",
+    "apply_quantization",
+    "clear_quantization",
+    "quantized",
+    "bn_recalibrated",
+]
+
+
+class LayerStats:
+    """Per-layer calibration statistics needed to derive LP parameters."""
+
+    def __init__(
+        self,
+        names: list[str],
+        param_counts: list[int],
+        weight_log_centers: list[float],
+        act_log_centers: list[float],
+    ) -> None:
+        self.names = names
+        self.param_counts = param_counts
+        self.weight_log_centers = weight_log_centers
+        self.act_log_centers = act_log_centers
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+def collect_layer_stats(model: Module, calib_images: np.ndarray) -> LayerStats:
+    """One FP calibration pass: weight/activation log-centres per layer."""
+    layers = quantizable_layers(model)
+    names = [name for name, _ in layers]
+    param_counts = [int(layer.weight.size) for _, layer in layers]
+    weight_centers = [tensor_log_center(layer.weight.data) for _, layer in layers]
+    model.eval()
+    with record_activations(model, names) as acts:
+        model(calib_images)
+    act_centers = [tensor_log_center(acts[name]) for name in names]
+    return LayerStats(names, param_counts, weight_centers, act_centers)
+
+
+def derive_activation_params(
+    solution: QuantSolution,
+    stats: LayerStats,
+    mode: str = "calibrated",
+    input_log_center: float = 0.0,
+) -> list[LPParams]:
+    """Activation LP parameters from weight parameters (Section 4).
+
+    Paper rules: ``n_act = min(8, 2·n_w)``, ``es_act = min(5, 2·es_w)``,
+    ``rs_act = rs_w``, and the scale factor either follows the paper's
+    recurrence ``sf_act^l = sf_act^{l-1} + sf_w^l`` (``mode="recurrence"``)
+    or is re-centred on the calibration activations (``mode="calibrated"``,
+    the default — equivalent to the PPU computing activation scale factors
+    at runtime, which LPA's post-processing unit does in Section 5.1).
+
+    The returned params describe the *output* activation of each layer;
+    layer ``l``'s input quantizer therefore uses entry ``l − 1``.
+    """
+    if mode not in ("calibrated", "recurrence"):
+        raise ValueError(f"unknown activation sf mode {mode!r}")
+    out: list[LPParams] = []
+    sf_prev = input_log_center
+    for i, wp in enumerate(solution.layer_params):
+        n_act = min(8, wp.n * 2)
+        # floor es/rs so the activation format keeps enough dynamic range
+        # even when a 2-bit weight layer (es_w = 0) feeds it: activations
+        # span several octaves regardless of the weight precision.
+        es_act = min(5, max(wp.es * 2, 1))
+        rs_act = max(wp.rs, 2)
+        if mode == "recurrence":
+            sf_act = sf_prev + wp.sf
+            sf_prev = sf_act
+        else:
+            sf_act = stats.act_log_centers[i]
+        out.append(clamp_lp_params(n_act, es_act, rs_act, sf_act))
+    return out
+
+
+def apply_quantization(
+    model: Module,
+    solution: QuantSolution,
+    act_params: list[LPParams] | None = None,
+) -> None:
+    """Install weight (and optionally activation) fake-quantization.
+
+    ``act_params[l]`` describes layer ``l``'s *output*; it is installed as
+    the *input* quantizer of layer ``l + 1``.  Layer 0's input (the image)
+    stays unquantized, matching the usual PTQ convention of an 8-bit-or-
+    better input pipeline.
+    """
+    layers = quantizable_layers(model)
+    if len(layers) != len(solution):
+        raise ValueError(
+            f"solution has {len(solution)} layers, model has {len(layers)}"
+        )
+    for i, (_, layer) in enumerate(layers):
+        wp = solution[i]
+        layer.weight_fq = lp_quantize(layer.weight.data, wp).astype(
+            layer.weight.data.dtype
+        )
+        if act_params is not None and i > 0:
+            ap = act_params[i - 1]
+            layer.input_fq = _make_act_quantizer(ap)
+        else:
+            layer.input_fq = None
+
+
+def _make_act_quantizer(params: LPParams):
+    def quantize(x: np.ndarray) -> np.ndarray:
+        return lp_quantize(x, params).astype(x.dtype)
+
+    return quantize
+
+
+def clear_quantization(model: Module) -> None:
+    for _, layer in quantizable_layers(model):
+        layer.clear_quant()
+
+
+@contextlib.contextmanager
+def quantized(
+    model: Module,
+    solution: QuantSolution,
+    act_params: list[LPParams] | None = None,
+) -> Iterator[Module]:
+    """Context manager: model is quantized inside, restored on exit."""
+    apply_quantization(model, solution, act_params)
+    try:
+        yield model
+    finally:
+        clear_quantization(model)
+
+
+@contextlib.contextmanager
+def bn_recalibrated(model: Module, calib_images: np.ndarray) -> Iterator[Module]:
+    """Re-estimate BatchNorm running statistics under the *current*
+    weights (deployment-time PTQ practice).
+
+    Quantized conv weights shift pre-BN statistics; running stats
+    collected during FP training are then systematically wrong.  One
+    calibration pass with momentum 1 replaces them with the statistics
+    of the quantized network.  Original stats (and momenta) are restored
+    on exit.  A no-op for BN-free (LayerNorm) models.
+    """
+    from ..nn import BatchNorm2d
+
+    bns = [m for _, m in model.named_modules() if isinstance(m, BatchNorm2d)]
+    saved = [
+        (bn.running_mean.copy(), bn.running_var.copy(), bn.momentum)
+        for bn in bns
+    ]
+    if bns:
+        for bn in bns:
+            bn.momentum = 1.0
+        model.train()
+        model(calib_images)
+        model.eval()
+        for bn, (_, _, momentum) in zip(bns, saved):
+            bn.momentum = momentum
+    try:
+        yield model
+    finally:
+        for bn, (mean, var, momentum) in zip(bns, saved):
+            bn.running_mean[...] = mean
+            bn.running_var[...] = var
+            bn.momentum = momentum
+        model.eval()

@@ -1,0 +1,104 @@
+"""Bit-level tests of the unified LP decoder/encoder lanes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    MODES,
+    decode_activations,
+    decode_weights,
+    lane_values,
+    mode_for_bits,
+    pack_lanes,
+    unpack_lanes,
+)
+from repro.numerics import LPParams, lp_decode
+
+
+class TestLanePacking:
+    def test_mode_lane_counts(self):
+        assert MODES["A"] == (2, 4)
+        assert MODES["B"] == (4, 2)
+        assert MODES["C"] == (8, 1)
+
+    def test_mode_for_bits(self):
+        assert mode_for_bits(2) == "A"
+        assert mode_for_bits(4) == "B"
+        assert mode_for_bits(8) == "C"
+        with pytest.raises(ValueError):
+            mode_for_bits(5)
+
+    def test_lane0_is_msb_field(self):
+        # word 0b10_01_11_00 in MODE-A -> lanes [2, 1, 3, 0]
+        lanes = unpack_lanes(np.array([0b10011100]), "A")
+        assert lanes.tolist() == [[2, 1, 3, 0]]
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=32),
+           st.sampled_from(["A", "B", "C"]))
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_roundtrip(self, words, mode):
+        w = np.array(words)
+        assert np.array_equal(pack_lanes(unpack_lanes(w, mode), mode), w)
+
+    def test_pack_rejects_wrong_lane_count(self):
+        with pytest.raises(ValueError):
+            pack_lanes(np.zeros((3, 3), dtype=np.int64), "B")
+
+
+class TestDecoderMatchesReference:
+    """The hardware decoder must agree with the mathematical lp_decode
+    on every code of every MODE (NaR maps to zero by design)."""
+
+    @pytest.mark.parametrize(
+        "bits,es,rs", [(2, 0, 1), (4, 1, 2), (4, 0, 3), (8, 2, 3), (8, 0, 7)]
+    )
+    def test_all_codes(self, bits, es, rs):
+        params = LPParams(bits, es, rs, sf=0.731)
+        codes = np.arange(1 << bits)
+        ref = lp_decode(codes, params)
+        dec = decode_activations(codes, params)
+        got = lane_values(dec)[:, 0]
+        nar = 1 << (bits - 1)
+        for c in range(1 << bits):
+            if c == nar:
+                assert got[c] == 0.0  # decoder maps NaR to zero
+            else:
+                assert got[c] == pytest.approx(ref[c], rel=1e-12), f"code {c}"
+
+    @pytest.mark.parametrize("bits,mode", [(2, "A"), (4, "B"), (8, "C")])
+    def test_packed_weights_decode(self, bits, mode):
+        params = LPParams(bits, max(0, bits - 3) and 1, min(2, bits - 1), sf=-0.4)
+        lanes = MODES[mode][1]
+        rng = np.random.default_rng(0)
+        lane_codes = rng.integers(0, 1 << bits, (16, lanes))
+        words = pack_lanes(lane_codes, mode)
+        dec = decode_weights(words, mode, params)
+        got = lane_values(dec)
+        ref = lp_decode(lane_codes, params)
+        nar = 1 << (bits - 1)
+        mask = lane_codes != nar
+        np.testing.assert_allclose(got[mask], ref[mask], rtol=1e-12)
+
+    def test_mode_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            decode_weights(np.array([0]), "B", LPParams(8, 2, 3, 0.0))
+
+
+class TestDecodedFields:
+    def test_sign_field(self):
+        params = LPParams(8, 2, 3, 0.0)
+        dec = decode_activations(np.array([0b01000000, 0b11000000]), params)
+        assert dec.sign[:, 0].tolist() == [0, 1]
+
+    def test_regime_scale_is_k_times_2es(self):
+        params = LPParams(8, 2, 3, 0.0)
+        # 0 110 01 00 -> k=1, es=2 -> regime scale 4
+        dec = decode_activations(np.array([0b01100100]), params)
+        assert dec.regime_scale[0, 0] == 4
+
+    def test_zero_flag(self):
+        params = LPParams(8, 2, 3, 0.0)
+        dec = decode_activations(np.array([0, 5]), params)
+        assert dec.is_zero[:, 0].tolist() == [True, False]

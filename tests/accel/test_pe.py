@@ -1,0 +1,116 @@
+"""Tests for the log↔linear converters and the LP PE datapath."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    PEConfig,
+    converter_max_error,
+    linear2log_table,
+    log2linear_table,
+    pack_count,
+    pe_dot,
+)
+from repro.numerics import LPParams, lp_quantize
+
+
+class TestLogLinearConverter:
+    def test_endpoints(self):
+        t = log2linear_table(8)
+        assert t[0] == 0  # 2^0 - 1 = 0
+
+    def test_monotone(self):
+        t = log2linear_table(8)
+        assert np.all(np.diff(t.astype(int)) >= 0)
+
+    def test_max_error_below_one_ulp(self):
+        # one fraction ulp of 1.f at 8 bits is 1/256 ≈ 0.0039
+        assert converter_max_error(8) < 1.5 / 256
+
+    def test_inverse_composition_near_identity(self):
+        fwd = log2linear_table(8)
+        inv = linear2log_table(8)
+        codes = np.arange(256)
+        round_trip = inv[fwd[codes]]
+        assert np.max(np.abs(round_trip - codes)) <= 1
+
+    def test_wider_converter_more_accurate(self):
+        assert converter_max_error(10) < converter_max_error(6)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            log2linear_table(0)
+        with pytest.raises(ValueError):
+            linear2log_table(20)
+
+
+class TestPEDot:
+    """The bit-level PE path must reproduce the quantized-math dot product
+    to within the log→linear converter tolerance."""
+
+    @pytest.mark.parametrize("bits,pack", [(2, 4), (4, 2), (8, 1)])
+    def test_matches_reference_dot(self, bits, pack):
+        rng = np.random.default_rng(bits)
+        wp = LPParams(bits, max(0, min(1, bits - 3)), min(2, bits - 1), 3.5)
+        ap = LPParams(8, 2, 3, 2.0)
+        k = 128
+        w = rng.normal(0, 0.08, (k, pack))
+        a = rng.normal(0, 0.3, k)
+        got = pe_dot(w, a, wp, ap)
+        want = lp_quantize(w, wp).T @ lp_quantize(a, ap)
+        scale = np.abs(lp_quantize(w, wp)).T @ np.abs(lp_quantize(a, ap))
+        rel = np.abs(got - want) / np.maximum(scale, 1e-12)
+        assert np.all(rel < 5e-3), f"relative error {rel}"
+
+    def test_pack_count(self):
+        assert pack_count(2) == 4
+        assert pack_count(4) == 2
+        assert pack_count(8) == 1
+
+    def test_zero_weights_give_zero(self):
+        wp = LPParams(4, 1, 2, 0.0)
+        ap = LPParams(8, 2, 3, 0.0)
+        got = pe_dot(np.zeros((16, 2)), np.ones(16), wp, ap)
+        np.testing.assert_allclose(got, 0.0, atol=1e-12)
+
+    def test_zero_activations_give_zero(self):
+        wp = LPParams(4, 1, 2, 0.0)
+        ap = LPParams(8, 2, 3, 0.0)
+        got = pe_dot(np.ones((16, 2)), np.zeros(16), wp, ap)
+        np.testing.assert_allclose(got, 0.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        wp, ap = LPParams(4, 1, 2, 0.0), LPParams(8, 2, 3, 0.0)
+        with pytest.raises(ValueError):
+            pe_dot(np.ones((8, 3)), np.ones(8), wp, ap)  # 4-bit packs 2
+        with pytest.raises(ValueError):
+            pe_dot(np.ones((8, 2)), np.ones(9), wp, ap)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_sign_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        wp = LPParams(4, 1, 2, 1.0)
+        ap = LPParams(8, 2, 3, 1.0)
+        w = rng.normal(0, 0.1, (32, 2))
+        a = rng.normal(0, 0.1, 32)
+        np.testing.assert_allclose(
+            pe_dot(w, a, wp, ap), -pe_dot(-w, a, wp, ap), rtol=1e-9, atol=1e-12
+        )
+
+    def test_wider_accumulator_closer_to_exact(self):
+        rng = np.random.default_rng(7)
+        wp = LPParams(8, 2, 3, 3.0)
+        ap = LPParams(8, 2, 3, 3.0)
+        w = rng.normal(0, 0.1, (256, 1))
+        a = rng.normal(0, 0.1, 256)
+        want = lp_quantize(w, wp).T @ lp_quantize(a, ap)
+        err_narrow = abs(
+            pe_dot(w, a, wp, ap, PEConfig(acc_frac_bits=6))[0] - want[0]
+        )
+        err_wide = abs(
+            pe_dot(w, a, wp, ap, PEConfig(acc_frac_bits=23))[0] - want[0]
+        )
+        assert err_wide <= err_narrow + 1e-12

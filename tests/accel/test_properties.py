@@ -1,0 +1,100 @@
+"""Property-based tests on the cycle/energy model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import ALL_ARCHS, LayerShape, lpa, simulate_layer
+
+ARCHS = list(ALL_ARCHS().values())
+
+shape_strategy = st.builds(
+    LayerShape,
+    name=st.just("layer"),
+    m=st.integers(1, 4096),
+    k=st.integers(1, 2048),
+    n=st.integers(1, 1024),
+    groups=st.just(1),
+)
+
+bits_strategy = st.sampled_from([2, 4, 8])
+
+
+class TestCycleModelInvariants:
+    @given(shape_strategy, bits_strategy, bits_strategy,
+           st.integers(0, len(ARCHS) - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_positive_cycles_and_energy(self, shape, wb, ab, arch_idx):
+        sim = simulate_layer(shape, ARCHS[arch_idx], wb, ab)
+        assert sim.cycles > 0
+        assert sim.energy_pj > 0
+        assert sim.macs == shape.macs
+
+    @given(shape_strategy, bits_strategy, st.integers(0, len(ARCHS) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_cycles_monotone_in_batch(self, shape, wb, arch_idx):
+        arch = ARCHS[arch_idx]
+        c1 = simulate_layer(shape, arch, wb, 8, batch=1).cycles
+        c4 = simulate_layer(shape, arch, wb, 8, batch=4).cycles
+        assert c4 >= c1
+
+    @given(shape_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_lpa_packing_speedup_bounded(self, shape):
+        """Halving the weight width can at most halve compute cycles."""
+        a = lpa()
+        c8 = simulate_layer(shape, a, 8, 8).compute_cycles
+        c4 = simulate_layer(shape, a, 4, 8).compute_cycles
+        c2 = simulate_layer(shape, a, 2, 8).compute_cycles
+        assert c4 <= c8 and c2 <= c4
+        assert c8 <= 2 * c4 + 64  # fill/drain slack
+        assert c4 <= 2 * c2 + 64
+
+    @given(shape_strategy, bits_strategy, st.integers(0, len(ARCHS) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_energy_monotone_in_bits(self, shape, wb, arch_idx):
+        arch = ARCHS[arch_idx]
+        e_lo = simulate_layer(shape, arch, wb, 8).energy_pj
+        e_hi = simulate_layer(shape, arch, 8, 8).energy_pj
+        assert e_lo <= e_hi + 1e-6
+
+    @given(shape_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_utilization_never_exceeds_peak(self, shape):
+        for arch in ARCHS:
+            for wb in (2, 4, 8):
+                sim = simulate_layer(shape, arch, wb, 8)
+                rows, cols = arch.effective_dims(
+                    arch.snap_weight_bits(wb), 8
+                )
+                assert sim.macs <= sim.cycles * rows * cols * max(
+                    1, shape.groups
+                )
+
+
+class TestEndToEndIntegration:
+    def test_lpq_solution_drives_accelerator(self, ):
+        """Quantize a model with LPQ and run its own workload through the
+        cycle model at the searched widths — full co-design loop."""
+        from repro.accel import evaluate_arch, extract_workload
+        from repro.data import calibration_batch
+        from repro.models import resnet18_mini
+        from repro.quant import LPQConfig, lpq_quantize
+        from repro import nn
+
+        nn.seed(0)
+        model = resnet18_mini()
+        res = lpq_quantize(
+            model,
+            calibration_batch(16, seed=8),
+            config=LPQConfig(population=4, passes=1, cycles=1,
+                             block_size=12, diversity_parents=2),
+        )
+        shapes = extract_workload(model)
+        w_bits = [p.n for p in res.solution.layer_params]
+        a_bits = [p.n for p in res.act_params]
+        assert len(shapes) == len(w_bits)
+        r_lpa = evaluate_arch(shapes, lpa(), w_bits, a_bits)
+        r_uniform8 = evaluate_arch(shapes, lpa(), [8] * len(shapes), a_bits)
+        assert r_lpa.latency_ms <= r_uniform8.latency_ms + 1e-9
+        assert r_lpa.throughput_gops > 0

@@ -1,0 +1,82 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import NUM_CLASSES, calibration_batch, make_dataset
+
+
+class TestDataset:
+    def test_shapes_and_dtype(self):
+        ds = make_dataset("train", 64)
+        assert ds.images.shape == (64, 3, 32, 32)
+        assert ds.images.dtype == np.float32
+        assert ds.labels.shape == (64,)
+        assert len(ds) == 64
+
+    def test_deterministic(self):
+        a = make_dataset("val", 32, seed=3)
+        b = make_dataset("val", 32, seed=3)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_splits_differ(self):
+        a = make_dataset("train", 32, seed=3)
+        b = make_dataset("val", 32, seed=3)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_seeds_differ(self):
+        a = make_dataset("train", 32, seed=3)
+        b = make_dataset("train", 32, seed=4)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_all_classes_present(self):
+        ds = make_dataset("train", 1024)
+        assert set(ds.labels.tolist()) == set(range(NUM_CLASSES))
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ValueError):
+            make_dataset("bogus", 8)
+
+    def test_rejects_too_many_classes(self):
+        with pytest.raises(ValueError):
+            make_dataset("train", 8, num_classes=99)
+
+    def test_values_bounded(self):
+        ds = make_dataset("train", 128)
+        assert np.abs(ds.images).max() < 10.0
+
+    def test_batches_cover_dataset(self):
+        ds = make_dataset("train", 100)
+        total = sum(len(y) for _, y in ds.batches(32))
+        assert total == 100
+
+    def test_batches_shuffle(self):
+        ds = make_dataset("train", 100)
+        rng = np.random.default_rng(0)
+        first_plain = next(iter(ds.batches(32)))[1]
+        first_shuf = next(iter(ds.batches(32, rng)))[1]
+        assert not np.array_equal(first_plain, first_shuf)
+
+
+class TestClassesAreLearnable:
+    def test_classes_statistically_distinct(self):
+        """Per-class mean images must differ — the labels carry signal."""
+        ds = make_dataset("train", 2048)
+        means = np.stack(
+            [ds.images[ds.labels == c].mean(axis=0).ravel() for c in range(4)]
+        )
+        dists = np.linalg.norm(means[:, None] - means[None, :], axis=-1)
+        off_diag = dists[~np.eye(4, dtype=bool)]
+        assert off_diag.min() > 0.1
+
+
+class TestCalibration:
+    def test_calibration_batch_shape(self):
+        c = calibration_batch(128)
+        assert c.shape == (128, 3, 32, 32)
+
+    def test_calibration_differs_from_train_head(self):
+        c = calibration_batch(16, seed=0)
+        t = make_dataset("train", 16, seed=0)
+        assert not np.array_equal(c, t.images)

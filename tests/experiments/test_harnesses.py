@@ -1,0 +1,120 @@
+"""Tests for the experiment harnesses (smoke effort, cached models)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EFFORTS,
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    TABLE4,
+    accuracy_profiles,
+    format_table,
+    get_lpq_result,
+    lpq_row,
+    paper_drop,
+    resnet50_bits,
+    run_fig1,
+    run_fig5b,
+    run_fig6,
+    run_table3,
+)
+
+
+class TestReferenceConstants:
+    def test_table1_lpq_beats_baselines_on_size(self):
+        for model in ("resnet18", "resnet50", "mobilenetv2"):
+            lpq_size = TABLE1["LPQ"][model][1]
+            fp_size = TABLE1["baseline"][model][1]
+            assert lpq_size < fp_size / 6
+
+    def test_paper_drop_under_one_point(self):
+        # the paper's own tables: CNN drops are <1.3pp each, ViT-B is the
+        # outlier at 4.4pp; the abstract's "<1% average" is generous
+        drops = [paper_drop(m) for m in
+                 ("resnet18", "resnet50", "mobilenetv2", "vit_b", "deit_s",
+                  "swin_t")]
+        assert np.mean(drops) < 2.0
+
+    def test_table3_density_ratio(self):
+        assert TABLE3["LPA"][2] / TABLE3["ANT"][2] == pytest.approx(1.9, abs=0.2)
+
+    def test_table4_orderings(self):
+        assert TABLE4["LPA-2"][0] > TABLE4["LPA-2/4/8"][0] > TABLE4["LPA-8"][0]
+        assert TABLE4["LPA-2"][1] == 0.0  # 2-bit everywhere collapses
+
+    def test_table2_shapes(self):
+        assert set(TABLE2["LPQ"]) == {"vit_b", "deit_s", "swin_t"}
+
+
+class TestCommon:
+    def test_efforts_defined(self):
+        assert {"smoke", "fast", "paper"} <= set(EFFORTS)
+        assert EFFORTS["paper"].config.population == 20
+        assert EFFORTS["paper"].config.passes == 10
+        assert EFFORTS["paper"].config.cycles == 4
+        assert EFFORTS["paper"].calib == 128
+
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2], [3, 44]])
+        assert "a" in out and "44" in out
+        assert len(out.splitlines()) == 4
+
+    def test_lpq_result_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ZOO_DIR", str(tmp_path))
+        # copy the trained checkpoint so get_model does not retrain
+        import shutil
+        from repro.models import zoo_dir
+
+        monkeypatch.delenv("REPRO_ZOO_DIR")
+        src = zoo_dir() / "resnet18.npz"
+        monkeypatch.setenv("REPRO_ZOO_DIR", str(tmp_path))
+        shutil.copy(src, tmp_path / "resnet18.npz")
+        _, sol1, _, _ = get_lpq_result("resnet18", "smoke")
+        _, sol2, _, _ = get_lpq_result("resnet18", "smoke")
+        assert sol1.encode().tolist() == sol2.encode().tolist()
+        assert (tmp_path / "lpq_resnet18_smoke.json").exists()
+
+
+class TestFig1:
+    def test_accuracy_profiles_structure(self):
+        prof = accuracy_profiles(points=33)
+        assert set(prof["curves"]) >= {"AdaptivFloat"}
+        for c in prof["curves"].values():
+            assert c.shape == prof["magnitudes"].shape
+
+    def test_run_fig1_claims(self):
+        res = run_fig1()
+        assert res["lp_taper_range"] > res["af_taper_range"]
+        assert all(v > 0.4 for v in res["median_log10_spread"].values())
+
+
+class TestQuantHarnesses:
+    def test_lpq_row_fields(self):
+        row = lpq_row("resnet18", "smoke")
+        assert 2.0 <= row["w_bits"] <= 8.0
+        assert row["size_mb"] < row["fp_size_mb"]
+        assert 0.0 <= row["top1"] <= 100.0
+
+    def test_resnet50_bits_cover_paper_layers(self):
+        w, a = resnet50_bits("smoke")
+        assert len(w) == len(a) == 54
+        assert all(b in (2, 4, 8) for b in w)
+
+
+class TestHardwareHarnesses:
+    def test_table3_areas_match_paper(self):
+        res = run_table3("smoke")
+        for arch, (area, *_ ) in TABLE3.items():
+            assert res["rows"][arch]["compute_area_um2"] == pytest.approx(
+                area, rel=1e-3
+            )
+
+    def test_fig6_checks(self):
+        res = run_fig6("smoke")
+        assert res["checks"]["lpa_lowest_latency"]
+
+    def test_fig5b_lp_best(self):
+        res = run_fig5b()
+        assert res["best_format"] == "lp"

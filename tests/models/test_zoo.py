@@ -1,0 +1,61 @@
+"""Tests for the model zoo training/caching machinery."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.models import MODEL_REGISTRY, fp_model_size_mb, get_model, zoo_dir
+from repro.models.zoo import evaluate
+
+
+class TestRegistry:
+    def test_all_six_paper_models_registered(self):
+        assert set(MODEL_REGISTRY) == {
+            "resnet18", "resnet50", "mobilenetv2", "vit_b", "deit_s", "swin_t"
+        }
+
+    def test_get_model_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_model("alexnet")
+
+    def test_fp_model_size(self):
+        model = MODEL_REGISTRY["resnet18"].builder()
+        size = fp_model_size_mb(model)
+        assert size == pytest.approx(model.num_parameters() * 4 / 1e6)
+
+
+class TestEvaluate:
+    def test_evaluate_range(self):
+        model = MODEL_REGISTRY["resnet18"].builder()
+        ds = make_dataset("val", 64)
+        acc = evaluate(model, ds.images, ds.labels)
+        assert 0.0 <= acc <= 100.0
+
+    def test_untrained_model_near_chance(self):
+        from repro import nn
+
+        nn.seed(123)
+        model = MODEL_REGISTRY["resnet18"].builder()
+        ds = make_dataset("val", 512)
+        acc = evaluate(model, ds.images, ds.labels)
+        assert acc < 30.0  # 16 classes -> chance is 6.25%
+
+
+class TestTrainedCheckpoints:
+    """These rely on the committed .zoo checkpoints (or train on first
+    use, which is the intended cold-start behaviour)."""
+
+    def test_resnet18_checkpoint_accurate(self):
+        model = get_model("resnet18")
+        ds = make_dataset("val", 512)
+        acc = evaluate(model, ds.images, ds.labels)
+        assert acc > 75.0, f"cached resnet18 only {acc:.1f}%"
+
+    def test_checkpoint_loads_identically(self):
+        m1 = get_model("resnet18")
+        m2 = get_model("resnet18")
+        x = make_dataset("val", 8).images
+        np.testing.assert_allclose(m1(x), m2(x))
+
+    def test_zoo_dir_exists(self):
+        assert zoo_dir().is_dir()

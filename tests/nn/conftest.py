@@ -1,0 +1,13 @@
+"""Gradient checks need float64 parameters for tight tolerances."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture(autouse=True)
+def float64_parameters():
+    nn.set_default_dtype(np.float64)
+    yield
+    nn.set_default_dtype(np.float32)

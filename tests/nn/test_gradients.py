@@ -1,0 +1,367 @@
+"""Numerical gradient checks for every layer's backward pass."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+RNG = np.random.default_rng(1234)
+EPS = 1e-6
+TOL = 1e-5
+
+
+def numerical_grad(f, x, eps=EPS):
+    """Central-difference gradient of scalar f at x."""
+    g = np.zeros_like(x)
+    flat_x = x.ravel()
+    flat_g = g.ravel()
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        fp = f()
+        flat_x[i] = orig - eps
+        fm = f()
+        flat_x[i] = orig
+        flat_g[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+def check_input_grad(layer, x, tol=TOL, loss_weight=None):
+    """Compare layer.backward against finite differences on the input."""
+    out = layer(x)
+    w = RNG.normal(size=out.shape) if loss_weight is None else loss_weight
+
+    def loss():
+        return float((layer(x) * w).sum())
+
+    want = numerical_grad(loss, x)
+    layer(x)
+    got = layer.backward(w)
+    np.testing.assert_allclose(got, want, rtol=tol, atol=tol)
+
+
+def check_param_grads(layer, x, tol=TOL):
+    """Compare parameter grads against finite differences."""
+    out = layer(x)
+    w = RNG.normal(size=out.shape)
+    layer.zero_grad()
+    layer(x)
+    layer.backward(w)
+    analytic = {name: p.grad.copy() for name, p in layer.named_parameters()}
+    for name, p in layer.named_parameters():
+
+        def loss():
+            return float((layer(x) * w).sum())
+
+        want = numerical_grad(loss, p.data)
+        np.testing.assert_allclose(
+            analytic[name], want, rtol=tol, atol=tol, err_msg=f"param {name}"
+        )
+
+
+class TestLinear:
+    def test_input_grad(self):
+        layer = nn.Linear(5, 4)
+        check_input_grad(layer, RNG.normal(size=(3, 5)))
+
+    def test_param_grads(self):
+        layer = nn.Linear(4, 3)
+        check_param_grads(layer, RNG.normal(size=(2, 4)))
+
+    def test_3d_input(self):
+        layer = nn.Linear(6, 5)
+        check_input_grad(layer, RNG.normal(size=(2, 3, 6)))
+        check_param_grads(layer, RNG.normal(size=(2, 3, 6)))
+
+
+class TestConv2d:
+    def test_basic_conv(self):
+        layer = nn.Conv2d(2, 3, 3, stride=1, padding=1)
+        x = RNG.normal(size=(2, 2, 5, 5))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_strided_conv(self):
+        layer = nn.Conv2d(2, 4, 3, stride=2, padding=1)
+        x = RNG.normal(size=(1, 2, 7, 7))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_1x1_conv(self):
+        layer = nn.Conv2d(3, 5, 1)
+        x = RNG.normal(size=(2, 3, 4, 4))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_depthwise_conv(self):
+        layer = nn.Conv2d(4, 4, 3, padding=1, groups=4)
+        x = RNG.normal(size=(2, 4, 5, 5))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_grouped_conv(self):
+        layer = nn.Conv2d(4, 6, 3, padding=1, groups=2)
+        x = RNG.normal(size=(1, 4, 5, 5))
+        check_input_grad(layer, x)
+        check_param_grads(layer, x)
+
+    def test_no_bias(self):
+        layer = nn.Conv2d(2, 2, 3, padding=1, bias=False)
+        x = RNG.normal(size=(1, 2, 4, 4))
+        check_input_grad(layer, x)
+
+    def test_output_shape(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer(np.zeros((2, 3, 8, 8))).shape == (2, 8, 4, 4)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 4, 3, groups=2)
+
+
+class TestNorms:
+    def test_batchnorm_train_grads(self):
+        layer = nn.BatchNorm2d(3)
+        x = RNG.normal(size=(4, 3, 3, 3))
+        check_input_grad(layer, x, tol=1e-4)
+        check_param_grads(layer, x, tol=1e-4)
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        layer = nn.BatchNorm2d(2)
+        for _ in range(20):
+            layer(RNG.normal(loc=2.0, size=(8, 2, 4, 4)))
+        layer.eval()
+        out = layer(np.full((1, 2, 2, 2), 2.0))
+        assert np.all(np.abs(out) < 1.0)  # roughly centered
+
+    def test_batchnorm_eval_grad(self):
+        layer = nn.BatchNorm2d(2)
+        layer(RNG.normal(size=(4, 2, 3, 3)))
+        layer.eval()
+        x = RNG.normal(size=(2, 2, 3, 3))
+        check_input_grad(layer, x)
+
+    def test_layernorm_grads(self):
+        layer = nn.LayerNorm(6)
+        x = RNG.normal(size=(2, 3, 6))
+        check_input_grad(layer, x, tol=1e-4)
+        check_param_grads(layer, x, tol=1e-4)
+
+    def test_layernorm_normalizes(self):
+        layer = nn.LayerNorm(16)
+        out = layer(RNG.normal(loc=5, scale=3, size=(4, 16)))
+        np.testing.assert_allclose(out.mean(axis=-1), 0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1, atol=1e-2)
+
+
+class TestActivations:
+    def test_relu_grad(self):
+        layer = nn.ReLU()
+        x = RNG.normal(size=(3, 4)) + 0.05  # avoid kink at 0
+        check_input_grad(layer, x)
+
+    def test_gelu_grad(self):
+        layer = nn.GELU()
+        check_input_grad(layer, RNG.normal(size=(3, 4)), tol=1e-4)
+
+    def test_gelu_matches_reference(self):
+        x = np.linspace(-4, 4, 50)
+        from scipy.stats import norm
+
+        exact = x * norm.cdf(x)
+        np.testing.assert_allclose(nn.gelu(x), exact, atol=2e-3)
+
+
+class TestPooling:
+    def test_maxpool_grad(self):
+        layer = nn.MaxPool2d(2)
+        x = RNG.normal(size=(2, 2, 4, 4))
+        check_input_grad(layer, x)
+
+    def test_maxpool_values(self):
+        layer = nn.MaxPool2d(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer(x)
+        assert out.tolist() == [[[[5, 7], [13, 15]]]]
+
+    def test_maxpool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            nn.MaxPool2d(3)(np.zeros((1, 1, 4, 4)))
+
+    def test_global_avgpool_grad(self):
+        layer = nn.GlobalAvgPool()
+        check_input_grad(layer, RNG.normal(size=(2, 3, 4, 4)))
+
+    def test_flatten_roundtrip(self):
+        layer = nn.Flatten()
+        x = RNG.normal(size=(2, 3, 4, 4))
+        out = layer(x)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape
+
+
+class TestAttention:
+    def test_mhsa_input_grad(self):
+        layer = nn.MultiHeadSelfAttention(8, 2)
+        x = RNG.normal(size=(2, 5, 8))
+        check_input_grad(layer, x, tol=1e-4)
+
+    def test_mhsa_param_grads(self):
+        layer = nn.MultiHeadSelfAttention(6, 2)
+        x = RNG.normal(size=(1, 4, 6))
+        check_param_grads(layer, x, tol=1e-4)
+
+    def test_window_attention_grad(self):
+        layer = nn.WindowAttention(4, 2, window=2)
+        x = RNG.normal(size=(1, 4, 4, 4))
+        check_input_grad(layer, x, tol=1e-4)
+
+    def test_shifted_window_attention_grad(self):
+        layer = nn.WindowAttention(4, 2, window=2, shift=1)
+        x = RNG.normal(size=(1, 4, 4, 4))
+        check_input_grad(layer, x, tol=1e-4)
+
+    def test_window_attention_locality(self):
+        """Without shift, tokens in different windows never interact."""
+        layer = nn.WindowAttention(4, 1, window=2)
+        x = RNG.normal(size=(1, 4, 4, 4))
+        out1 = layer(x)
+        x2 = x.copy()
+        x2[0, 3, 3] += 100.0  # perturb bottom-right window only
+        out2 = layer(x2)
+        # top-left window output unchanged
+        np.testing.assert_allclose(out1[0, :2, :2], out2[0, :2, :2])
+
+    def test_shift_breaks_locality(self):
+        """With shift, some cross-window interaction appears."""
+        layer = nn.WindowAttention(4, 1, window=2, shift=1)
+        x = RNG.normal(size=(1, 4, 4, 4))
+        out1 = layer(x)
+        x2 = x.copy()
+        x2[0, 2, 2] += 100.0
+        out2 = layer(x2)
+        assert not np.allclose(out1[0, :2, :2], out2[0, :2, :2])
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(7, 2)
+        with pytest.raises(ValueError):
+            nn.WindowAttention(8, 2, window=2, shift=2)
+
+
+class TestSequentialAndModule:
+    def test_sequential_chain_grad(self):
+        model = nn.Sequential(
+            nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 3)
+        )
+        x = RNG.normal(size=(2, 4)) + 0.01
+        check_input_grad(model, x, tol=1e-4)
+
+    def test_named_parameters_unique(self):
+        model = nn.Sequential(nn.Linear(4, 4), nn.Linear(4, 4))
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names)) == 4
+
+    def test_state_dict_roundtrip(self):
+        m1 = nn.Sequential(nn.Linear(4, 4), nn.ReLU(), nn.Linear(4, 2))
+        m2 = nn.Sequential(nn.Linear(4, 4), nn.ReLU(), nn.Linear(4, 2))
+        m2.load_state_dict(m1.state_dict())
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(m1(x), m2(x))
+
+    def test_state_dict_rejects_mismatch(self):
+        m1 = nn.Linear(4, 4)
+        m2 = nn.Linear(4, 5)
+        with pytest.raises((KeyError, ValueError)):
+            m2.load_state_dict(m1.state_dict())
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert not model[1].training
+        model.train()
+        assert model[1].training
+
+    def test_dropout_eval_identity(self):
+        d = nn.Dropout(0.5)
+        d.eval()
+        x = RNG.normal(size=(10, 10))
+        np.testing.assert_array_equal(d(x), x)
+
+    def test_dropout_train_scales(self):
+        d = nn.Dropout(0.5)
+        x = np.ones((200, 200))
+        out = d(x)
+        assert abs(out.mean() - 1.0) < 0.05  # inverted dropout preserves mean
+
+
+class TestLosses:
+    def test_cross_entropy_grad(self):
+        logits = RNG.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 1])
+        loss, grad = nn.cross_entropy(logits, labels)
+
+        def f():
+            return nn.cross_entropy(logits, labels)[0]
+
+        want = numerical_grad(f, logits)
+        np.testing.assert_allclose(grad, want, atol=1e-6)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = nn.cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_label_smoothing_increases_loss_floor(self):
+        logits = np.array([[100.0, 0.0]])
+        l0, _ = nn.cross_entropy(logits, np.array([0]), label_smoothing=0.0)
+        l1, _ = nn.cross_entropy(logits, np.array([0]), label_smoothing=0.1)
+        assert l1 > l0
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert nn.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestOptim:
+    def _quadratic_step(self, opt_cls, **kwargs):
+        p = nn.Parameter(np.array([5.0, -3.0]))
+        opt = opt_cls([p], **kwargs)
+        for _ in range(200):
+            opt.zero_grad()
+            p.accumulate(2 * p.data)  # grad of ||p||^2
+            opt.step()
+        return p.data
+
+    def test_sgd_converges(self):
+        final = self._quadratic_step(nn.SGD, lr=0.05, momentum=0.9)
+        assert np.all(np.abs(final) < 1e-3)
+
+    def test_adam_converges(self):
+        final = self._quadratic_step(nn.Adam, lr=0.1)
+        assert np.all(np.abs(final) < 1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        opt.zero_grad()
+        opt.step()  # grad 0, decay only
+        assert p.data[0] < 1.0
+
+
+class TestTraining:
+    def test_overfits_tiny_problem(self):
+        """A 2-layer MLP must overfit 32 random points — end-to-end check
+        that forward, backward and the optimizer glue together."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(32, 10))
+        y = rng.integers(0, 3, 32)
+        model = nn.Sequential(nn.Linear(10, 32), nn.ReLU(), nn.Linear(32, 3))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        for _ in range(150):
+            opt.zero_grad()
+            logits = model(x)
+            loss, grad = nn.cross_entropy(logits, y)
+            model.backward(grad)
+            opt.step()
+        assert nn.accuracy(model(x), y) == 1.0

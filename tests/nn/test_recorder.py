@@ -1,0 +1,96 @@
+"""Tests for activation recording and the quantization hooks on layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import quantizable_layers, record_activations
+
+
+def small_model():
+    return nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1),
+        nn.ReLU(),
+        nn.Conv2d(4, 8, 3, padding=1, bias=False),
+        nn.Flatten(),
+        nn.Linear(8 * 4 * 4, 5),
+    )
+
+
+X = np.random.default_rng(0).normal(size=(2, 3, 4, 4))
+
+
+class TestQuantizableLayers:
+    def test_finds_conv_and_linear_in_order(self):
+        model = small_model()
+        layers = quantizable_layers(model)
+        assert len(layers) == 3
+        kinds = [type(l).__name__ for _, l in layers]
+        assert kinds == ["Conv2d", "Conv2d", "Linear"]
+
+    def test_names_are_addressable(self):
+        model = small_model()
+        names = [n for n, _ in quantizable_layers(model)]
+        assert names == ["layers.0", "layers.2", "layers.4"]
+
+
+class TestRecordActivations:
+    def test_records_all_layers(self):
+        model = small_model()
+        with record_activations(model) as acts:
+            out = model(X)
+        assert set(acts) == {"layers.0", "layers.2", "layers.4"}
+        np.testing.assert_array_equal(acts["layers.4"], out)
+
+    def test_records_subset(self):
+        model = small_model()
+        with record_activations(model, ["layers.2"]) as acts:
+            model(X)
+        assert set(acts) == {"layers.2"}
+
+    def test_hooks_removed_after_context(self):
+        model = small_model()
+        with record_activations(model) as acts:
+            model(X)
+        acts.clear()
+        model(X)
+        assert not acts  # hooks no longer fire
+
+    def test_shapes_match_layer_outputs(self):
+        model = small_model()
+        with record_activations(model) as acts:
+            model(X)
+        assert acts["layers.0"].shape == (2, 4, 4, 4)
+        assert acts["layers.2"].shape == (2, 8, 4, 4)
+
+
+class TestQuantHooks:
+    def test_weight_fq_overrides_forward_only(self):
+        layer = nn.Linear(4, 3)
+        x = np.random.default_rng(1).normal(size=(2, 4))
+        fp = layer(x)
+        layer.weight_fq = np.zeros_like(layer.weight.data)
+        assert np.allclose(layer(x), layer.bias.data)  # zero weights
+        layer.clear_quant()
+        np.testing.assert_allclose(layer(x), fp)
+
+    def test_input_fq_applied(self):
+        layer = nn.Conv2d(3, 2, 1, bias=False)
+        calls = []
+
+        def fq(x):
+            calls.append(x.shape)
+            return x * 0.0
+
+        layer.input_fq = fq
+        out = layer(X)
+        assert calls == [X.shape]
+        np.testing.assert_allclose(out, 0.0)
+        layer.clear_quant()
+
+    def test_effective_weight_switches(self):
+        layer = nn.Linear(2, 2)
+        assert layer.effective_weight() is layer.weight.data
+        fq = np.ones_like(layer.weight.data)
+        layer.weight_fq = fq
+        assert layer.effective_weight() is fq

@@ -1,0 +1,217 @@
+"""Tests for the baseline formats: LNS, minifloat, AdaptivFloat, INT, flint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import (
+    AdaptivFloatFormat,
+    FlintFormat,
+    FORMAT_FAMILIES,
+    IntFormat,
+    LNSFormat,
+    MiniFloatFormat,
+    QuantizationStats,
+    calibrated_format,
+    make_format,
+    quantization_rmse,
+    relative_decimal_accuracy,
+)
+
+
+class TestIntFormat:
+    def test_grid_is_uniform(self):
+        f = IntFormat(4, 0.5)
+        x = np.linspace(-5, 5, 101)
+        q = f.quantize(x)
+        codes = np.unique(np.round(q / 0.5))
+        assert np.all(codes == np.round(codes))
+
+    def test_clamps_at_qmax(self):
+        f = IntFormat(4, 1.0)
+        assert f.quantize(np.array([100.0]))[0] == 7.0
+        assert f.quantize(np.array([-100.0]))[0] == -8.0
+
+    def test_for_tensor_covers_max(self):
+        x = np.array([-3.0, 0.1, 2.7])
+        f = IntFormat.for_tensor(x, 8)
+        assert f.quantize(np.array([2.7]))[0] == pytest.approx(2.7, rel=0.02)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            IntFormat(1, 1.0)
+        with pytest.raises(ValueError):
+            IntFormat(8, 0.0)
+
+    @given(st.integers(min_value=2, max_value=10), st.floats(min_value=1e-4, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, n, scale):
+        f = IntFormat(n, scale)
+        x = np.linspace(-3, 3, 37)
+        assert np.allclose(f.quantize(f.quantize(x)), f.quantize(x))
+
+
+class TestMiniFloat:
+    def test_fp8_e4m3_known_values(self):
+        f = MiniFloatFormat(8, 4)
+        for v in (1.0, 0.5, 1.5, 448.0):  # 448 = e4m3 max (no inf/nan codes)
+            assert f.quantize(np.array([v]))[0] == v
+
+    def test_subnormals_representable(self):
+        f = MiniFloatFormat(8, 4)
+        min_sub, _ = f.dynamic_range()
+        assert f.quantize(np.array([min_sub]))[0] == min_sub
+
+    def test_flat_relative_accuracy(self):
+        """Floats have ~flat accuracy across normal binades (Fig. 1(b))."""
+        f = MiniFloatFormat(8, 4)
+        # offset avoids magnitudes that are exactly representable
+        mags = np.logspace(-1.8, 1.8, 9) * 1.0371
+        acc = relative_decimal_accuracy(f, mags)
+        assert np.std(acc) < 0.5
+
+    @given(st.floats(min_value=-400, max_value=400, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, x):
+        f = MiniFloatFormat(8, 4)
+        q = f.quantize(np.array([x]))
+        assert f.quantize(q)[0] == q[0]
+
+
+class TestAdaptivFloat:
+    def test_bias_calibration_covers_tensor(self):
+        x = np.random.default_rng(0).normal(0, 0.02, 1000)
+        f = AdaptivFloatFormat.for_tensor(x, 8)
+        _, maxval = f.dynamic_range()
+        assert maxval >= np.abs(x).max()
+        # and not wastefully large: within 2 binades
+        assert maxval <= np.abs(x).max() * 4
+
+    def test_adapts_position_not_shape(self):
+        """AdaptivFloat shifts the range; accuracy profile stays flat."""
+        x_small = np.random.default_rng(0).normal(0, 1e-3, 500)
+        f = AdaptivFloatFormat.for_tensor(x_small, 8)
+        rel = quantization_rmse(f, x_small) / np.std(x_small)
+        assert rel < 0.05
+
+    def test_beats_fixed_float_on_shifted_data(self):
+        x = np.random.default_rng(1).normal(0, 1e-3, 2000)
+        fixed = MiniFloatFormat(6, 4)
+        adapt = AdaptivFloatFormat.for_tensor(x, 6)
+        assert quantization_rmse(adapt, x) < quantization_rmse(fixed, x)
+
+
+class TestLNS:
+    def test_values_are_powers_of_two_exponent_grid(self):
+        f = LNSFormat(6, 2, bias=0.0)
+        x = np.array([1.3, 0.7, 2.9])
+        q = f.quantize(x)
+        exps = np.log2(np.abs(q))
+        step = 2.0 ** -(6 - 1 - 2)
+        assert np.allclose(np.round(exps / step), exps / step)
+
+    def test_flat_relative_error(self):
+        """LNS relative error is magnitude-independent inside its range."""
+        f = LNSFormat(8, 4)
+        rng = np.random.default_rng(0)
+        small = rng.uniform(0.01, 0.02, 4000)
+        large = rng.uniform(10, 20, 4000)
+        rel_s = np.mean(np.abs(f.quantize(small) - small) / small)
+        rel_l = np.mean(np.abs(f.quantize(large) - large) / large)
+        assert rel_s == pytest.approx(rel_l, rel=0.15)
+
+    def test_for_tensor_centers_range(self):
+        x = np.random.default_rng(0).lognormal(-5, 1, 1000)
+        f = LNSFormat.for_tensor(x, 8)
+        q = f.quantize(x)
+        assert np.all(q > 0)
+        assert quantization_rmse(f, x) < 0.05 * np.std(x) + 1e-3
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            LNSFormat(1, 0)
+        with pytest.raises(ValueError):
+            LNSFormat(8, 8)
+
+
+class TestFlint:
+    def test_int_like_near_zero(self):
+        """flint's first binade is uniform (int-like)."""
+        # dense sweep so every grid cell in the first binade is hit
+        vals = FlintFormat(8).quantize(np.linspace(0.005, 0.92, 2000))
+        vals = vals[vals < 0.95]  # stay inside the first (integer) binade
+        diffs = np.unique(np.round(np.diff(np.unique(vals)), 9))
+        assert len(diffs) == 1  # uniform spacing below 1.0
+
+    def test_float_like_tail(self):
+        """Spacing grows with magnitude above the int region."""
+        f = FlintFormat(8)
+        vals = f._values()
+        big = vals[vals > 2]
+        assert np.all(np.diff(np.diff(big)) >= -1e-9)
+
+    def test_for_tensor(self):
+        x = np.random.default_rng(0).laplace(0, 0.02, 1000)
+        f = FlintFormat.for_tensor(x, 8)
+        assert quantization_rmse(f, x) < np.std(x) * 0.08
+
+    def test_rejects_narrow(self):
+        with pytest.raises(ValueError):
+            FlintFormat(2)
+
+
+class TestRegistry:
+    def test_make_format_specs(self):
+        assert make_format("lp:8,2,3,0.5").name.startswith("lp<8,2,3")
+        assert make_format("posit:8,1").name == "posit<8,1>"
+        assert make_format("int:8,0.01").bits == 8
+        assert make_format("fp:8,4").name.startswith("fp<8")
+        assert make_format("lns:8,3").bits == 8
+        assert make_format("flint:8").bits == 8
+        assert make_format("afloat:8,4,7").bits == 8
+
+    def test_make_format_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_format("bogus:1")
+
+    def test_calibrated_families_all_work(self):
+        x = np.random.default_rng(0).normal(0, 0.05, 500)
+        for fam in FORMAT_FAMILIES:
+            f = calibrated_format(fam, x, 8)
+            q = f.quantize(x)
+            assert q.shape == x.shape
+            assert np.isfinite(q).all()
+
+    def test_calibrated_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            calibrated_format("nope", np.ones(3), 8)
+
+    def test_lp_wins_on_dnn_like_weights(self):
+        """The Fig. 5(b) headline: searched LP has the lowest RMSE among the
+        formats the paper compares (INT, float, AdaptivFloat, posit, LNS, LP)
+        on heavy-tailed, DNN-like weights."""
+        rng = np.random.default_rng(42)
+        w = rng.standard_t(4, 4000) * 0.02
+        fig5b_formats = ("int", "float", "adaptivfloat", "posit", "lns", "lp")
+        errs = {
+            fam: quantization_rmse(calibrated_format(fam, w, 6), w)
+            for fam in fig5b_formats
+        }
+        assert min(errs, key=errs.get) == "lp"
+
+
+class TestQuantizationStats:
+    def test_stats_fields(self):
+        x = np.linspace(-1, 1, 100)
+        f = IntFormat(4, 0.15)
+        s = QuantizationStats.from_tensors(x, f.quantize(x))
+        assert s.rmse > 0
+        assert s.max_abs_err >= s.rmse
+        assert s.sqnr_db > 0
+
+    def test_perfect_quantization(self):
+        x = np.array([1.0, -2.0])
+        s = QuantizationStats.from_tensors(x, x.copy())
+        assert s.rmse == 0
+        assert s.sqnr_db == np.inf

@@ -1,0 +1,262 @@
+"""Tests for the LP (Logarithmic Posit) data type — paper Section 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import (
+    LogPositFormat,
+    LPParams,
+    PositFormat,
+    lp_decode,
+    lp_quantize,
+    quantization_rmse,
+    relative_decimal_accuracy,
+    tensor_log_center,
+)
+
+
+def lp_param_strategy():
+    return st.integers(min_value=3, max_value=8).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.integers(min_value=0, max_value=max(n - 3, 0)),
+            st.integers(min_value=2, max_value=max(n - 1, 2)),
+            st.floats(min_value=-8.0, max_value=8.0),
+        )
+    )
+
+
+class TestLPDecodeStructure:
+    def test_zero(self):
+        p = LPParams(8, 2, 3, 0.0)
+        assert lp_decode(np.array([0]), p)[0] == 0.0
+
+    def test_nar(self):
+        p = LPParams(8, 2, 3, 0.0)
+        assert np.isnan(lp_decode(np.array([0x80]), p)[0])
+
+    def test_one(self):
+        # 0 10 00 000: k=0, ulfx=0 -> 2^0 = 1 (sf=0)
+        p = LPParams(8, 2, 3, 0.0)
+        assert lp_decode(np.array([0b01000000]), p)[0] == 1.0
+
+    def test_log_domain_fraction(self):
+        # 0 10 00 100: k=0, e=0, f'=0.5 -> 2^0.5 (NOT 1.5: LP fraction is log2)
+        p = LPParams(8, 2, 3, 0.0)
+        assert lp_decode(np.array([0b01000100]), p)[0] == pytest.approx(2**0.5)
+
+    def test_exponent_field(self):
+        # 0 10 01 000: k=0, e=1 -> 2^1
+        p = LPParams(8, 2, 3, 0.0)
+        assert lp_decode(np.array([0b01001000]), p)[0] == 2.0
+
+    def test_regime_value(self):
+        # 0 110 01 00: k=1 (run of two 1s), es=2 -> 2^(4+1)=32 with e=1
+        p = LPParams(8, 2, 3, 0.0)
+        assert lp_decode(np.array([0b01100100]), p)[0] == 32.0
+
+    def test_scale_factor_shifts_everything(self):
+        p0 = LPParams(8, 2, 3, 0.0)
+        p2 = LPParams(8, 2, 3, 2.0)
+        patterns = np.arange(1, 128)
+        v0 = lp_decode(patterns, p0)
+        v2 = lp_decode(patterns, p2)
+        assert np.allclose(v2, v0 / 4.0)
+
+    def test_regime_cap_rs(self):
+        """rs caps the regime run; LP<8,0,2> cannot reach posit<8,0>'s range."""
+        lp_small_rs = LogPositFormat(LPParams(8, 0, 2, 0.0))
+        lp_big_rs = LogPositFormat(LPParams(8, 0, 7, 0.0))
+        assert lp_big_rs.dynamic_range()[1] > lp_small_rs.dynamic_range()[1]
+
+    def test_negative_twos_complement(self):
+        p = LPParams(8, 2, 3, 0.0)
+        pos = lp_decode(np.array([0b01000100]), p)[0]
+        neg = lp_decode(np.array([(1 << 8) - 0b01000100]), p)[0]
+        assert neg == -pos
+
+
+class TestLPQuantize:
+    def test_idempotent(self):
+        p = LPParams(8, 2, 3, 1.3)
+        x = np.random.default_rng(0).normal(0, 1, 100)
+        q = lp_quantize(x, p)
+        assert np.allclose(lp_quantize(q, p), q)
+
+    def test_sign_symmetry(self):
+        p = LPParams(6, 1, 3, 0.7)
+        x = np.linspace(-4, 4, 81)
+        assert np.allclose(lp_quantize(x, p), -lp_quantize(-x, p))
+
+    def test_zero_preserved(self):
+        p = LPParams(8, 2, 3, 0.0)
+        assert lp_quantize(np.array([0.0]), p)[0] == 0.0
+
+    def test_clamps_not_underflows(self):
+        p = LPParams(8, 2, 3, 0.0)
+        fmt = LogPositFormat(p)
+        minpos, maxpos = fmt.dynamic_range()
+        assert lp_quantize(np.array([1e-20]), p)[0] == pytest.approx(minpos)
+        assert lp_quantize(np.array([1e20]), p)[0] == pytest.approx(maxpos)
+
+    def test_wider_n_reduces_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 0.05, 2000)
+        sf = tensor_log_center(x)
+        errs = [
+            quantization_rmse(LogPositFormat(LPParams(n, 1, 3, sf)), x)
+            for n in (4, 6, 8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_es_doubles_dynamic_range(self):
+        """Paper: 'Each increment in es doubles the dynamic range' (log scale)."""
+        for es in (0, 1, 2):
+            lo0, hi0 = LogPositFormat(LPParams(8, es, 3, 0.0)).dynamic_range()
+            lo1, hi1 = LogPositFormat(LPParams(8, es + 1, 3, 0.0)).dynamic_range()
+            assert np.log2(hi1) / np.log2(hi0) == pytest.approx(2.0, rel=0.35)
+
+    def test_sf_centers_accuracy_region(self):
+        """Moving sf toward the tensor's log-center reduces error."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 0.01, 2000)  # centered near 2^-7
+        good = LPParams(6, 1, 3, tensor_log_center(x))
+        bad = LPParams(6, 1, 3, 0.0)
+        assert quantization_rmse(LogPositFormat(good), x) < quantization_rmse(
+            LogPositFormat(bad), x
+        )
+
+    def test_quantize_equals_encode_decode(self):
+        p = LPParams(7, 1, 4, 0.33)
+        fmt = LogPositFormat(p)
+        x = np.random.default_rng(3).normal(0, 1, 500)
+        assert np.allclose(fmt.quantize(x), fmt.decode(fmt.encode(x)))
+
+
+class TestLPTaperedAccuracy:
+    """Fig. 1(b): LP has tapered relative accuracy, floats are flat."""
+
+    def test_peak_at_sf_center(self):
+        fmt = LogPositFormat(LPParams(8, 1, 4, 0.0))
+        mags = np.logspace(-4, 4, 41)
+        acc = relative_decimal_accuracy(fmt, mags)
+        peak = mags[np.argmax(acc)]
+        assert 0.25 <= peak <= 4.0  # peak near magnitude 1 when sf=0
+
+    def test_taper_monotone_decay(self):
+        fmt = LogPositFormat(LPParams(8, 1, 4, 0.0))
+        mags = np.logspace(0, 4, 17)
+        acc = relative_decimal_accuracy(fmt, mags)
+        # accuracy at the far edge is lower than at the centre
+        assert acc[-1] < acc[0]
+
+    def test_sf_moves_peak(self):
+        mags = np.logspace(-6, 2, 65) * 1.0317  # avoid exact code points
+        f0 = LogPositFormat(LPParams(8, 1, 4, 0.0))
+        f4 = LogPositFormat(LPParams(8, 1, 4, 4.0))
+        a0 = relative_decimal_accuracy(f0, mags)
+        a4 = relative_decimal_accuracy(f4, mags)
+        # compare accuracy centroids in log-magnitude space
+        c0 = np.sum(np.log10(mags) * a0) / np.sum(a0)
+        c4 = np.sum(np.log10(mags) * a4) / np.sum(a4)
+        assert c4 < c0 - 0.5  # sf>0 shifts accuracy toward small magnitudes
+
+
+class TestLPParamsValidation:
+    def test_clamping_rules(self):
+        p = LPParams(4, 3, 7, 0.0)
+        assert p.es_eff == 1  # n-3
+        assert p.rs_eff == 3  # n-1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            LPParams(1, 0, 2, 0.0)
+        with pytest.raises(ValueError):
+            LPParams(8, -1, 2, 0.0)
+        with pytest.raises(ValueError):
+            LPParams(8, 0, 0, 0.0)
+
+    def test_random_within_search_space(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            p = LPParams.random(rng)
+            assert 2 <= p.n <= 8
+            assert 0 <= p.es <= max(p.n - 3, 0)
+            assert 2 <= p.rs <= max(p.n - 1, 2)
+            assert -1e-3 <= p.sf <= 1e-3
+
+
+class TestLPProperties:
+    @given(lp_param_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_decode_encode_roundtrip_all_patterns(self, params):
+        n, es, rs, sf = params
+        fmt = LogPositFormat(LPParams(n, es, rs, sf))
+        patterns = fmt.all_patterns()
+        values = fmt.decode(patterns)
+        finite = np.isfinite(values) & (values != 0)
+        q = fmt.quantize(values[finite])
+        assert np.allclose(q, values[finite], rtol=1e-12)
+
+    @given(
+        lp_param_strategy(),
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, params, xs):
+        n, es, rs, sf = params
+        fmt = LogPositFormat(LPParams(n, es, rs, sf))
+        x = np.sort(np.asarray(xs))
+        q = fmt.quantize(x)
+        assert np.all(np.diff(q) >= 0)
+
+    @given(lp_param_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_value_set_symmetric(self, params):
+        n, es, rs, sf = params
+        fmt = LogPositFormat(LPParams(n, es, rs, sf))
+        vals = fmt.all_values()
+        vals = vals[np.isfinite(vals)]
+        assert np.allclose(np.sort(-vals), np.sort(vals))
+
+    @given(
+        lp_param_strategy(),
+        st.floats(min_value=1e-4, max_value=1e4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_log_domain_rounding_error_bound(self, params, x):
+        """Within the dynamic range, log-domain rounding error of the
+        quantized magnitude is at most half the local ulfx step."""
+        n, es, rs, sf = params
+        p = LPParams(n, es, rs, sf)
+        fmt = LogPositFormat(p)
+        lo, hi = fmt.dynamic_range()
+        if not (lo <= x <= hi):
+            return
+        q = fmt.quantize(np.array([x]))[0]
+        vals = fmt.all_values()
+        vals = vals[np.isfinite(vals) & (vals > 0)]
+        logv = np.log2(vals)
+        i = min(np.searchsorted(vals, q), len(vals) - 1)
+        gap_left = logv[i] - logv[i - 1] if i > 0 else np.inf
+        gap_right = logv[i + 1] - logv[i] if i + 1 < len(vals) else np.inf
+        err = abs(np.log2(q) - np.log2(x))
+        assert err <= max(gap_left, gap_right) / 2 + 1e-9
+
+    @given(lp_param_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_standard_posit_is_lp_special_case_range(self, params):
+        """With rs=n-1 and sf=0, LP's dynamic range equals posit's."""
+        n, es, rs, sf = params
+        lp = LogPositFormat(LPParams(n, es, n - 1, 0.0))
+        po = PositFormat(n, min(es, max(n - 3, 0)))
+        lo_lp, hi_lp = lp.dynamic_range()
+        lo_po, hi_po = po.dynamic_range()
+        assert hi_lp == pytest.approx(hi_po)
+        assert lo_lp == pytest.approx(lo_po)

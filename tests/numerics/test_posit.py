@@ -1,0 +1,167 @@
+"""Tests for the standard posit format against known ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import PositFormat, posit_decode, posit_encode
+
+
+class TestPositDecodeKnownValues:
+    """Hand-computed code points from the posit standard."""
+
+    def test_zero_pattern(self):
+        assert posit_decode(np.array([0]), 8, 1)[0] == 0.0
+
+    def test_nar_pattern_is_nan(self):
+        assert np.isnan(posit_decode(np.array([0x80]), 8, 1)[0])
+
+    def test_one(self):
+        # 0 1 0 ... : sign 0, regime "10" -> k=0, e=0, f=0 -> 1.0
+        assert posit_decode(np.array([0b01000000]), 8, 0)[0] == 1.0
+
+    def test_minus_one(self):
+        assert posit_decode(np.array([0b11000000]), 8, 0)[0] == -1.0
+
+    def test_posit8_0_half(self):
+        # 0 01 00000 : k=-1, es=0 -> 2^-1
+        assert posit_decode(np.array([0b00100000]), 8, 0)[0] == 0.5
+
+    def test_posit8_0_fraction(self):
+        # 0 10 10000 : k=0, f=0.5 -> 1.5
+        assert posit_decode(np.array([0b01010000]), 8, 0)[0] == 1.5
+
+    def test_posit8_1_exponent(self):
+        # 0 10 1 0000 : k=0, e=1, f=0 -> 2^(2*0+1) = 2
+        assert posit_decode(np.array([0b01010000]), 8, 1)[0] == 2.0
+
+    def test_posit6_2_maxpos(self):
+        # maxpos posit<6,2>: 0 11111 -> k=4, scale=2^(4*4)=65536
+        assert posit_decode(np.array([0b011111]), 6, 2)[0] == 2.0 ** 16
+
+    def test_posit6_2_minpos(self):
+        # minpos: 0 00001 -> k=-4 -> 2^-16
+        assert posit_decode(np.array([0b000001]), 6, 2)[0] == 2.0 ** -16
+
+    def test_posit16_1_value(self):
+        # posit<16,1>: 0 0001 1 0111011101 -> k=-3, e=1, f=477/1024
+        pattern = 0b0000110111011101
+        expected = 2.0 ** -5 * (1 + 477 / 1024)
+        assert posit_decode(np.array([pattern]), 16, 1)[0] == pytest.approx(expected)
+
+    def test_negative_is_twos_complement(self):
+        pos = posit_decode(np.array([0b01010000]), 8, 1)[0]
+        neg_pattern = (1 << 8) - 0b01010000
+        neg = posit_decode(np.array([neg_pattern]), 8, 1)[0]
+        assert neg == -pos
+
+
+class TestPositEncode:
+    def test_exact_roundtrip_all_patterns(self):
+        for n, es in [(6, 0), (6, 1), (8, 0), (8, 1), (8, 2)]:
+            fmt = PositFormat(n, es)
+            patterns = fmt.all_patterns()
+            values = fmt.decode(patterns)
+            finite = np.isfinite(values)
+            re_encoded = fmt.encode(values[finite])
+            assert np.array_equal(
+                fmt.decode(re_encoded), values[finite]
+            ), f"roundtrip failed for posit<{n},{es}>"
+
+    def test_clamps_to_maxpos(self):
+        fmt = PositFormat(8, 1)
+        _, maxpos = fmt.dynamic_range()
+        assert fmt.quantize(np.array([1e30]))[0] == maxpos
+
+    def test_clamps_to_minpos_no_underflow(self):
+        fmt = PositFormat(8, 1)
+        minpos, _ = fmt.dynamic_range()
+        assert fmt.quantize(np.array([1e-30]))[0] == minpos
+
+    def test_zero_maps_to_zero(self):
+        assert PositFormat(8, 1).quantize(np.array([0.0]))[0] == 0.0
+
+    def test_sign_symmetry(self):
+        fmt = PositFormat(8, 2)
+        x = np.linspace(-5, 5, 101)
+        assert np.allclose(fmt.quantize(x), -fmt.quantize(-x))
+
+    def test_value_count(self):
+        # n-bit posit has 2^n patterns: 0, NaR, and 2^n - 2 nonzero values
+        fmt = PositFormat(8, 1)
+        vals = fmt.all_values()
+        finite = vals[np.isfinite(vals)]
+        assert len(finite) == 2**8 - 1  # includes 0
+
+
+class TestPositProperties:
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=0, max_value=2),
+        st.floats(
+            min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_idempotent(self, n, es, x):
+        fmt = PositFormat(n, es)
+        q1 = fmt.quantize(np.array([x]))
+        q2 = fmt.quantize(q1)
+        assert q1[0] == q2[0]
+
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=1e-6, max_value=1e6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_within_neighbor_gap(self, n, es, x):
+        """Quantized value must be one of the two neighbours of x."""
+        fmt = PositFormat(n, es)
+        vals = fmt.all_values()
+        vals = vals[np.isfinite(vals) & (vals > 0)]
+        q = fmt.quantize(np.array([x]))[0]
+        xc = min(max(x, vals[0]), vals[-1])
+        lo = vals[np.searchsorted(vals, xc, side="right") - 1]
+        hi_idx = np.searchsorted(vals, xc, side="left")
+        hi = vals[min(hi_idx, len(vals) - 1)]
+        assert q in (lo, hi)
+
+    @given(st.integers(min_value=3, max_value=12), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_values_strictly_increasing_with_pattern_order(self, n, es):
+        """Posits are monotone: ordering patterns as 2's-complement ints
+        orders the values — a headline property of the format."""
+        fmt = PositFormat(n, es)
+        patterns = np.arange(1, 1 << (n - 1))  # positive patterns
+        vals = fmt.decode(patterns)
+        assert np.all(np.diff(vals) > 0)
+
+    @given(
+        st.integers(min_value=4, max_value=8),
+        st.integers(min_value=0, max_value=2),
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_quantization(self, n, es, xs):
+        fmt = PositFormat(n, es)
+        x = np.sort(np.asarray(xs))
+        q = fmt.quantize(x)
+        assert np.all(np.diff(q) >= 0)
+
+
+class TestPositValidation:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            PositFormat(1, 0)
+        with pytest.raises(ValueError):
+            PositFormat(17, 0)
+
+    def test_rejects_negative_es(self):
+        with pytest.raises(ValueError):
+            PositFormat(8, -1)

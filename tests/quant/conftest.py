@@ -1,0 +1,64 @@
+"""Shared fixtures: a small trained-ish model and calibration data."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import calibration_batch, make_dataset
+
+
+class TinyCNN(nn.Module):
+    """Small conv net used across quant tests (fast to run)."""
+
+    def __init__(self, num_classes: int = 16) -> None:
+        super().__init__()
+        self.features = nn.Sequential(
+            nn.Conv2d(3, 8, 3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(8, 16, 3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(16, 32, 3, padding=1),
+            nn.ReLU(),
+        )
+        self.pool = nn.GlobalAvgPool()
+        self.head = nn.Linear(32, num_classes)
+
+    def forward(self, x):
+        return self.head(self.pool(self.features(x)))
+
+    def backward(self, grad):
+        return self.features.backward(
+            self.pool.backward(self.head.backward(grad))
+        )
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A TinyCNN briefly trained so weights/activations are structured."""
+    nn.seed(7)  # deterministic regardless of test execution order
+    rng = np.random.default_rng(0)
+    train = make_dataset("train", 512, seed=1)
+    model = TinyCNN()
+    opt = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+    for _ in range(3):
+        model.train()
+        for xb, yb in train.batches(64, rng):
+            opt.zero_grad()
+            loss, grad = nn.cross_entropy(model(xb), yb)
+            model.backward(grad)
+            opt.step()
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def calib_images():
+    return calibration_batch(32, seed=3)
+
+
+@pytest.fixture(scope="session")
+def val_data():
+    ds = make_dataset("val", 256, seed=1)
+    return ds.images, ds.labels

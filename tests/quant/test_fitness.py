@@ -1,0 +1,154 @@
+"""Tests for kurtosis pooling, the contrastive objective, and L_CR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import LPParams
+from repro.quant import (
+    FitnessConfig,
+    FitnessEvaluator,
+    QuantSolution,
+    compression_ratio,
+    contrastive_objective,
+    ir_fingerprints,
+    kurtosis3,
+    pool_representation,
+)
+
+
+class TestKurtosis:
+    def test_gaussian_is_near_zero(self):
+        x = np.random.default_rng(0).normal(0, 1, (8, 20000))
+        k = kurtosis3(x, axis=1)
+        assert np.all(np.abs(k) < 0.2)
+
+    def test_heavy_tail_positive(self):
+        x = np.random.default_rng(0).standard_t(3, (4, 20000))
+        assert np.all(kurtosis3(x, axis=1) > 1.0)
+
+    def test_uniform_negative(self):
+        x = np.random.default_rng(0).uniform(-1, 1, (4, 20000))
+        k = kurtosis3(x, axis=1)
+        assert np.all(np.abs(k + 1.2) < 0.1)  # uniform excess kurtosis = -1.2
+
+    def test_constant_rows_pool_to_zero(self):
+        x = np.ones((3, 50))
+        assert np.all(kurtosis3(x, axis=1) == 0.0)
+
+    def test_scale_invariant(self):
+        x = np.random.default_rng(1).normal(0, 1, (2, 5000))
+        np.testing.assert_allclose(
+            kurtosis3(x, axis=1), kurtosis3(100 * x, axis=1), rtol=1e-8
+        )
+
+    def test_pool_representation_shapes(self):
+        assert pool_representation(np.random.rand(4, 8, 3, 3)).shape == (4,)
+        assert pool_representation(np.random.rand(4, 100)).shape == (4,)
+
+
+class TestContrastiveObjective:
+    def test_identical_fingerprints_low_loss(self):
+        f = np.random.default_rng(0).normal(size=(16, 10))
+        same = contrastive_objective(f, f.copy())
+        shuffled = contrastive_objective(f, np.roll(f, 1, axis=0))
+        assert same < shuffled
+
+    def test_degrades_with_noise_monotonically(self):
+        rng = np.random.default_rng(0)
+        f = rng.normal(size=(16, 12))
+        losses = [
+            contrastive_objective(f + rng.normal(0, s, f.shape), f)
+            for s in (0.0, 0.5, 2.0)
+        ]
+        assert losses[0] < losses[1] < losses[2]
+
+    def test_finite_for_extreme_values(self):
+        f1 = np.full((4, 3), 1e8)
+        f2 = -f1
+        assert np.isfinite(contrastive_objective(f1, f2))
+
+    @given(st.integers(2, 12), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_nonnegative(self, b, l):
+        rng = np.random.default_rng(b * 100 + l)
+        f1, f2 = rng.normal(size=(2, b, l))
+        assert contrastive_objective(f1, f2) >= 0.0
+
+
+class TestCompressionRatio:
+    def test_all_8bit_is_one(self):
+        sol = QuantSolution((LPParams(8, 2, 3, 0.0),) * 3)
+        assert compression_ratio(sol, [10, 20, 30]) == 1.0
+
+    def test_all_2bit_is_quarter(self):
+        sol = QuantSolution((LPParams(2, 0, 1, 0.0),) * 2)
+        assert compression_ratio(sol, [5, 5]) == 0.25
+
+    def test_weighting_by_params(self):
+        sol = QuantSolution((LPParams(8, 2, 3, 0.0), LPParams(2, 0, 1, 0.0)))
+        # 8 bits on 1 param, 2 bits on 99 params
+        r = compression_ratio(sol, [1, 99])
+        assert r == pytest.approx((8 + 2 * 99) / (8 * 100))
+
+
+class TestFitnessEvaluator:
+    def test_lower_bits_lower_lcr_component(self, tiny_model, calib_images):
+        from repro.nn import quantizable_layers
+
+        n_layers = len(quantizable_layers(tiny_model))
+        ev = FitnessEvaluator(
+            tiny_model,
+            calib_images,
+            [layer.weight.size for _, layer in quantizable_layers(tiny_model)],
+        )
+        sol8 = QuantSolution((LPParams(8, 2, 3, 4.0),) * n_layers)
+        sol2 = QuantSolution((LPParams(2, 0, 1, 4.0),) * n_layers)
+        f8, f2 = ev(sol8), ev(sol2)
+        # 8-bit: near-perfect IR match -> low L_CO; 2-bit destroys IRs.
+        assert f8 < f2
+
+    def test_restores_model(self, tiny_model, calib_images):
+        from repro.nn import quantizable_layers
+
+        layers = quantizable_layers(tiny_model)
+        ev = FitnessEvaluator(
+            tiny_model, calib_images, [l.weight.size for _, l in layers]
+        )
+        sol = QuantSolution(
+            (LPParams(4, 1, 2, 0.0),) * len(layers)
+        )
+        ev(sol)
+        assert all(l.weight_fq is None for _, l in layers)
+
+    def test_counts_evaluations(self, tiny_model, calib_images):
+        from repro.nn import quantizable_layers
+
+        layers = quantizable_layers(tiny_model)
+        ev = FitnessEvaluator(
+            tiny_model, calib_images, [l.weight.size for _, l in layers]
+        )
+        sol = QuantSolution((LPParams(8, 2, 3, 0.0),) * len(layers))
+        ev(sol), ev(sol)
+        assert ev.evaluations == 2
+
+    def test_mean_pooling_option(self, tiny_model, calib_images):
+        from repro.nn import quantizable_layers
+
+        layers = quantizable_layers(tiny_model)
+        ev = FitnessEvaluator(
+            tiny_model,
+            calib_images,
+            [l.weight.size for _, l in layers],
+            FitnessConfig(pooling="mean"),
+        )
+        sol = QuantSolution((LPParams(8, 2, 3, 0.0),) * len(layers))
+        assert np.isfinite(ev(sol))
+
+    def test_fingerprint_shape(self, tiny_model, calib_images):
+        from repro.nn import quantizable_layers
+
+        names = [n for n, _ in quantizable_layers(tiny_model)]
+        f = ir_fingerprints(tiny_model, calib_images, names)
+        assert f.shape == (len(calib_images), len(names))

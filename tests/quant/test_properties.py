@@ -1,0 +1,83 @@
+"""Property-based tests on quantization invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import LPParams, lp_quantize
+from repro.quant import QuantSolution, compression_ratio, random_solution
+
+
+def solution_strategy(num_layers=4):
+    return st.integers(0, 10_000).map(
+        lambda seed: random_solution(
+            np.random.default_rng(seed), num_layers, [0.0] * num_layers
+        )
+    )
+
+
+class TestSolutionProperties:
+    @given(solution_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_compression_ratio_bounds(self, sol):
+        """n ∈ [2, 8] implies L_CR ∈ [0.25, 1]."""
+        r = compression_ratio(sol, [100] * len(sol))
+        assert 0.25 <= r <= 1.0
+
+    @given(solution_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_stable(self, sol):
+        """decode(encode(s)) is a fixed point (all fields feasible)."""
+        once = QuantSolution.decode(sol.encode())
+        twice = QuantSolution.decode(once.encode())
+        assert once.encode().tolist() == twice.encode().tolist()
+
+    @given(solution_strategy(), st.integers(0, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_bits_changes_with_layer(self, sol, idx):
+        new = sol.replace_layer(idx, LPParams(2, 0, 1, 0.0))
+        assert new.mean_weight_bits() <= sol.mean_weight_bits()
+
+
+class TestQuantizationErrorProperties:
+    @given(
+        st.integers(3, 8),
+        st.floats(min_value=-4, max_value=4),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_error_bounded_by_dynamic_range_clamp(self, n, sf, seed):
+        """For values inside the dynamic range, relative error is bounded
+        by the coarsest log-domain step of the format."""
+        from repro.numerics import LogPositFormat
+
+        params = LPParams(n, min(1, max(n - 3, 0)), 2, sf)
+        fmt = LogPositFormat(params)
+        lo, hi = fmt.dynamic_range()
+        rng = np.random.default_rng(seed)
+        x = np.exp2(rng.uniform(np.log2(lo) + 0.1, np.log2(hi) - 0.1, 50))
+        q = fmt.quantize(x)
+        # coarsest gap in log2 domain
+        vals = fmt.all_values()
+        vals = vals[np.isfinite(vals) & (vals > 0)]
+        worst_gap = np.max(np.diff(np.log2(vals)))
+        rel_log_err = np.abs(np.log2(q) - np.log2(x))
+        assert np.all(rel_log_err <= worst_gap / 2 + 1e-9)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_quantized_dot_error_shrinks_with_bits(self, seed):
+        """Dot-product error decreases from 3 to 8 bits *on average*
+        (a single low-bit dot product can get lucky via cancellation)."""
+        rng = np.random.default_rng(seed)
+        from repro.numerics import tensor_log_center
+
+        errs = {3: 0.0, 8: 0.0}
+        for _ in range(16):
+            w = rng.normal(0, 0.1, 256)
+            a = rng.normal(0, 0.1, 256)
+            exact = w @ a
+            for n in errs:
+                p = LPParams(n, min(1, max(n - 3, 0)), 2, tensor_log_center(w))
+                errs[n] += abs(lp_quantize(w, p) @ a - exact)
+        assert errs[8] <= errs[3] + 1e-12

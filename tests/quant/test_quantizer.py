@@ -1,0 +1,144 @@
+"""Tests for fake-quantization application and activation-param rules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import quantizable_layers
+from repro.numerics import LPParams, lp_quantize
+from repro.quant import (
+    QuantSolution,
+    apply_quantization,
+    clear_quantization,
+    collect_layer_stats,
+    derive_activation_params,
+    quantized,
+)
+
+
+def _uniform_solution(model, n=8, es=2, rs=3, sf=4.0):
+    layers = quantizable_layers(model)
+    return QuantSolution(tuple(LPParams(n, es, rs, sf) for _ in layers))
+
+
+class TestCollectStats:
+    def test_stats_cover_all_layers(self, tiny_model, calib_images):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        assert len(stats) == len(quantizable_layers(tiny_model))
+        assert all(c > 0 for c in stats.param_counts)
+        assert all(np.isfinite(c) for c in stats.weight_log_centers)
+        assert all(np.isfinite(c) for c in stats.act_log_centers)
+
+    def test_weight_centers_track_distributions(self, tiny_model, calib_images):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        for (_, layer), center in zip(
+            quantizable_layers(tiny_model), stats.weight_log_centers
+        ):
+            w = np.abs(layer.weight.data)
+            mean_log = -np.mean(np.log2(w[w > 0]))
+            assert center == pytest.approx(mean_log, rel=1e-5)
+
+
+class TestApplyQuantization:
+    def test_weights_projected_onto_lp_grid(self, tiny_model):
+        sol = _uniform_solution(tiny_model, n=4, es=1, rs=2)
+        apply_quantization(tiny_model, sol)
+        for i, (_, layer) in enumerate(quantizable_layers(tiny_model)):
+            expected = lp_quantize(layer.weight.data, sol[i])
+            np.testing.assert_allclose(layer.weight_fq, expected, rtol=1e-6)
+        clear_quantization(tiny_model)
+
+    def test_fp_weights_untouched(self, tiny_model):
+        before = {n: p.data.copy() for n, p in tiny_model.named_parameters()}
+        sol = _uniform_solution(tiny_model, n=2, es=0, rs=1)
+        apply_quantization(tiny_model, sol)
+        clear_quantization(tiny_model)
+        for n, p in tiny_model.named_parameters():
+            np.testing.assert_array_equal(p.data, before[n])
+
+    def test_context_manager_restores(self, tiny_model, calib_images):
+        sol = _uniform_solution(tiny_model, n=3, es=0, rs=2)
+        fp_out = tiny_model(calib_images)
+        with quantized(tiny_model, sol):
+            q_out = tiny_model(calib_images)
+        restored = tiny_model(calib_images)
+        np.testing.assert_allclose(fp_out, restored)
+        assert not np.allclose(fp_out, q_out)  # 3-bit must differ
+
+    def test_8bit_nearly_lossless(self, tiny_model, calib_images):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        layers = quantizable_layers(tiny_model)
+        sol = QuantSolution(
+            tuple(
+                LPParams(8, 1, 3, stats.weight_log_centers[i])
+                for i in range(len(layers))
+            )
+        )
+        fp_out = tiny_model(calib_images)
+        with quantized(tiny_model, sol):
+            q_out = tiny_model(calib_images)
+        rel = np.linalg.norm(q_out - fp_out) / np.linalg.norm(fp_out)
+        assert rel < 0.1
+
+    def test_rejects_layer_count_mismatch(self, tiny_model):
+        with pytest.raises(ValueError):
+            apply_quantization(
+                tiny_model, QuantSolution((LPParams(8, 2, 3, 0.0),))
+            )
+
+    def test_activation_quantizers_installed_from_layer1(
+        self, tiny_model, calib_images
+    ):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        sol = _uniform_solution(tiny_model, n=4, es=1, rs=2)
+        act = derive_activation_params(sol, stats)
+        apply_quantization(tiny_model, sol, act)
+        layers = quantizable_layers(tiny_model)
+        assert layers[0][1].input_fq is None  # image input not quantized
+        assert all(layer.input_fq is not None for _, layer in layers[1:])
+        clear_quantization(tiny_model)
+
+
+class TestActivationRules:
+    def test_paper_field_rules(self, tiny_model, calib_images):
+        """n_act = min(8, 2 n_w), es_act = min(5, 2 es_w), rs_act = rs_w."""
+        stats = collect_layer_stats(tiny_model, calib_images)
+        sol = _uniform_solution(tiny_model, n=4, es=1, rs=3)
+        act = derive_activation_params(sol, stats)
+        for ap in act:
+            assert ap.n == 8
+            assert ap.es == 2
+            assert ap.rs == 3
+
+    def test_act_bits_capped_at_8(self, tiny_model, calib_images):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        sol = _uniform_solution(tiny_model, n=8, es=2, rs=3)
+        act = derive_activation_params(sol, stats)
+        assert all(ap.n == 8 for ap in act)
+
+    def test_calibrated_sf_matches_act_centers(self, tiny_model, calib_images):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        sol = _uniform_solution(tiny_model, n=4, es=1, rs=2)
+        act = derive_activation_params(sol, stats, mode="calibrated")
+        for ap, center in zip(act, stats.act_log_centers):
+            assert ap.sf == pytest.approx(center)
+
+    def test_recurrence_mode(self, tiny_model, calib_images):
+        """Paper rule: sf_act^l = sf_act^{l-1} + sf_w^l."""
+        stats = collect_layer_stats(tiny_model, calib_images)
+        layers = quantizable_layers(tiny_model)
+        sols = QuantSolution(
+            tuple(LPParams(4, 1, 2, 0.5) for _ in layers)
+        )
+        act = derive_activation_params(
+            sols, stats, mode="recurrence", input_log_center=1.0
+        )
+        expected = 1.0
+        for ap in act:
+            expected += 0.5
+            assert ap.sf == pytest.approx(expected)
+
+    def test_rejects_unknown_mode(self, tiny_model, calib_images):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        sol = _uniform_solution(tiny_model)
+        with pytest.raises(ValueError):
+            derive_activation_params(sol, stats, mode="bogus")
