@@ -1,0 +1,39 @@
+"""Search throughput — incremental LPQ engine vs the reference path.
+
+Runs the same fast-effort genetic search twice (``FitnessConfig.fast``
+off and on) on a BatchNorm CNN and checks the two hard guarantees of the
+incremental engine: the search trajectories are bitwise identical, and
+the cached path is at least 3× faster.  The canonical
+``BENCH_search_throughput.json`` at the repo root is maintained by
+``scripts/run_search_throughput_bench.py`` — the test emits its record
+to a temp path so plain pytest runs never dirty the committed artifact.
+"""
+
+import os
+
+from conftest import run_once
+from repro.perf import run_search_throughput_bench
+from repro.perf.bench import write_bench_record
+
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+
+
+def test_bench_search_throughput(benchmark, tmp_path):
+    rec = run_once(benchmark, run_search_throughput_bench)
+    write_bench_record(rec, tmp_path / "BENCH_search_throughput.json")
+    assert rec["identical"], (
+        "fast and reference searches diverged: "
+        f"{rec['fast']['best_fitness']} vs {rec['reference']['best_fitness']}"
+    )
+    assert rec["speedup"] >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x speedup, got {rec['speedup']:.2f}x"
+    )
+    benchmark.extra_info["speedup"] = round(rec["speedup"], 2)
+    benchmark.extra_info["reference_wall_s"] = round(
+        rec["reference"]["wall_s"], 3
+    )
+    benchmark.extra_info["fast_wall_s"] = round(rec["fast"]["wall_s"], 3)
+    caches = rec["fast"]["perf"]["caches"]
+    benchmark.extra_info["weight_cache_hit_rate"] = round(
+        caches["quant.weight_cache"]["hit_rate"], 3
+    )

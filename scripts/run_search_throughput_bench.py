@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Run the LPQ search-throughput benchmark and emit its JSON record.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_search_throughput_bench.py \
+        [--calib 16] [--seed 0] [--out BENCH_search_throughput.json]
+
+The record compares the reference evaluation path against the
+incremental engine (fitness memo, quantized-weight cache, fused BN
+recalibration, prefix-reuse forwards) on the same search, asserting the
+trajectories stay bitwise identical.  The emitted file is the repo's
+perf-trajectory artifact: commit a refreshed copy whenever a PR moves
+the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.perf import run_search_throughput_bench  # noqa: E402
+from repro.perf.bench import write_bench_record  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--calib", type=int, default=16,
+                        help="calibration batch size (default 16)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: repo root "
+                             "BENCH_search_throughput.json)")
+    args = parser.parse_args(argv)
+
+    record = run_search_throughput_bench(calib=args.calib, seed=args.seed)
+    path = write_bench_record(record, args.out)
+
+    ref, fast = record["reference"], record["fast"]
+    print(f"reference: {ref['wall_s']:.2f}s "
+          f"({ref['evals_per_s']:.2f} evals/s)")
+    print(f"fast:      {fast['wall_s']:.2f}s "
+          f"({fast['evals_per_s']:.2f} evals/s)")
+    print(f"speedup:   {record['speedup']:.2f}x  "
+          f"identical: {record['identical']}")
+    print(f"record written to {path}")
+    print(json.dumps(fast["perf"]["caches"], indent=2, sort_keys=True))
+    return 0 if record["identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from .losses import accuracy, cross_entropy
 from .module import Module, Sequential
 from .optim import Adam, SGD
 from .recorder import quantizable_layers, record_activations
+from .replay import ForwardCache
 from .tensor import Parameter, get_default_dtype, init_rng, seed, set_default_dtype
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "Conv2d",
     "Dropout",
     "Flatten",
+    "ForwardCache",
     "GELU",
     "GlobalAvgPool",
     "LayerNorm",

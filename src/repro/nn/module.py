@@ -15,6 +15,10 @@ from .tensor import Parameter
 
 __all__ = ["Module", "Sequential"]
 
+#: active prefix-reuse forward cache (rebound by repro.nn.replay while a
+#: cached pass is running); None keeps __call__ on the zero-overhead path
+_ACTIVE_REPLAY = None
+
 
 class Module:
     """Base class for all layers and models.
@@ -111,7 +115,14 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        out = self.forward(x)
+        if _ACTIVE_REPLAY is None:
+            out = self.forward(x)
+        else:
+            # prefix-reuse mode: the cache decides whether this call's
+            # subtree is unchanged (replay its recorded output) or must
+            # recompute; hooks fire either way so activation recording
+            # sees every module whose __call__ ran
+            out = _ACTIVE_REPLAY.call(self, x)
         for hook in self._forward_hooks:
             hook(self, out)
         return out

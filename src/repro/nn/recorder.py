@@ -3,6 +3,14 @@
 LPQ's fitness function compares intermediate layer outputs of the FP and
 quantized models (paper Section 4.1).  ``record_activations`` attaches
 forward hooks to the chosen layers and collects their outputs by name.
+
+Recording composes with prefix-reuse forward passes
+(:class:`repro.nn.replay.ForwardCache`): hooks fire for every module
+whose ``__call__`` runs, including individually replayed layers — but a
+layer inside a wholesale-skipped container never reaches ``__call__``,
+so callers replaying a prefix should only request names at or after the
+first recomputed layer (their earlier fingerprints are unchanged by
+definition).
 """
 
 from __future__ import annotations

@@ -51,6 +51,13 @@ class BitLevelFormat(NumberFormat):
 
     ``encode`` maps reals to unsigned integer bit patterns of width
     ``self.bits``; ``decode`` is its exact inverse on representable values.
+
+    Formats whose encoder rounds in the log domain over a sign-symmetric
+    positive value table (posits and their LP relatives) can return that
+    table from :meth:`_lut` to get a fused ``quantize``: reals map
+    straight to representable values through one ``searchsorted``,
+    skipping the encode→decode round trip while staying bitwise
+    identical to it (the table values *are* the decode outputs).
     """
 
     @abc.abstractmethod
@@ -61,8 +68,28 @@ class BitLevelFormat(NumberFormat):
     def decode(self, pattern: np.ndarray) -> np.ndarray:
         """Map integer bit patterns back to their real values."""
 
+    def _lut(self):
+        """Value table enabling the fused quantize path (or None).
+
+        When not None, must be a :class:`repro.numerics.posit.PositTable`
+        (or duck-type its ``values``/``project``): sorted positive
+        representable values equal to the decode outputs bit-for-bit,
+        with a projection matching the rounding rule used by ``encode``.
+        """
+        return None
+
     def quantize(self, x: np.ndarray) -> np.ndarray:
-        return self.decode(self.encode(x))
+        table = self._lut()
+        if table is None:
+            return self.decode(self.encode(x))
+        x = np.asarray(x, dtype=np.float64)
+        mag = np.abs(x)
+        out = np.zeros(x.shape, dtype=np.float64)
+        pos = mag > 0  # excludes zeros and NaNs
+        out[pos] = table.values[table.project(mag[pos])]
+        out = np.where(x < 0, -out, out)
+        out[np.isnan(x)] = np.nan
+        return out
 
     def all_patterns(self) -> np.ndarray:
         """Every bit pattern of width ``self.bits`` (for exhaustive checks)."""

@@ -37,7 +37,7 @@ from functools import lru_cache
 import numpy as np
 
 from .base import BitLevelFormat
-from .posit import _decode_core, _encode_positive, _positive_table
+from .posit import PositTable, _decode_core
 
 __all__ = ["LPParams", "LogPositFormat", "lp_decode", "lp_encode", "lp_quantize"]
 
@@ -114,20 +114,21 @@ def lp_decode(pattern: np.ndarray, params: LPParams) -> np.ndarray:
     frac = np.zeros_like(mag)
     exp2[ok] = np.floor(np.log2(mag[ok]))
     frac[ok] = mag[ok] / np.exp2(exp2[ok]) - 1.0
-    out[ok] = np.exp2(exp2[ok] + frac[ok] - p.sf)
+    # computed as (sf=0 value) * 2^-sf — not exp2(e + f' - sf) — so decode
+    # is bitwise consistent with the table-based lp_quantize fast path
+    out[ok] = np.exp2(exp2[ok] + frac[ok]) * np.exp2(-p.sf)
     out = sign * out
     out[np.isnan(lin)] = np.nan
     return out
 
 
 @lru_cache(maxsize=1024)
-def _lp_positive_table(n: int, es: int, rs: int) -> tuple[np.ndarray, np.ndarray]:
-    """(sorted positive values at sf=0, matching patterns) for an LP format."""
+def _lp_positive_table(n: int, es: int, rs: int) -> PositTable:
+    """Cached :class:`PositTable` of an LP format's sf=0 positive half."""
     base = LPParams(n=n, es=es, rs=rs, sf=0.0)
     patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)
     values = lp_decode(patterns, base)
-    order = np.argsort(values, kind="stable")
-    return values[order], patterns[order]
+    return PositTable.build(values, patterns)
 
 
 def lp_encode(x: np.ndarray, params: LPParams) -> np.ndarray:
@@ -136,36 +137,38 @@ def lp_encode(x: np.ndarray, params: LPParams) -> np.ndarray:
     Rounding is performed in the log domain (round-to-nearest ``ulfx``),
     exactly what the LPA datapath does.  Magnitudes outside the dynamic
     range clamp to minpos/maxpos — posit semantics: no underflow to zero,
-    no overflow to infinity.
+    no overflow to infinity.  NaN encodes to the NaR pattern.
     """
     p = params.clamped()
     x = np.asarray(x, dtype=np.float64)
-    values, patterns = _lp_positive_table(p.n, p.es_eff, p.rs_eff)
+    table = _lp_positive_table(p.n, p.es_eff, p.rs_eff)
     # sf only rescales the whole value set: search in the sf=0 table.
     mag = np.abs(x) * np.exp2(p.sf)
     out = np.zeros(x.shape, dtype=np.int64)
-    pos = mag > 0
-    clipped = np.clip(mag[pos], values[0], values[-1])
-    out[pos] = _encode_positive(clipped, values, patterns)
+    pos = mag > 0  # excludes zeros and NaNs
+    out[pos] = table.patterns[table.project(mag[pos])]
     neg = x < 0
     out[neg] = ((1 << p.n) - out[neg]) & ((1 << p.n) - 1)
+    out[np.isnan(x)] = 1 << (p.n - 1)  # NaR
     return out
 
 
 def lp_quantize(x: np.ndarray, params: LPParams) -> np.ndarray:
-    """Project ``x`` onto the LP⟨n, es, rs, sf⟩ value set (encode∘decode)."""
+    """Project ``x`` onto the LP⟨n, es, rs, sf⟩ value set.
+
+    Fused table lookup — one log-domain ``searchsorted`` against the
+    cached sf=0 table, bitwise identical to ``decode(encode(x))``.
+    """
     p = params.clamped()
     x = np.asarray(x, dtype=np.float64)
-    values, _ = _lp_positive_table(p.n, p.es_eff, p.rs_eff)
+    table = _lp_positive_table(p.n, p.es_eff, p.rs_eff)
     scaled = np.abs(x) * np.exp2(p.sf)
     out = np.zeros(x.shape, dtype=np.float64)
     pos = scaled > 0
-    clipped = np.clip(scaled[pos], values[0], values[-1])
-    logv = np.log2(values)
-    mids = 0.5 * (logv[:-1] + logv[1:])
-    idx = np.searchsorted(mids, np.log2(clipped), side="left")
-    out[pos] = values[idx] * np.exp2(-p.sf)
-    return np.where(x < 0, -out, out)
+    out[pos] = table.values[table.project(scaled[pos])] * np.exp2(-p.sf)
+    out = np.where(x < 0, -out, out)
+    out[np.isnan(x)] = np.nan
+    return out
 
 
 @dataclass(frozen=True)
@@ -198,6 +201,6 @@ class LogPositFormat(BitLevelFormat):
 
     def dynamic_range(self) -> tuple[float, float]:
         p = self.params.clamped()
-        values, _ = _lp_positive_table(p.n, p.es_eff, p.rs_eff)
+        values = _lp_positive_table(p.n, p.es_eff, p.rs_eff).values
         s = np.exp2(-p.sf)
         return float(values[0] * s), float(values[-1] * s)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import NamedTuple
 
 import numpy as np
 
@@ -83,44 +84,67 @@ def posit_decode(pattern: np.ndarray, n: int, es: int) -> np.ndarray:
     return _decode_core(pattern, n, es, max_regime=n - 1)
 
 
+class PositTable(NamedTuple):
+    """Exhaustive value table of a posit-style format's positive half.
+
+    ``midpoints`` (rounding thresholds between adjacent code points, in
+    the log domain) are precomputed once so the encode/quantize hot path
+    is a single ``searchsorted`` with no per-call ``log2`` over the table.
+    """
+
+    values: np.ndarray  # sorted positive representable values
+    patterns: np.ndarray  # bit patterns matching ``values``
+    midpoints: np.ndarray  # log-domain rounding midpoints (len - 1)
+
+    @classmethod
+    def build(cls, values: np.ndarray, patterns: np.ndarray) -> "PositTable":
+        """Sort the (value, pattern) pairs and derive the log-domain
+        rounding midpoints — the one place the midpoint rule lives."""
+        order = np.argsort(values, kind="stable")
+        values, patterns = values[order], patterns[order]
+        logv = np.log2(values)
+        mids = 0.5 * (logv[:-1] + logv[1:])
+        return cls(values, patterns, mids)
+
+    def project(self, mag: np.ndarray) -> np.ndarray:
+        """Indices of the nearest representable values for positive
+        magnitudes: clamp to the table range, then round to nearest in
+        the log domain — where the LP/posit hardware rounds, so the
+        selected neighbour minimizes *relative* error.
+
+        The single shared projection behind ``encode`` and the fused
+        ``quantize`` paths; its clamp/round rule is what keeps them
+        bitwise identical.
+        """
+        clipped = np.clip(mag, self.values[0], self.values[-1])
+        return np.searchsorted(self.midpoints, np.log2(clipped), side="left")
+
+
 @lru_cache(maxsize=256)
-def _positive_table(n: int, es: int, max_regime: int) -> tuple[np.ndarray, np.ndarray]:
-    """(sorted positive values, matching patterns) for a posit-style format."""
+def _positive_table(n: int, es: int, max_regime: int) -> PositTable:
+    """Cached :class:`PositTable` for a posit-style format."""
     patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)  # positive codes
     values = _decode_core(patterns, n, es, max_regime)
-    order = np.argsort(values, kind="stable")
-    return values[order], patterns[order]
-
-
-def _encode_positive(
-    mag: np.ndarray, values: np.ndarray, patterns: np.ndarray
-) -> np.ndarray:
-    """Round positive magnitudes to the nearest table value (log-domain ties).
-
-    Rounding happens in the log domain — the same place the LP/posit
-    hardware rounds — so the selected neighbour minimizes *relative* error.
-    """
-    logv = np.log2(values)
-    mids = 0.5 * (logv[:-1] + logv[1:])
-    idx = np.searchsorted(mids, np.log2(mag), side="left")
-    return patterns[idx]
+    return PositTable.build(values, patterns)
 
 
 def posit_encode(x: np.ndarray, n: int, es: int) -> np.ndarray:
-    """Round reals to posit⟨n, es⟩ and return the bit patterns."""
+    """Round reals to posit⟨n, es⟩ and return the bit patterns.
+
+    NaN inputs encode to the NaR pattern (``1 0...0``); zeros to the zero
+    pattern; magnitudes beyond the dynamic range clamp to minpos/maxpos
+    (posit semantics: no underflow to zero, no overflow to infinity).
+    """
     x = np.asarray(x, dtype=np.float64)
-    values, patterns = _positive_table(n, es, n - 1)
+    table = _positive_table(n, es, n - 1)
     mag = np.abs(x)
-    out = np.zeros(x.shape, dtype=np.int64)
-    pos = mag > 0
-    clipped = np.clip(mag[pos], values[0], values[-1])
-    codes = _encode_positive(clipped, values, patterns)
-    neg = x < 0
     full = np.zeros(x.shape, dtype=np.int64)
-    full[pos] = codes
+    pos = mag > 0  # excludes zeros and NaNs
+    full[pos] = table.patterns[table.project(mag[pos])]
+    neg = x < 0
     full[neg] = ((1 << n) - full[neg]) & ((1 << n) - 1)
-    out[:] = full
-    return out
+    full[np.isnan(x)] = 1 << (n - 1)  # NaR
+    return full
 
 
 @dataclass(frozen=True)
@@ -150,6 +174,9 @@ class PositFormat(BitLevelFormat):
     def decode(self, pattern: np.ndarray) -> np.ndarray:
         return posit_decode(pattern, self.n, self.es)
 
+    def _lut(self) -> PositTable:
+        return _positive_table(self.n, self.es, self.n - 1)
+
     def dynamic_range(self) -> tuple[float, float]:
-        values, _ = _positive_table(self.n, self.es, self.n - 1)
+        values = self._lut().values
         return float(values[0]), float(values[-1])

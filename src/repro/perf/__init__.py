@@ -1,0 +1,45 @@
+"""Performance instrumentation for the incremental LPQ search engine.
+
+A process-global :class:`PerfRegistry` collects counters, wall-clock
+timers, and cache hit rates from the search hot paths
+(:class:`repro.quant.FitnessEvaluator`, :class:`repro.quant.LPQEngine`,
+and the prefix-reuse forward cache in :mod:`repro.nn.replay`).  Use
+:func:`get_perf` to read or extend it and :func:`reset_perf` to start a
+fresh measurement window; :mod:`repro.perf.bench` runs the search
+throughput benchmark that tracks these numbers across PRs.
+"""
+
+from .counters import CacheStats, Counter, PerfRegistry, Timer
+
+__all__ = [
+    "CacheStats",
+    "Counter",
+    "PerfRegistry",
+    "Timer",
+    "get_perf",
+    "reset_perf",
+    "run_search_throughput_bench",
+]
+
+#: process-global registry used by default across repro's hot paths
+_GLOBAL = PerfRegistry()
+
+
+def get_perf() -> PerfRegistry:
+    """The process-global perf registry."""
+    return _GLOBAL
+
+
+def reset_perf() -> PerfRegistry:
+    """Clear the global registry (start of a measurement window)."""
+    _GLOBAL.reset()
+    return _GLOBAL
+
+
+def run_search_throughput_bench(*args, **kwargs):
+    """Lazy wrapper around :func:`repro.perf.bench.run_search_throughput_bench`
+    (imported on demand: the bench pulls in repro.quant, which itself uses
+    this package's registry)."""
+    from .bench import run_search_throughput_bench as _run
+
+    return _run(*args, **kwargs)

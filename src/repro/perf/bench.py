@@ -1,0 +1,169 @@
+"""Search-throughput benchmark: incremental LPQ engine vs reference path.
+
+Runs the *same* genetic search twice — once with the reference
+evaluator (full BN-recalibration pass + full fingerprint pass per
+candidate) and once with the incremental engine (fitness memo,
+quantized-weight cache, fused recalibration, prefix-reuse forwards) —
+and reports wall-clock, throughput, speedup, and the engine's cache hit
+rates.  Both runs must produce bitwise-identical search trajectories;
+``identical`` in the emitted record asserts the correctness bar of the
+fast path, not just its speed.
+
+The benchmark model is a BatchNorm CNN with a *front-loaded* cost
+profile (constant channel width, spatial halving), mirroring real CNNs
+where early high-resolution layers dominate: the deeper the first
+changed layer, the bigger the replayed prefix.
+
+``python scripts/run_search_throughput_bench.py`` emits the record as
+``BENCH_search_throughput.json`` so the perf trajectory is tracked
+across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from .. import nn
+from ..data import calibration_batch
+from ..quant import (
+    FitnessConfig,
+    FitnessEvaluator,
+    LPQConfig,
+    LPQEngine,
+    collect_layer_stats,
+    derive_activation_params,
+)
+from . import get_perf, reset_perf
+
+__all__ = ["BenchSearchCNN", "bench_config", "run_search_throughput_bench",
+           "write_bench_record"]
+
+#: default output location (repo root) for the emitted record
+DEFAULT_RECORD = "BENCH_search_throughput.json"
+
+
+class BenchSearchCNN(nn.Module):
+    """Thirteen-layer (12 conv + head) BatchNorm CNN, front-loaded compute.
+
+    Channel width stays constant while the spatial resolution halves at
+    stage boundaries, so per-layer cost drops ~4× per stage — the first
+    stage carries most of the FLOPs, as in real CNNs.  Depth matters for
+    the benchmark: the more blocks the search sweeps, the larger the
+    average prefix the incremental engine gets to replay.
+    """
+
+    def __init__(self, channels: int = 12, num_classes: int = 16) -> None:
+        super().__init__()
+
+        def block(cin: int) -> list[nn.Module]:
+            return [
+                nn.Conv2d(cin, channels, 3, padding=1, bias=False),
+                nn.BatchNorm2d(channels),
+                nn.ReLU(),
+            ]
+
+        self.features = nn.Sequential(
+            *block(3), *block(channels), *block(channels),
+            nn.MaxPool2d(2),
+            *block(channels), *block(channels), *block(channels),
+            nn.MaxPool2d(2),
+            *block(channels), *block(channels), *block(channels),
+            nn.MaxPool2d(2),
+            *block(channels), *block(channels), *block(channels),
+        )
+        self.pool = nn.GlobalAvgPool()
+        self.head = nn.Linear(channels, num_classes)
+
+    def forward(self, x):
+        return self.head(self.pool(self.features(x)))
+
+
+def bench_config(seed: int = 0) -> LPQConfig:
+    """Fast-effort search budget used by the throughput benchmark."""
+    return LPQConfig(
+        population=4,
+        passes=2,
+        cycles=1,
+        block_size=3,
+        diversity_parents=2,
+        hw_widths=(2, 4, 8),
+        seed=seed,
+    )
+
+
+def _run_search(fast: bool, calib: int, config: LPQConfig, seed: int) -> dict:
+    """One full search with a freshly seeded model; returns measurements."""
+    nn.seed(seed)  # identical weights across the two modes
+    model = BenchSearchCNN()
+    model.eval()
+    images = calibration_batch(calib, seed=seed + 1)
+    stats = collect_layer_stats(model, images)
+    reset_perf()
+    evaluator = FitnessEvaluator(
+        model, images, stats.param_counts, FitnessConfig(fast=fast)
+    )
+
+    def evaluate(solution):
+        acts = derive_activation_params(solution, stats)
+        return evaluator(solution, acts)
+
+    engine = LPQEngine(evaluate, stats.weight_log_centers, config)
+    start = time.perf_counter()
+    solution, fitness = engine.run()
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "evaluations": evaluator.evaluations,
+        "computed_evaluations": evaluator.computed_evaluations,
+        "evals_per_s": evaluator.evaluations / wall if wall > 0 else 0.0,
+        "best_fitness": fitness,
+        "history": list(engine.history.best_fitness),
+        "mean_bits": solution.mean_weight_bits(),
+        "perf": get_perf().snapshot(),
+    }
+
+
+def run_search_throughput_bench(
+    calib: int = 16, config: LPQConfig | None = None, seed: int = 0
+) -> dict:
+    """Benchmark record comparing reference vs incremental search runs."""
+    config = config or bench_config(seed)
+    reference = _run_search(False, calib, config, seed)
+    fast = _run_search(True, calib, config, seed)
+    identical = (
+        reference["best_fitness"] == fast["best_fitness"]
+        and reference["history"] == fast["history"]
+    )
+    speedup = (
+        reference["wall_s"] / fast["wall_s"] if fast["wall_s"] > 0 else 0.0
+    )
+    for rec in (reference, fast):
+        del rec["history"]  # bulky; equality already distilled
+    return {
+        "benchmark": "search_throughput",
+        "model": f"BenchSearchCNN(channels=12) / {calib} calib images",
+        "config": {
+            "population": config.population,
+            "passes": config.passes,
+            "cycles": config.cycles,
+            "block_size": config.block_size,
+            "diversity_parents": config.diversity_parents,
+            "hw_widths": list(config.hw_widths or []),
+            "seed": config.seed,
+        },
+        "reference": reference,
+        "fast": fast,
+        "speedup": speedup,
+        "identical": identical,
+    }
+
+
+def write_bench_record(record: dict, path: str | Path | None = None) -> Path:
+    """Write the record next to the repo root (BENCH_search_throughput.json)."""
+    if path is None:
+        path = Path(__file__).resolve().parents[3] / DEFAULT_RECORD
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

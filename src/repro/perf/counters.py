@@ -1,0 +1,165 @@
+"""Perf-counter primitives: counters, wall-clock timers, cache stats.
+
+The hot paths of the LPQ search (quantized-weight cache, fitness memo,
+prefix-reuse forward passes) are instrumented through a
+:class:`PerfRegistry` so every run can report where time went and how
+well each cache performed.  Instrumentation must never change behaviour:
+all primitives are plain accumulators with no side effects on the code
+they observe.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Counter", "Timer", "CacheStats", "PerfRegistry"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Timer:
+    """Accumulated wall-clock time over any number of timed sections."""
+
+    __slots__ = ("name", "total", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+
+    @contextmanager
+    def time(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.total += time.perf_counter() - start
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {"total_s": self.total, "count": self.count, "mean_s": self.mean}
+
+
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    __slots__ = ("name", "hits", "misses", "evictions")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def hit(self, amount: int = 1) -> None:
+        self.hits += amount
+
+    def miss(self, amount: int = 1) -> None:
+        self.misses += amount
+
+    def evict(self, amount: int = 1) -> None:
+        self.evictions += amount
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PerfRegistry:
+    """Named collection of counters, timers, and cache stats.
+
+    ``counter``/``timer``/``cache`` create-on-first-use, so call sites
+    never need registration boilerplate.  ``snapshot`` returns a plain
+    JSON-serialisable dict; ``report`` renders a human-readable summary.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.timers: dict[str, Timer] = {}
+        self.caches: dict[str, CacheStats] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            c = self.counters[name] = Counter(name)
+            return c
+
+    def timer(self, name: str) -> Timer:
+        try:
+            return self.timers[name]
+        except KeyError:
+            t = self.timers[name] = Timer(name)
+            return t
+
+    def cache(self, name: str) -> CacheStats:
+        try:
+            return self.caches[name]
+        except KeyError:
+            s = self.caches[name] = CacheStats(name)
+            return s
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+        self.caches.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {k: c.snapshot() for k, c in sorted(self.counters.items())},
+            "timers": {k: t.snapshot() for k, t in sorted(self.timers.items())},
+            "caches": {k: s.snapshot() for k, s in sorted(self.caches.items())},
+        }
+
+    def report(self) -> str:
+        lines = ["perf report", "-" * 11]
+        if self.timers:
+            lines.append("timers:")
+            for name, t in sorted(self.timers.items()):
+                lines.append(
+                    f"  {name:<40} {t.total:9.3f}s total  "
+                    f"{t.count:7d} calls  {t.mean * 1e3:9.3f} ms/call"
+                )
+        if self.counters:
+            lines.append("counters:")
+            for name, c in sorted(self.counters.items()):
+                lines.append(f"  {name:<40} {c.value}")
+        if self.caches:
+            lines.append("caches:")
+            for name, s in sorted(self.caches.items()):
+                lines.append(
+                    f"  {name:<40} {s.hits:7d} hits  {s.misses:7d} misses  "
+                    f"{s.hit_rate * 100:6.2f}% hit rate"
+                )
+        return "\n".join(lines)

@@ -15,6 +15,7 @@ from .pooling import kurtosis3, mean_pool_representation, pool_representation
 from .ptq import LPQResult, lpq_quantize
 from .quantizer import (
     LayerStats,
+    WeightQuantCache,
     apply_quantization,
     bn_recalibrated,
     clear_quantization,
@@ -34,6 +35,7 @@ __all__ = [
     "OutputObjectiveEvaluator",
     "QuantSolution",
     "SearchHistory",
+    "WeightQuantCache",
     "apply_quantization",
     "bn_recalibrated",
     "clamp_lp_params",

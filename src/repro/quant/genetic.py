@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..numerics import LPParams
+from ..perf import get_perf
 from .params import QuantSolution, clamp_lp_params, random_solution
 
 __all__ = ["LPQConfig", "LPQEngine", "SearchHistory"]
@@ -89,16 +90,19 @@ class LPQEngine:
         self.num_layers = len(self.centers)
         self.population: list[tuple[QuantSolution, float]] = []
         self.history = SearchHistory()
+        self.perf = get_perf()
 
     # -- Step 1 ---------------------------------------------------------
     def initialize(self) -> None:
         """Sample K candidates and pre-compute their fitness."""
         self.population = []
-        for _ in range(self.config.population):
-            sol = random_solution(
-                self.rng, self.num_layers, self.centers, self.config.hw_widths
-            )
-            self.population.append((sol, self.evaluator(sol)))
+        with self.perf.timer("lpq.initialize").time():
+            for _ in range(self.config.population):
+                sol = random_solution(
+                    self.rng, self.num_layers, self.centers, self.config.hw_widths
+                )
+                self.population.append((sol, self.evaluator(sol)))
+        self.perf.counter("lpq.candidates").inc(self.config.population)
         self._rank()
         best_sol, best_fit = self.population[0]
         self.history.record(best_fit, best_sol)
@@ -142,37 +146,41 @@ class LPQEngine:
 
     # -- Steps 2-4 for one block ----------------------------------------
     def step(self, block: range) -> None:
-        best, second = self.population[0][0], self.population[1][0]
-        child = self._make_child(best, second, block)
+        with self.perf.timer("lpq.step").time():
+            best, second = self.population[0][0], self.population[1][0]
+            child = self._make_child(best, second, block)
 
-        # Step 3: diversity-promoting selection
-        diverse: list[QuantSolution] = []
-        if self.config.diversity:
-            for _ in range(self.config.diversity_parents):
-                random_parent = random_solution(
-                    self.rng, self.num_layers, self.centers, self.config.hw_widths
-                )
-                diverse.append(self._make_child(child, random_parent, block))
+            # Step 3: diversity-promoting selection
+            diverse: list[QuantSolution] = []
+            if self.config.diversity:
+                for _ in range(self.config.diversity_parents):
+                    random_parent = random_solution(
+                        self.rng, self.num_layers, self.centers,
+                        self.config.hw_widths,
+                    )
+                    diverse.append(self._make_child(child, random_parent, block))
 
-        # Step 4: evaluation and population update
-        child_fit = self.evaluator(child)
-        self.population.append((child, child_fit))
-        if diverse:
-            scored = [(d, self.evaluator(d)) for d in diverse]
-            scored.sort(key=lambda item: item[1])
-            self.population.append(scored[0])
-        self._rank()
-        # bound population growth: keep the K fittest
-        del self.population[self.config.population :]
-        self.history.record(self.population[0][1], self.population[0][0])
+            # Step 4: evaluation and population update
+            child_fit = self.evaluator(child)
+            self.population.append((child, child_fit))
+            if diverse:
+                scored = [(d, self.evaluator(d)) for d in diverse]
+                scored.sort(key=lambda item: item[1])
+                self.population.append(scored[0])
+            self.perf.counter("lpq.candidates").inc(1 + len(diverse))
+            self._rank()
+            # bound population growth: keep the K fittest
+            del self.population[self.config.population :]
+            self.history.record(self.population[0][1], self.population[0][0])
 
     # -- full search ------------------------------------------------------
     def run(self) -> tuple[QuantSolution, float]:
         """P passes × blocks × C cycles; returns (best solution, fitness)."""
-        if not self.population:
-            self.initialize()
-        for _ in range(self.config.passes):
-            for block in self._blocks():
-                for _ in range(self.config.cycles):
-                    self.step(block)
+        with self.perf.timer("lpq.run").time():
+            if not self.population:
+                self.initialize()
+            for _ in range(self.config.passes):
+                for block in self._blocks():
+                    for _ in range(self.config.cycles):
+                        self.step(block)
         return self.population[0]

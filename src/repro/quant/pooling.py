@@ -23,8 +23,11 @@ def kurtosis3(x: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     mean = x.mean(axis=axis, keepdims=True)
     centered = x - mean
-    var = (centered**2).mean(axis=axis)
-    fourth = (centered**4).mean(axis=axis)
+    sq = centered * centered
+    # the fourth moment squares the squares: elementwise pow(x, 4) goes
+    # through libm and is ~8x slower than two multiplies
+    var = sq.mean(axis=axis)
+    fourth = (sq * sq).mean(axis=axis)
     out = np.zeros_like(var)
     ok = var > eps
     out[ok] = fourth[ok] / (var[ok] ** 2) - 3.0

@@ -11,6 +11,7 @@ PyTorch).
 from __future__ import annotations
 
 import contextlib
+from collections import OrderedDict
 from collections.abc import Iterator
 
 import numpy as np
@@ -21,13 +22,65 @@ from .params import QuantSolution, clamp_lp_params
 
 __all__ = [
     "LayerStats",
+    "WeightQuantCache",
     "collect_layer_stats",
     "derive_activation_params",
     "apply_quantization",
     "clear_quantization",
     "quantized",
+    "bn_batch_stats",
     "bn_recalibrated",
 ]
+
+
+class WeightQuantCache:
+    """LRU cache of fake-quantized weight tensors keyed by (layer, params).
+
+    During a block-wise LPQ search, consecutive candidates share the
+    parameters of every layer outside the regenerated block, so the
+    corresponding ``lp_quantize(weight)`` results recur constantly.  The
+    cache is valid as long as the underlying FP weights are frozen (the
+    search never trains); call :meth:`clear` if weights are mutated.
+
+    ``stats``, when given, must expose ``hit()``/``miss()``/``evict()``
+    (see :class:`repro.perf.CacheStats`).
+    """
+
+    def __init__(self, max_entries: int = 1024, stats=None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = stats
+        # entries pin the layer object: a live reference means its id can
+        # never be recycled for a different layer, so an id-keyed hit is
+        # always the layer it claims to be
+        self._data: OrderedDict[
+            tuple[int, LPParams], tuple[Module, np.ndarray]
+        ] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def quantized_weight(self, layer: Module, params: LPParams) -> np.ndarray:
+        key = (id(layer), params)
+        entry = self._data.get(key)
+        if entry is not None:
+            self._data.move_to_end(key)
+            if self.stats is not None:
+                self.stats.hit()
+            return entry[1]
+        if self.stats is not None:
+            self.stats.miss()
+        wq = lp_quantize(layer.weight.data, params).astype(layer.weight.data.dtype)
+        self._data[key] = (layer, wq)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            if self.stats is not None:
+                self.stats.evict()
+        return wq
+
+    def clear(self) -> None:
+        self._data.clear()
 
 
 class LayerStats:
@@ -104,6 +157,7 @@ def apply_quantization(
     model: Module,
     solution: QuantSolution,
     act_params: list[LPParams] | None = None,
+    cache: WeightQuantCache | None = None,
 ) -> None:
     """Install weight (and optionally activation) fake-quantization.
 
@@ -111,6 +165,11 @@ def apply_quantization(
     the *input* quantizer of layer ``l + 1``.  Layer 0's input (the image)
     stays unquantized, matching the usual PTQ convention of an 8-bit-or-
     better input pipeline.
+
+    With a :class:`WeightQuantCache`, layers whose parameters were seen
+    before reuse the cached quantized tensor instead of re-running
+    ``lp_quantize`` — the per-candidate cost of a block-wise search drops
+    to quantizing only the regenerated block.
     """
     layers = quantizable_layers(model)
     if len(layers) != len(solution):
@@ -119,9 +178,12 @@ def apply_quantization(
         )
     for i, (_, layer) in enumerate(layers):
         wp = solution[i]
-        layer.weight_fq = lp_quantize(layer.weight.data, wp).astype(
-            layer.weight.data.dtype
-        )
+        if cache is not None:
+            layer.weight_fq = cache.quantized_weight(layer, wp)
+        else:
+            layer.weight_fq = lp_quantize(layer.weight.data, wp).astype(
+                layer.weight.data.dtype
+            )
         if act_params is not None and i > 0:
             ap = act_params[i - 1]
             layer.input_fq = _make_act_quantizer(ap)
@@ -155,6 +217,47 @@ def quantized(
         clear_quantization(model)
 
 
+def _save_bn_state(bns: list) -> list:
+    return [
+        (bn.running_mean.copy(), bn.running_var.copy(), bn.momentum)
+        for bn in bns
+    ]
+
+
+def _restore_bn_state(bns: list, saved: list) -> None:
+    for bn, (mean, var, momentum) in zip(bns, saved):
+        bn.running_mean[...] = mean
+        bn.running_var[...] = var
+        bn.momentum = momentum
+
+
+@contextlib.contextmanager
+def bn_batch_stats(model: Module, bns: list | None = None) -> Iterator[list]:
+    """Training-mode window with BN momentum 1: every BatchNorm inside
+    normalises by (and stores) the statistics of the current batch.
+
+    With momentum 1 the stored running statistics *equal* the batch
+    statistics, so outputs computed inside this window are bit-for-bit
+    what an eval pass under recalibrated statistics would produce — the
+    incremental fitness engine fuses recalibration and fingerprinting
+    into one pass on this basis.  Statistics, momenta, and eval mode are
+    all restored on exit.
+    """
+    from ..nn import BatchNorm2d
+
+    if bns is None:
+        bns = [m for _, m in model.named_modules() if isinstance(m, BatchNorm2d)]
+    saved = _save_bn_state(bns)
+    for bn in bns:
+        bn.momentum = 1.0
+    model.train()
+    try:
+        yield bns
+    finally:
+        model.eval()
+        _restore_bn_state(bns, saved)
+
+
 @contextlib.contextmanager
 def bn_recalibrated(model: Module, calib_images: np.ndarray) -> Iterator[Module]:
     """Re-estimate BatchNorm running statistics under the *current*
@@ -169,10 +272,7 @@ def bn_recalibrated(model: Module, calib_images: np.ndarray) -> Iterator[Module]
     from ..nn import BatchNorm2d
 
     bns = [m for _, m in model.named_modules() if isinstance(m, BatchNorm2d)]
-    saved = [
-        (bn.running_mean.copy(), bn.running_var.copy(), bn.momentum)
-        for bn in bns
-    ]
+    saved = _save_bn_state(bns)
     if bns:
         for bn in bns:
             bn.momentum = 1.0
@@ -184,8 +284,5 @@ def bn_recalibrated(model: Module, calib_images: np.ndarray) -> Iterator[Module]
     try:
         yield model
     finally:
-        for bn, (mean, var, momentum) in zip(bns, saved):
-            bn.running_mean[...] = mean
-            bn.running_var[...] = var
-            bn.momentum = momentum
+        _restore_bn_state(bns, saved)
         model.eval()

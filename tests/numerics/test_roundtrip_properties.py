@@ -1,0 +1,121 @@
+"""Format round-trip property tests.
+
+Exhaustive checks over a grid of (n, es, rs, sf) that for both
+:class:`PositFormat` and :class:`LogPositFormat`:
+
+* ``decode(encode(all_values()))`` is the identity,
+* ``quantize`` is idempotent,
+* the fused LUT quantize path is bitwise identical to the old
+  encode→decode round trip,
+* NaN encodes to the NaR pattern and round-trips as NaN.
+"""
+
+import numpy as np
+import pytest
+
+from repro.numerics import LogPositFormat, LPParams, PositFormat
+from repro.numerics.logposit import lp_decode, lp_encode, lp_quantize
+from repro.numerics.posit import posit_decode, posit_encode
+
+POSIT_GRID = [
+    (n, es) for n in (2, 3, 4, 6, 8, 10) for es in (0, 1, 2)
+]
+
+LP_GRID = [
+    (n, es, rs, sf)
+    for n in (3, 4, 6, 8)
+    for es in (0, 1, 2)
+    for rs in (2, 3, n - 1)
+    if rs <= n - 1
+    for sf in (0.0, 0.371, -1.25)
+]
+
+
+def _finite_values(fmt):
+    vals = fmt.all_values()
+    return vals[np.isfinite(vals)]
+
+
+class TestPositRoundTrip:
+    @pytest.mark.parametrize("n,es", POSIT_GRID)
+    def test_decode_encode_identity_on_all_values(self, n, es):
+        fmt = PositFormat(n, es)
+        vals = _finite_values(fmt)
+        round_tripped = fmt.decode(fmt.encode(vals))
+        np.testing.assert_array_equal(round_tripped, vals)
+
+    @pytest.mark.parametrize("n,es", POSIT_GRID)
+    def test_quantize_idempotent(self, n, es):
+        fmt = PositFormat(n, es)
+        rng = np.random.default_rng(n * 31 + es)
+        x = rng.normal(scale=10.0, size=512)
+        q = fmt.quantize(x)
+        np.testing.assert_array_equal(fmt.quantize(q), q)
+
+    @pytest.mark.parametrize("n,es", POSIT_GRID)
+    def test_lut_path_matches_encode_decode(self, n, es):
+        fmt = PositFormat(n, es)
+        rng = np.random.default_rng(n * 131 + es)
+        x = np.concatenate([
+            rng.normal(scale=s, size=256) for s in (1e-3, 1.0, 1e3)
+        ] + [np.array([0.0, -0.0, np.nan, np.inf, -np.inf])])
+        fused = fmt.quantize(x)  # LUT path (PositFormat._lut)
+        legacy = fmt.decode(fmt.encode(x))
+        np.testing.assert_array_equal(fused, legacy)
+
+
+class TestLogPositRoundTrip:
+    @pytest.mark.parametrize("n,es,rs,sf", LP_GRID)
+    def test_decode_encode_identity_on_all_values(self, n, es, rs, sf):
+        fmt = LogPositFormat.make(n, es, rs, sf)
+        vals = _finite_values(fmt)
+        round_tripped = fmt.decode(fmt.encode(vals))
+        np.testing.assert_array_equal(round_tripped, vals)
+
+    @pytest.mark.parametrize("n,es,rs,sf", LP_GRID)
+    def test_quantize_idempotent(self, n, es, rs, sf):
+        fmt = LogPositFormat.make(n, es, rs, sf)
+        rng = np.random.default_rng(n * 31 + es * 7 + rs)
+        x = rng.normal(scale=4.0, size=512)
+        q = fmt.quantize(x)
+        np.testing.assert_array_equal(fmt.quantize(q), q)
+
+    @pytest.mark.parametrize("n,es,rs,sf", LP_GRID)
+    def test_quantize_matches_encode_decode(self, n, es, rs, sf):
+        params = LPParams(n=n, es=es, rs=rs, sf=sf)
+        rng = np.random.default_rng(n * 131 + es * 17 + rs)
+        x = np.concatenate([
+            rng.normal(scale=s, size=256) for s in (1e-2, 1.0, 1e2)
+        ] + [np.array([0.0, -0.0, np.nan, np.inf, -np.inf])])
+        fused = lp_quantize(x, params)
+        legacy = lp_decode(lp_encode(x, params), params)
+        np.testing.assert_array_equal(fused, legacy)
+
+
+class TestNaRHandling:
+    @pytest.mark.parametrize("n,es", [(4, 0), (8, 1), (8, 2), (16, 2)])
+    def test_posit_nan_encodes_to_nar(self, n, es):
+        nar = 1 << (n - 1)
+        codes = posit_encode(np.array([np.nan, 1.0, np.nan]), n, es)
+        assert codes[0] == nar and codes[2] == nar
+        assert codes[1] != nar
+        decoded = posit_decode(codes, n, es)
+        assert np.isnan(decoded[0]) and np.isnan(decoded[2])
+
+    @pytest.mark.parametrize("n,es,rs", [(4, 0, 2), (6, 1, 3), (8, 2, 4)])
+    def test_lp_nan_encodes_to_nar(self, n, es, rs):
+        params = LPParams(n=n, es=es, rs=rs, sf=0.5)
+        nar = 1 << (n - 1)
+        codes = lp_encode(np.array([np.nan, -2.5]), params)
+        assert codes[0] == nar and codes[1] != nar
+        assert np.isnan(lp_decode(codes, params)[0])
+
+    def test_quantize_maps_nan_to_nan(self):
+        x = np.array([np.nan, 1.0, -np.nan])
+        assert np.isnan(PositFormat(8, 1).quantize(x)[[0, 2]]).all()
+        p = LPParams(n=6, es=1, rs=3, sf=0.2)
+        assert np.isnan(lp_quantize(x, p)[[0, 2]]).all()
+
+    def test_zero_still_encodes_to_zero_pattern(self):
+        assert posit_encode(np.array([0.0]), 8, 1)[0] == 0
+        assert lp_encode(np.array([0.0]), LPParams(6, 1, 3))[0] == 0

@@ -1,0 +1,75 @@
+"""Perf-counter subsystem (repro.perf)."""
+
+import time
+
+from repro.perf import PerfRegistry, get_perf, reset_perf
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        reg = PerfRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_timer_accumulates_wall_clock(self):
+        reg = PerfRegistry()
+        with reg.timer("t").time():
+            time.sleep(0.01)
+        with reg.timer("t").time():
+            pass
+        t = reg.timer("t")
+        assert t.count == 2
+        assert t.total >= 0.01
+        assert t.mean == t.total / 2
+
+    def test_cache_stats_hit_rate(self):
+        reg = PerfRegistry()
+        s = reg.cache("c")
+        s.hit(3)
+        s.miss()
+        assert s.lookups == 4
+        assert s.hit_rate == 0.75
+        s.evict()
+        assert s.evictions == 1
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert PerfRegistry().cache("x").hit_rate == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        reg = PerfRegistry()
+        reg.counter("n").inc()
+        with reg.timer("t").time():
+            pass
+        reg.cache("c").hit()
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"]["n"] == 1
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["caches"]["c"]["hits"] == 1
+
+    def test_report_mentions_all_sections(self):
+        reg = PerfRegistry()
+        reg.counter("evals").inc()
+        with reg.timer("step").time():
+            pass
+        reg.cache("memo").miss()
+        report = reg.report()
+        for token in ("evals", "step", "memo", "hit rate"):
+            assert token in report
+
+    def test_reset_clears_state(self):
+        reg = PerfRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "timers": {}, "caches": {}}
+
+    def test_global_registry_round_trip(self):
+        reg = get_perf()
+        reg.counter("test.global").inc()
+        assert get_perf().counter("test.global").value >= 1
+        reset_perf()
+        assert "test.global" not in get_perf().counters
