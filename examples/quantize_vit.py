@@ -2,13 +2,20 @@
 
 Quantizes the Swin-T analogue with the paper's global-local contrastive
 objective and with plain MSE, then compares the resulting accuracy.
+Both searches fan their population evaluations out across worker
+processes via the executor backend knob (drop ``executor=`` or pass
+``ExecutorConfig("serial")`` to stay single-process — the trajectory is
+bitwise identical either way).
 
 Run:  python examples/quantize_vit.py
 """
 
+import os
+
 from repro.data import calibration_batch, make_dataset
 from repro.models import get_model
 from repro.models.zoo import evaluate
+from repro.parallel import ExecutorConfig
 from repro.quant import LPQConfig, bn_recalibrated, lpq_quantize, quantized
 
 
@@ -24,8 +31,15 @@ def main() -> None:
     # safely — see DESIGN.md §6 and the REPRO_EFFORT=paper benchmarks)
     config = LPQConfig(population=8, passes=2, cycles=1, block_size=6,
                        hw_widths=(4, 8))
+    workers = min(os.cpu_count() or 1, 4)
+    executor = (
+        ExecutorConfig(backend="process", workers=workers)
+        if workers > 1 else ExecutorConfig(backend="serial")
+    )
+    print(f"executor: {executor.backend} backend, {workers} worker(s)\n")
     for objective in ("global_local_contrastive", "mse"):
-        result = lpq_quantize(model, calib, config=config, objective=objective)
+        result = lpq_quantize(model, calib, config=config,
+                              objective=objective, executor=executor)
         with quantized(model, result.solution, result.act_params):
             with bn_recalibrated(model, calib):  # no-op for LayerNorm ViTs
                 acc = evaluate(model, test.images, test.labels)

@@ -3,9 +3,12 @@
 Run:  python examples/quickstart.py
 """
 
+import os
+
 import numpy as np
 
 from repro.numerics import LogPositFormat, LPParams, tensor_log_center
+from repro.parallel import ExecutorConfig
 from repro.quant import LPQConfig, bn_recalibrated, lpq_quantize, quantized
 from repro.data import calibration_batch, make_dataset
 from repro.models import get_model
@@ -28,14 +31,25 @@ def main() -> None:
     # --- 2. Post-training quantization with LPQ -------------------------
     model = get_model("resnet18")  # trains + caches on first call
     calib = calibration_batch(64)  # unlabelled calibration images
+    # the executor knob fans candidate evaluations out across worker
+    # processes (backends: "serial", "thread", "process"); every backend
+    # produces a bitwise-identical search trajectory, only faster
+    workers = min(os.cpu_count() or 1, 4)
+    executor = (
+        ExecutorConfig(backend="process", workers=workers)
+        if workers > 1 else None  # serial is the single-core sweet spot
+    )
     result = lpq_quantize(
         model,
         calib,
         config=LPQConfig(population=8, passes=1, cycles=1, block_size=6,
                          hw_widths=(4, 8)),
+        executor=executor,
     )
+    backend = executor.backend if executor else "serial"
     print(f"\nLPQ searched {len(result.solution)} layers "
-          f"({result.evaluations} fitness evaluations)")
+          f"({result.evaluations} fitness evaluations, "
+          f"{backend} backend)")
     print(f"  mean weight bits: {result.mean_weight_bits:.2f}")
     print(f"  mean act bits:    {result.mean_act_bits:.2f}")
     print(f"  model size:       {result.model_size_mb():.3f} MB "

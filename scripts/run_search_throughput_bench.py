@@ -4,12 +4,15 @@
 Usage::
 
     PYTHONPATH=src python scripts/run_search_throughput_bench.py \
-        [--calib 16] [--seed 0] [--out BENCH_search_throughput.json]
+        [--calib 16] [--seed 0] [--model resnet --model vit ...] \
+        [--backend serial --backend process ...] [--workers N] \
+        [--out BENCH_search_throughput.json]
 
-The record compares the reference evaluation path against the
-incremental engine (fitness memo, quantized-weight cache, fused BN
-recalibration, prefix-reuse forwards) on the same search, asserting the
-trajectories stay bitwise identical.  The emitted file is the repo's
+For every selected model the record compares the reference evaluation
+path, the incremental engine (fitness memo, weight/activation quant
+caches, fused BN recalibration, prefix-reuse forwards), and the parallel
+population executors (``repro.parallel``) on the same search, asserting
+the trajectories stay bitwise identical.  The emitted file is the repo's
 perf-trajectory artifact: commit a refreshed copy whenever a PR moves
 the numbers.
 """
@@ -23,8 +26,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.parallel import BACKENDS  # noqa: E402
 from repro.perf import run_search_throughput_bench  # noqa: E402
-from repro.perf.bench import write_bench_record  # noqa: E402
+from repro.perf.bench import BENCH_MODELS, write_bench_record  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,24 +36,70 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--calib", type=int, default=16,
                         help="calibration batch size (default 16)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--model", action="append", dest="models",
+                        choices=sorted(BENCH_MODELS),
+                        help="benchmark model(s); repeatable "
+                             "(default: all of resnet, vit, swin)")
+    parser.add_argument("--backend", action="append", dest="backends",
+                        choices=BACKENDS,
+                        help="executor backend(s); repeatable "
+                             "(default: serial and process)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="executor worker count (default: all CPUs)")
+    parser.add_argument("--no-objective", action="store_true",
+                        help="skip the OutputObjectiveEvaluator section")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default: repo root "
                              "BENCH_search_throughput.json)")
     args = parser.parse_args(argv)
 
-    record = run_search_throughput_bench(calib=args.calib, seed=args.seed)
+    models = tuple(args.models or ("resnet", "vit", "swin"))
+    backends = tuple(args.backends or ("serial", "process"))
+    record = run_search_throughput_bench(
+        calib=args.calib,
+        seed=args.seed,
+        models=models,
+        backends=backends,
+        workers=args.workers,
+        include_objective=not args.no_objective,
+    )
     path = write_bench_record(record, args.out)
 
-    ref, fast = record["reference"], record["fast"]
-    print(f"reference: {ref['wall_s']:.2f}s "
-          f"({ref['evals_per_s']:.2f} evals/s)")
-    print(f"fast:      {fast['wall_s']:.2f}s "
-          f"({fast['evals_per_s']:.2f} evals/s)")
-    print(f"speedup:   {record['speedup']:.2f}x  "
-          f"identical: {record['identical']}")
+    ok = True
+    workers = ", ".join(
+        f"{bk}={n}" for bk, n in record["workers"].items()
+    ) or "none"
+    print(f"cpu count: {record['cpu']['count']}  workers: {workers}")
+    for name, section in record["models"].items():
+        ref, fast = section["reference"], section["fast"]
+        print(f"[{name}]")
+        print(f"  reference: {ref['wall_s']:.2f}s "
+              f"({ref['evals_per_s']:.2f} evals/s)")
+        print(f"  fast:      {fast['wall_s']:.2f}s "
+              f"({fast['evals_per_s']:.2f} evals/s)  "
+              f"speedup {section['speedup']:.2f}x  "
+              f"identical: {section['identical']}")
+        ok = ok and section["identical"]
+        for backend, rec in section["backends"].items():
+            print(f"  {backend:<9}: {rec['wall_s']:.2f}s "
+                  f"({rec['evals_per_s']:.2f} evals/s, "
+                  f"{rec['workers']} workers)  "
+                  f"{rec['speedup_vs_fast']:.2f}x vs fast  "
+                  f"identical: {rec['identical']}")
+            ok = ok and rec["identical"]
+    obj = record.get("objective_evaluator")
+    if obj is not None:
+        print(f"[objective:{obj['objective']} on {obj['model']}]")
+        print(f"  reference: {obj['reference']['wall_s']:.2f}s  "
+              f"fast: {obj['fast']['wall_s']:.2f}s  "
+              f"speedup {obj['speedup']:.2f}x  "
+              f"identical: {obj['identical']}")
+        ok = ok and obj["identical"]
     print(f"record written to {path}")
-    print(json.dumps(fast["perf"]["caches"], indent=2, sort_keys=True))
-    return 0 if record["identical"] else 1
+    first = record["models"][models[0]]
+    print(json.dumps(first["fast"]["perf"]["caches"], indent=2,
+                     sort_keys=True))
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ Subpackages
 - :mod:`repro.models` — ResNet/MobileNet/ViT-family model zoo.
 - :mod:`repro.data` — synthetic calibration/evaluation dataset.
 - :mod:`repro.quant` — LPQ genetic post-training quantization.
+- :mod:`repro.parallel` — parallel population evaluation (executor backends).
 - :mod:`repro.accel` — LPA systolic-array accelerator model + baselines.
 - :mod:`repro.perf` — perf counters, timers, and the search throughput bench.
 - :mod:`repro.experiments` — one harness per paper table/figure.

@@ -7,6 +7,7 @@ this keeps kernels in plain numpy and the control flow obvious.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterator
 
 import numpy as np
@@ -15,9 +16,22 @@ from .tensor import Parameter
 
 __all__ = ["Module", "Sequential"]
 
-#: active prefix-reuse forward cache (rebound by repro.nn.replay while a
-#: cached pass is running); None keeps __call__ on the zero-overhead path
-_ACTIVE_REPLAY = None
+
+class _ReplayState(threading.local):
+    """Holder for the active prefix-reuse forward cache.
+
+    Thread-local on purpose: parallel population evaluation runs one
+    replica model per thread, each with its own ForwardCache — a plain
+    module global would let one thread's cached pass capture another
+    thread's module calls (corrupting both records).  ``active`` is
+    rebound by repro.nn.replay while a cached pass is running; None
+    keeps __call__ on the zero-overhead path.
+    """
+
+    active = None
+
+
+_REPLAY = _ReplayState()
 
 
 class Module:
@@ -115,14 +129,15 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        if _ACTIVE_REPLAY is None:
+        replay = _REPLAY.active
+        if replay is None:
             out = self.forward(x)
         else:
             # prefix-reuse mode: the cache decides whether this call's
             # subtree is unchanged (replay its recorded output) or must
             # recompute; hooks fire either way so activation recording
             # sees every module whose __call__ ran
-            out = _ACTIVE_REPLAY.call(self, x)
+            out = replay.call(self, x)
         for hook in self._forward_hooks:
             hook(self, out)
         return out

@@ -132,8 +132,10 @@ class ForwardCache:
         return self._run_replay(x, cutoff)
 
     def _activate(self):
-        prev = _module._ACTIVE_REPLAY
-        _module._ACTIVE_REPLAY = self
+        # thread-local: concurrent replicas (thread-backend population
+        # evaluation) must not observe each other's cached passes
+        prev = _module._REPLAY.active
+        _module._REPLAY.active = self
         return prev
 
     def _run_record(self, x: np.ndarray) -> np.ndarray:
@@ -147,7 +149,7 @@ class ForwardCache:
         try:
             out = self.model(x)
         finally:
-            _module._ACTIVE_REPLAY = prev
+            _module._REPLAY.active = prev
         self._primed = True
         self._input_ref = x
         self.record_passes += 1
@@ -166,7 +168,7 @@ class ForwardCache:
             self._primed = False
             raise
         finally:
-            _module._ACTIVE_REPLAY = prev
+            _module._REPLAY.active = prev
         self.replay_passes += 1
         return out
 

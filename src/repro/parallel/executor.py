@@ -1,0 +1,229 @@
+"""Executor backends for parallel population evaluation.
+
+Three interchangeable backends score batches of candidates:
+
+* ``serial`` — one replica in the calling thread.  Zero overhead, and
+  because the replica records into the ambient perf registry and its
+  caches live across batches, a serial run is bit-for-bit *and*
+  counter-for-counter the PR-1 incremental engine.
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor` over N
+  replicas.  numpy releases the GIL inside BLAS kernels, so medium-size
+  models see real concurrency without any pickling.
+* ``process`` — a :class:`multiprocessing.pool.Pool` whose workers each
+  build a replica from the pickled :class:`EvaluatorSpec` at startup.
+  True parallelism; candidates and scalar results are the only per-task
+  traffic.
+
+All backends return results in submission order.  Worker replicas record
+into private :class:`~repro.perf.PerfRegistry` instances and ship one
+snapshot *delta* per result; the coordinating process merges the deltas
+into the ambient registry, so counters and cache hit-rates stay truthful
+after a fan-out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..perf import PerfRegistry, diff_snapshots
+from .evaluator import EvaluatorReplica, EvaluatorSpec
+
+__all__ = [
+    "BACKENDS",
+    "ExecutorConfig",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Backend selection for population evaluation.
+
+    ``workers=None`` uses every available CPU (min 1).  ``start_method``
+    overrides the multiprocessing start method for the process backend
+    (``None`` = platform default; "spawn" exercises the fully-pickled
+    path that a distributed deployment would use).
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be positive")
+
+    def resolved_workers(self) -> int:
+        if self.workers is not None:
+            return self.workers
+        return max(os.cpu_count() or 1, 1)
+
+
+class SerialExecutor:
+    """In-process evaluation; the replica records into the ambient
+    registry directly, so no snapshot merging is needed."""
+
+    def __init__(self, spec: EvaluatorSpec, perf) -> None:
+        # the replica may use a passed-in model instance as-is: nothing
+        # else evaluates concurrently in this backend
+        self.replica = spec.build(perf=perf, copy_model=False)
+        self.workers = 1
+
+    def evaluate_batch(self, solutions) -> list[float]:
+        return [self.replica.evaluate(sol) for sol in solutions]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadExecutor:
+    """Thread-pool evaluation over per-worker replicas.
+
+    Replicas are handed out through a queue so each is used by exactly
+    one task at a time; each owns a private registry whose per-task
+    deltas are merged by the submitting thread, keeping merges ordered
+    and race-free.
+    """
+
+    def __init__(self, spec: EvaluatorSpec, workers: int, perf) -> None:
+        self.workers = workers
+        self.perf = perf
+        self._replicas: queue.SimpleQueue = queue.SimpleQueue()
+        for _ in range(workers):
+            registry = PerfRegistry()
+            replica = spec.build(perf=registry, copy_model=True)
+            self._replicas.put((replica, registry, [registry.snapshot()]))
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-eval"
+        )
+
+    def _evaluate_one(self, solution):
+        slot = self._replicas.get()
+        replica, registry, last_snap = slot
+        try:
+            fitness = replica.evaluate(solution)
+            snap = registry.snapshot()
+            delta = diff_snapshots(snap, last_snap[0])
+            last_snap[0] = snap
+            return fitness, delta
+        finally:
+            self._replicas.put(slot)
+
+    def evaluate_batch(self, solutions) -> list[float]:
+        futures = [
+            self._pool.submit(self._evaluate_one, sol) for sol in solutions
+        ]
+        results = []
+        for future in futures:  # submission order == result order
+            fitness, delta = future.result()
+            self.perf.merge_snapshot(delta)
+            results.append(fitness)
+        return results
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# -- process backend ----------------------------------------------------
+# Worker state lives in module globals: multiprocessing initializes each
+# worker once with the pickled spec, then tasks only carry candidates.
+_WORKER_REPLICA: EvaluatorReplica | None = None
+_WORKER_PERF: PerfRegistry | None = None
+_WORKER_SNAP: dict | None = None
+_WORKER_INIT_ERROR: str | None = None
+
+
+def _init_worker(spec: EvaluatorSpec) -> None:
+    global _WORKER_REPLICA, _WORKER_PERF, _WORKER_SNAP, _WORKER_INIT_ERROR
+    # the initializer must never raise: multiprocessing.Pool responds to
+    # an initializer exception by silently respawning the worker forever,
+    # turning a bad spec into a hang.  Swallow the error here and let the
+    # first task report it instead.
+    try:
+        _WORKER_PERF = PerfRegistry()
+        # a fresh process owns its (inherited or unpickled) spec outright
+        # — no copy needed even when the spec carries a model instance
+        _WORKER_REPLICA = spec.build(perf=_WORKER_PERF, copy_model=False)
+        _WORKER_SNAP = _WORKER_PERF.snapshot()
+        _WORKER_INIT_ERROR = None
+    except BaseException:
+        import traceback
+
+        _WORKER_REPLICA = None
+        _WORKER_INIT_ERROR = traceback.format_exc()
+
+
+def _evaluate_in_worker(solution):
+    global _WORKER_SNAP
+    if _WORKER_REPLICA is None:
+        raise RuntimeError(
+            "evaluator replica failed to initialize in worker:\n"
+            f"{_WORKER_INIT_ERROR or 'worker not initialized'}"
+        )
+    fitness = _WORKER_REPLICA.evaluate(solution)
+    snap = _WORKER_PERF.snapshot()
+    delta = diff_snapshots(snap, _WORKER_SNAP)
+    _WORKER_SNAP = snap
+    return fitness, delta
+
+
+class ProcessExecutor:
+    """Process-pool evaluation; workers rebuild replicas from the spec."""
+
+    def __init__(
+        self,
+        spec: EvaluatorSpec,
+        workers: int,
+        perf,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = workers
+        self.perf = perf
+        ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._pool = ctx.Pool(
+            processes=workers, initializer=_init_worker, initargs=(spec,)
+        )
+
+    def evaluate_batch(self, solutions) -> list[float]:
+        results = []
+        # chunksize 1: population slices are small (a handful of diversity
+        # children), so per-candidate dispatch keeps all workers busy
+        for fitness, delta in self._pool.map(
+            _evaluate_in_worker, solutions, chunksize=1
+        ):
+            self.perf.merge_snapshot(delta)
+            results.append(fitness)
+        return results
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+
+def make_executor(spec: EvaluatorSpec, config: ExecutorConfig, perf):
+    """Build the executor selected by ``config``."""
+    if config.backend == "serial":
+        return SerialExecutor(spec, perf)
+    workers = config.resolved_workers()
+    if config.backend == "thread":
+        return ThreadExecutor(spec, workers, perf)
+    return ProcessExecutor(
+        spec, workers, perf, start_method=config.start_method
+    )

@@ -9,13 +9,14 @@ fresh measurement window; :mod:`repro.perf.bench` runs the search
 throughput benchmark that tracks these numbers across PRs.
 """
 
-from .counters import CacheStats, Counter, PerfRegistry, Timer
+from .counters import CacheStats, Counter, PerfRegistry, Timer, diff_snapshots
 
 __all__ = [
     "CacheStats",
     "Counter",
     "PerfRegistry",
     "Timer",
+    "diff_snapshots",
     "get_perf",
     "reset_perf",
     "run_search_throughput_bench",

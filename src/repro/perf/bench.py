@@ -1,18 +1,27 @@
-"""Search-throughput benchmark: incremental LPQ engine vs reference path.
+"""Search-throughput benchmark: incremental + parallel LPQ engines.
 
-Runs the *same* genetic search twice — once with the reference
-evaluator (full BN-recalibration pass + full fingerprint pass per
-candidate) and once with the incremental engine (fitness memo,
-quantized-weight cache, fused recalibration, prefix-reuse forwards) —
-and reports wall-clock, throughput, speedup, and the engine's cache hit
-rates.  Both runs must produce bitwise-identical search trajectories;
-``identical`` in the emitted record asserts the correctness bar of the
-fast path, not just its speed.
+For each benchmark model (a BatchNorm CNN, a ViT analogue, and a Swin
+analogue) the *same* genetic search runs several ways:
 
-The benchmark model is a BatchNorm CNN with a *front-loaded* cost
-profile (constant channel width, spatial halving), mirroring real CNNs
-where early high-resolution layers dominate: the deeper the first
-changed layer, the bigger the replayed prefix.
+* ``reference`` — full BN-recalibration pass + full measurement pass per
+  candidate (``FitnessConfig.fast`` off);
+* ``fast`` — the PR-1 incremental engine (fitness memo, quantized-weight
+  + activation-quant caches, fused recalibration, prefix-reuse forwards);
+* one section per executor backend (``serial`` / ``thread`` /
+  ``process``) — the incremental engine fanned out across worker
+  replicas by :class:`repro.parallel.PopulationEvaluator`.
+
+Every variant must produce a bitwise-identical search trajectory;
+``identical`` flags in the emitted record assert the correctness bar of
+each path, not just its speed.  The ViT/Swin sections measure what the
+prefix-reuse replay is worth on LayerNorm models (no BN, so the win is
+the forward prefix), and the ``objective_evaluator`` section measures the
+incremental engine on the Fig. 5(a) final-output baselines.
+
+The CNN benchmark model has a *front-loaded* cost profile (constant
+channel width, spatial halving), mirroring real CNNs where early
+high-resolution layers dominate: the deeper the first changed layer, the
+bigger the replayed prefix.
 
 ``python scripts/run_search_throughput_bench.py`` emits the record as
 ``BENCH_search_throughput.json`` so the perf trajectory is tracked
@@ -22,23 +31,33 @@ across PRs.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from pathlib import Path
 
 from .. import nn
 from ..data import calibration_batch
+from ..models.swin import SwinTransformer
+from ..models.vit import VisionTransformer
 from ..quant import (
     FitnessConfig,
     FitnessEvaluator,
     LPQConfig,
     LPQEngine,
+    OutputObjectiveEvaluator,
     collect_layer_stats,
     derive_activation_params,
 )
 from . import get_perf, reset_perf
 
-__all__ = ["BenchSearchCNN", "bench_config", "run_search_throughput_bench",
-           "write_bench_record"]
+__all__ = [
+    "BENCH_MODELS",
+    "BenchSearchCNN",
+    "bench_config",
+    "run_search_throughput_bench",
+    "write_bench_record",
+]
 
 #: default output location (repo root) for the emitted record
 DEFAULT_RECORD = "BENCH_search_throughput.json"
@@ -80,38 +99,68 @@ class BenchSearchCNN(nn.Module):
         return self.head(self.pool(self.features(x)))
 
 
+def bench_resnet() -> nn.Module:
+    """The front-loaded BatchNorm CNN (ResNet-style conv stack)."""
+    return BenchSearchCNN()
+
+
+def bench_vit() -> nn.Module:
+    """Small ViT analogue: 4 pre-norm encoder blocks, 18 quantizable
+    layers, LayerNorm only (exercises the BN-free replay path)."""
+    return VisionTransformer(
+        num_classes=16, dim=32, depth=4, num_heads=4, mlp_ratio=2.0
+    )
+
+
+def bench_swin() -> nn.Module:
+    """Small Swin analogue: 2 stages with shifted 4×4 windows and patch
+    merging, 19 quantizable layers, LayerNorm only."""
+    return SwinTransformer(
+        num_classes=16, dim=24, depths=(2, 2), num_heads=(2, 4), window=4
+    )
+
+
+#: benchmark model registry — module-level builders so EvaluatorSpec can
+#: ship them to process workers by reference
+BENCH_MODELS = {
+    "resnet": bench_resnet,
+    "vit": bench_vit,
+    "swin": bench_swin,
+}
+
+
 def bench_config(seed: int = 0) -> LPQConfig:
-    """Fast-effort search budget used by the throughput benchmark."""
+    """Fast-effort search budget used by the throughput benchmark.
+
+    ``diversity_parents`` keeps the paper's default of five so every GA
+    step submits a six-candidate batch — enough per-step parallelism for
+    a two-worker fan-out to approach its 2× ceiling.
+    """
     return LPQConfig(
         population=4,
         passes=2,
         cycles=1,
         block_size=3,
-        diversity_parents=2,
+        diversity_parents=5,
         hw_widths=(2, 4, 8),
         seed=seed,
     )
 
 
-def _run_search(fast: bool, calib: int, config: LPQConfig, seed: int) -> dict:
-    """One full search with a freshly seeded model; returns measurements."""
-    nn.seed(seed)  # identical weights across the two modes
-    model = BenchSearchCNN()
+def _prepare(model_name: str, calib: int, seed: int):
+    """Freshly seeded model + calibration batch + layer stats."""
+    nn.seed(seed)  # identical weights across all modes
+    model = BENCH_MODELS[model_name]()
     model.eval()
     images = calibration_batch(calib, seed=seed + 1)
     stats = collect_layer_stats(model, images)
-    reset_perf()
-    evaluator = FitnessEvaluator(
-        model, images, stats.param_counts, FitnessConfig(fast=fast)
-    )
+    return model, images, stats
 
-    def evaluate(solution):
-        acts = derive_activation_params(solution, stats)
-        return evaluator(solution, acts)
 
-    engine = LPQEngine(evaluate, stats.weight_log_centers, config)
+def _measurements(engine_run, evaluator) -> dict:
+    """Time one search and collect the standard per-run section."""
     start = time.perf_counter()
-    solution, fitness = engine.run()
+    solution, fitness = engine_run()
     wall = time.perf_counter() - start
     return {
         "wall_s": wall,
@@ -119,31 +168,149 @@ def _run_search(fast: bool, calib: int, config: LPQConfig, seed: int) -> dict:
         "computed_evaluations": evaluator.computed_evaluations,
         "evals_per_s": evaluator.evaluations / wall if wall > 0 else 0.0,
         "best_fitness": fitness,
-        "history": list(engine.history.best_fitness),
         "mean_bits": solution.mean_weight_bits(),
         "perf": get_perf().snapshot(),
     }
 
 
-def run_search_throughput_bench(
-    calib: int = 16, config: LPQConfig | None = None, seed: int = 0
+def _run_search(
+    model_name: str,
+    fast: bool,
+    calib: int,
+    config: LPQConfig,
+    seed: int,
+    objective: str | None = None,
 ) -> dict:
-    """Benchmark record comparing reference vs incremental search runs."""
+    """One full search on the single-evaluator path.
+
+    ``objective=None`` uses the paper's :class:`FitnessEvaluator`; an
+    objective name runs the same search through the Fig. 5(a)
+    :class:`OutputObjectiveEvaluator` instead.
+    """
+    model, images, stats = _prepare(model_name, calib, seed)
+    reset_perf()
+    if objective is None:
+        evaluator = FitnessEvaluator(
+            model, images, stats.param_counts, FitnessConfig(fast=fast)
+        )
+    else:
+        evaluator = OutputObjectiveEvaluator(
+            model, images, stats.param_counts, objective,
+            FitnessConfig(fast=fast),
+        )
+
+    def evaluate(solution):
+        acts = derive_activation_params(solution, stats)
+        return evaluator(solution, acts)
+
+    engine = LPQEngine(evaluate, stats.weight_log_centers, config)
+    rec = _measurements(engine.run, evaluator)
+    rec["history"] = list(engine.history.best_fitness)
+    return rec
+
+
+def _run_search_backend(
+    model_name: str,
+    backend: str,
+    workers: int | None,
+    calib: int,
+    config: LPQConfig,
+    seed: int,
+) -> dict:
+    """One full search through a parallel population executor."""
+    from ..parallel import EvaluatorSpec, ExecutorConfig, PopulationEvaluator
+
+    model, images, stats = _prepare(model_name, calib, seed)
+    reset_perf()
+    spec = EvaluatorSpec(
+        images=images,
+        builder=BENCH_MODELS[model_name],
+        state=model.state_dict(),
+        config=FitnessConfig(fast=True),
+        stats=stats,
+    )
+    with PopulationEvaluator(
+        spec, ExecutorConfig(backend=backend, workers=workers)
+    ) as evaluator:
+        engine = LPQEngine(evaluator, stats.weight_log_centers, config)
+        rec = _measurements(engine.run, evaluator)
+        rec["history"] = list(engine.history.best_fitness)
+        rec["workers"] = evaluator.workers
+    return rec
+
+
+def _strip_history(*records: dict) -> None:
+    for rec in records:
+        rec.pop("history", None)  # bulky; equality already distilled
+
+
+def _model_section(
+    model_name: str,
+    calib: int,
+    config: LPQConfig,
+    seed: int,
+    backends: tuple[str, ...],
+    workers: int | None,
+) -> dict:
+    reference = _run_search(model_name, False, calib, config, seed)
+    fast = _run_search(model_name, True, calib, config, seed)
+    section = {
+        "reference": reference,
+        "fast": fast,
+        "speedup": (
+            reference["wall_s"] / fast["wall_s"] if fast["wall_s"] > 0 else 0.0
+        ),
+        "identical": (
+            reference["best_fitness"] == fast["best_fitness"]
+            and reference["history"] == fast["history"]
+        ),
+        "backends": {},
+    }
+    for backend in backends:
+        rec = _run_search_backend(
+            model_name, backend, workers, calib, config, seed
+        )
+        rec["identical"] = (
+            rec["best_fitness"] == fast["best_fitness"]
+            and rec["history"] == fast["history"]
+        )
+        rec["speedup_vs_fast"] = (
+            rec["evals_per_s"] / fast["evals_per_s"]
+            if fast["evals_per_s"] > 0
+            else 0.0
+        )
+        _strip_history(rec)
+        section["backends"][backend] = rec
+    _strip_history(reference, fast)
+    return section
+
+
+def run_search_throughput_bench(
+    calib: int = 16,
+    config: LPQConfig | None = None,
+    seed: int = 0,
+    models: tuple[str, ...] = ("resnet", "vit", "swin"),
+    backends: tuple[str, ...] = ("serial", "process"),
+    workers: int | None = None,
+    objective: str = "mse",
+    include_objective: bool = True,
+) -> dict:
+    """Benchmark record: per-model reference/fast/backend search runs.
+
+    ``workers=None`` lets the executor use every CPU.  The returned
+    record keeps the PR-1 top-level ``reference``/``fast``/``speedup``/
+    ``identical`` fields (mirroring the first model) so the perf
+    trajectory across PRs stays comparable.
+    """
     config = config or bench_config(seed)
-    reference = _run_search(False, calib, config, seed)
-    fast = _run_search(True, calib, config, seed)
-    identical = (
-        reference["best_fitness"] == fast["best_fitness"]
-        and reference["history"] == fast["history"]
-    )
-    speedup = (
-        reference["wall_s"] / fast["wall_s"] if fast["wall_s"] > 0 else 0.0
-    )
-    for rec in (reference, fast):
-        del rec["history"]  # bulky; equality already distilled
-    return {
+    record: dict = {
         "benchmark": "search_throughput",
-        "model": f"BenchSearchCNN(channels=12) / {calib} calib images",
+        "cpu": {
+            "count": os.cpu_count(),
+            "machine": platform.machine(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
         "config": {
             "population": config.population,
             "passes": config.passes,
@@ -153,11 +320,50 @@ def run_search_throughput_bench(
             "hw_widths": list(config.hw_widths or []),
             "seed": config.seed,
         },
-        "reference": reference,
-        "fast": fast,
-        "speedup": speedup,
-        "identical": identical,
+        "calib": calib,
+        "models": {},
     }
+    for model_name in models:
+        record["models"][model_name] = _model_section(
+            model_name, calib, config, seed, backends, workers
+        )
+    # worker counts each executor *actually* used (SerialExecutor is
+    # always 1 regardless of --workers); identical across models
+    first_backends = record["models"][models[0]]["backends"]
+    record["workers"] = {
+        backend: rec["workers"] for backend, rec in first_backends.items()
+    }
+    if include_objective:
+        obj_ref = _run_search(
+            models[0], False, calib, config, seed, objective=objective
+        )
+        obj_fast = _run_search(
+            models[0], True, calib, config, seed, objective=objective
+        )
+        record["objective_evaluator"] = {
+            "model": models[0],
+            "objective": objective,
+            "reference": obj_ref,
+            "fast": obj_fast,
+            "speedup": (
+                obj_ref["wall_s"] / obj_fast["wall_s"]
+                if obj_fast["wall_s"] > 0
+                else 0.0
+            ),
+            "identical": (
+                obj_ref["best_fitness"] == obj_fast["best_fitness"]
+                and obj_ref["history"] == obj_fast["history"]
+            ),
+        }
+        _strip_history(obj_ref, obj_fast)
+    # legacy top-level mirror of the first model's serial comparison
+    first = record["models"][models[0]]
+    record["model"] = f"{models[0]} / {calib} calib images"
+    record["reference"] = first["reference"]
+    record["fast"] = first["fast"]
+    record["speedup"] = first["speedup"]
+    record["identical"] = first["identical"]
+    return record
 
 
 def write_bench_record(record: dict, path: str | Path | None = None) -> Path:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
-__all__ = ["Counter", "Timer", "CacheStats", "PerfRegistry"]
+__all__ = ["Counter", "Timer", "CacheStats", "PerfRegistry", "diff_snapshots"]
 
 
 class Counter:
@@ -142,6 +142,26 @@ class PerfRegistry:
             "caches": {k: s.snapshot() for k, s in sorted(self.caches.items())},
         }
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Accumulate another registry's snapshot into this one.
+
+        Used by the parallel population executors: worker replicas record
+        into private registries and ship snapshot *deltas* back with each
+        result, so counters, timers, and cache hit-rates stay truthful
+        after a fan-out (a worker's cache hit is still a cache hit).
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, t in snap.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.total += t["total_s"]
+            timer.count += t["count"]
+        for name, c in snap.get("caches", {}).items():
+            stats = self.cache(name)
+            stats.hit(c["hits"])
+            stats.miss(c["misses"])
+            stats.evict(c["evictions"])
+
     def report(self) -> str:
         lines = ["perf report", "-" * 11]
         if self.timers:
@@ -163,3 +183,44 @@ class PerfRegistry:
                     f"{s.hit_rate * 100:6.2f}% hit rate"
                 )
         return "\n".join(lines)
+
+
+def diff_snapshots(new: dict, old: dict) -> dict:
+    """Per-entry difference ``new - old`` of two registry snapshots.
+
+    Worker replicas snapshot their private registry after every task and
+    return the delta since the previous task, letting the coordinating
+    process merge exactly one task's worth of events per result (see
+    :meth:`PerfRegistry.merge_snapshot`).
+    """
+    out: dict = {"counters": {}, "timers": {}, "caches": {}}
+    old_counters = old.get("counters", {})
+    for name, value in new.get("counters", {}).items():
+        delta = value - old_counters.get(name, 0)
+        if delta:
+            out["counters"][name] = delta
+    old_timers = old.get("timers", {})
+    for name, t in new.get("timers", {}).items():
+        prev = old_timers.get(name, {"total_s": 0.0, "count": 0})
+        total, count = t["total_s"] - prev["total_s"], t["count"] - prev["count"]
+        if count or total:
+            out["timers"][name] = {
+                "total_s": total,
+                "count": count,
+                "mean_s": total / count if count else 0.0,
+            }
+    old_caches = old.get("caches", {})
+    for name, c in new.get("caches", {}).items():
+        prev = old_caches.get(name, {"hits": 0, "misses": 0, "evictions": 0})
+        hits = c["hits"] - prev["hits"]
+        misses = c["misses"] - prev["misses"]
+        evictions = c["evictions"] - prev["evictions"]
+        if hits or misses or evictions:
+            lookups = hits + misses
+            out["caches"][name] = {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            }
+    return out

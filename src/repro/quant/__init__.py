@@ -1,6 +1,7 @@
 """LPQ: genetic post-training quantization with LP encodings (Section 4)."""
 
 from .baselines import per_layer_rmse, quantize_with_family
+from .engine import IncrementalEvaluator
 from .fitness import (
     FitnessConfig,
     FitnessEvaluator,
@@ -14,6 +15,7 @@ from .params import QuantSolution, clamp_lp_params, random_solution
 from .pooling import kurtosis3, mean_pool_representation, pool_representation
 from .ptq import LPQResult, lpq_quantize
 from .quantizer import (
+    ActQuantCache,
     LayerStats,
     WeightQuantCache,
     apply_quantization,
@@ -25,7 +27,9 @@ from .quantizer import (
 )
 
 __all__ = [
+    "ActQuantCache",
     "FitnessConfig",
+    "IncrementalEvaluator",
     "FitnessEvaluator",
     "LPQConfig",
     "LPQEngine",

@@ -16,41 +16,20 @@ The evaluator has two modes.  The reference path quantizes every layer,
 re-estimates BatchNorm statistics in a full calibration pass, then runs a
 second full pass to fingerprint the quantized model.  The *incremental*
 engine (``FitnessConfig.fast``, default on) produces bitwise-identical
-fitness values while exploiting the block-wise structure of the search:
-
-* a fitness memo keyed by the full solution makes duplicate children free;
-* a :class:`~repro.quant.quantizer.WeightQuantCache` re-quantizes only the
-  layers whose parameters actually changed;
-* a prefix-reuse forward pass (:class:`repro.nn.ForwardCache`) replays
-  cached activations up to the first changed layer and recomputes only
-  the suffix — BN-recalibration statistics of the unchanged prefix are
-  implicitly reused, because the replayed outputs already embody them;
-* BN recalibration and fingerprinting happen in **one** pass: with BN
-  momentum 1 a batch normalised by its own statistics in training mode is
-  bit-for-bit what the eval pass would recompute, so the second forward
-  of the reference path is redundant;
-* pooled fingerprint columns of unchanged layers are reused as-is.
-
-The engine assumes frozen weights (true during a search) and falls back
-to the reference path when the model contains active Dropout, whose
-training-mode RNG draws cannot be replayed deterministically.
+fitness values while exploiting the block-wise structure of the search —
+see :class:`repro.quant.engine.IncrementalEvaluator` for the machinery
+(fitness memo, weight/activation quant caches, prefix-reuse forward
+replay, fused BN recalibration).  On top of the shared engine this
+evaluator adds a pooled-column cache: kurtosis fingerprint columns of
+unchanged layers are reused as-is.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from ..nn import (
-    BatchNorm2d,
-    Dropout,
-    ForwardCache,
-    Module,
-    quantizable_layers,
-    record_activations,
-)
-from ..perf import get_perf
+from ..nn import Module, record_activations
+from .engine import FitnessConfig, IncrementalEvaluator
 from .params import QuantSolution
 from .pooling import pool_representation
 
@@ -61,24 +40,6 @@ __all__ = [
     "compression_ratio",
     "FitnessEvaluator",
 ]
-
-
-@dataclass(frozen=True)
-class FitnessConfig:
-    """Knobs of the fitness function; defaults follow the paper.
-
-    ``fast`` toggles the incremental evaluation engine (quantized-weight
-    cache, fitness memo, prefix-reuse forward passes, fused BN
-    recalibration).  Fast and reference paths produce bitwise-identical
-    fitness values; the flag exists for benchmarking and as an escape
-    hatch.  ``weight_cache_entries`` bounds the quantized-weight LRU.
-    """
-
-    tau: float = 0.07  # concentration level of the contrastive loss
-    lam: float = 0.4  # λ balancing L_CO and L_CR
-    pooling: str = "kurtosis"  # "kurtosis" (paper) | "mean" (ablation)
-    fast: bool = True  # incremental evaluation engine
-    weight_cache_entries: int = 1024
 
 
 def ir_fingerprints(
@@ -143,13 +104,7 @@ def compression_ratio(solution: QuantSolution, param_counts: list[int]) -> float
     return bits / (8.0 * sum(param_counts))
 
 
-def _has_active_dropout(model: Module) -> bool:
-    return any(
-        isinstance(m, Dropout) and m.p > 0 for _, m in model.named_modules()
-    )
-
-
-class FitnessEvaluator:
+class FitnessEvaluator(IncrementalEvaluator):
     """Evaluates L_F for candidate solutions against a frozen FP reference.
 
     The FP fingerprints are computed once.  With the incremental engine
@@ -162,178 +117,33 @@ class FitnessEvaluator:
     evaluator's lifetime; call :meth:`reset_caches` after mutating them.
     """
 
-    def __init__(
-        self,
-        model: Module,
-        calib_images: np.ndarray,
-        param_counts: list[int],
-        config: FitnessConfig | None = None,
-    ) -> None:
-        from .quantizer import WeightQuantCache, clear_quantization
+    timer_name = "fitness.evaluate"
+    memo_name = "fitness.memo"
 
-        self.model = model
-        self.images = calib_images
-        self.param_counts = param_counts
-        self.config = config or FitnessConfig()
-        self._layers = quantizable_layers(model)
-        self.layer_names = [n for n, _ in self._layers]
-        clear_quantization(model)
-        model.eval()
+    def _prepare_reference(self) -> None:
         self.fp_fingerprints = ir_fingerprints(
-            model, calib_images, self.layer_names, self.config.pooling
+            self.model, self.images, self.layer_names, self.config.pooling
         )
-        #: fitness evaluations requested (memo hits included)
-        self.evaluations = 0
-        #: evaluations that actually ran a forward pass (memo misses)
-        self.computed_evaluations = 0
-        self.perf = get_perf()
-        # -- incremental engine state ------------------------------------
-        self.fast = self.config.fast and not _has_active_dropout(model)
-        self._bns = [
-            m for _, m in model.named_modules() if isinstance(m, BatchNorm2d)
-        ]
-        self._memo: dict = {}
-        self._weight_cache = WeightQuantCache(
-            self.config.weight_cache_entries,
-            stats=self.perf.cache("quant.weight_cache"),
-        )
-        self._forward_cache = ForwardCache(model)
-        self._ref_cfg: tuple | None = None
         self._col_cache: list[np.ndarray | None] = [None] * len(self._layers)
 
-    # -- public API -------------------------------------------------------
-    def __call__(self, solution: QuantSolution, act_params=None) -> float:
-        if self.fast:
-            key = (
-                solution,
-                None if act_params is None else tuple(act_params),
-            )
-            memo_stats = self.perf.cache("fitness.memo")
-            cached = self._memo.get(key)
-            if cached is not None:
-                memo_stats.hit()
-                self.evaluations += 1  # requested, but served from the memo
-                return cached
-            memo_stats.miss()
-        with self.perf.timer("fitness.evaluate").time():
-            if self.fast:
-                fq = self._fingerprints_fast(solution, act_params)
-            else:
-                fq = self._fingerprints_reference(solution, act_params)
-        self.evaluations += 1
-        self.computed_evaluations += 1
-        lco = contrastive_objective(fq, self.fp_fingerprints, self.config.tau)
-        lcr = compression_ratio(solution, self.param_counts)
-        fitness = lco * lcr**self.config.lam
-        if self.fast:
-            self._memo[key] = fitness
-        return fitness
+    def _reference_measurement(self) -> np.ndarray:
+        return ir_fingerprints(
+            self.model, self.images, self.layer_names, self.config.pooling
+        )
 
-    def reset_caches(self) -> None:
-        """Invalidate all caches (required after mutating model weights)."""
-        self._memo.clear()
-        self._weight_cache.clear()
-        self._forward_cache.invalidate()
-        self._ref_cfg = None
+    def _suffix_record_names(self, suffix: range) -> list[str]:
+        return [self.layer_names[i] for i in suffix]
+
+    def _measurement_from_pass(self, acts, out, suffix) -> np.ndarray:
+        batch = len(self.images)
+        for i in suffix:
+            self._col_cache[i] = _pool_column(
+                acts[self.layer_names[i]], batch, self.config.pooling
+            )
+        return np.stack(self._col_cache, axis=1)
+
+    def _loss(self, fq: np.ndarray) -> float:
+        return contrastive_objective(fq, self.fp_fingerprints, self.config.tau)
+
+    def _on_reset(self) -> None:
         self._col_cache = [None] * len(self._layers)
-
-    # -- reference path -----------------------------------------------------
-    def _fingerprints_reference(self, solution, act_params) -> np.ndarray:
-        from .quantizer import bn_recalibrated, quantized
-
-        with quantized(self.model, solution, act_params):
-            # evaluate the candidate as it would be deployed: with BN
-            # statistics re-estimated under the quantized weights
-            with bn_recalibrated(self.model, self.images):
-                return ir_fingerprints(
-                    self.model, self.images, self.layer_names,
-                    self.config.pooling,
-                )
-
-    # -- incremental engine ---------------------------------------------
-    def _layer_config(self, solution, act_params) -> tuple:
-        """Per-layer installed configuration: (weight params, input-side
-        activation params) — exactly what apply_quantization installs."""
-        return tuple(
-            (
-                solution[i],
-                act_params[i - 1] if act_params is not None and i > 0 else None,
-            )
-            for i in range(len(self._layers))
-        )
-
-    def _first_diff(self, cfg: tuple) -> int | None:
-        """Index of the first layer whose config differs from the cached
-        reference candidate (None = identical)."""
-        if self._ref_cfg is None or len(self._ref_cfg) != len(cfg):
-            return 0
-        for i, (a, b) in enumerate(zip(self._ref_cfg, cfg)):
-            if a != b:
-                return i
-        return None
-
-    def _fingerprints_fast(self, solution, act_params) -> np.ndarray:
-        from .quantizer import apply_quantization, clear_quantization
-
-        cfg = self._layer_config(solution, act_params)
-        full = not self._forward_cache.primed or self._ref_cfg is None
-        first = 0 if full else self._first_diff(cfg)
-        apply_quantization(
-            self.model, solution, act_params, cache=self._weight_cache
-        )
-        try:
-            if first is None:
-                dirty, suffix = None, range(0)
-            else:
-                dirty = None if full else self._layers[first][1]
-                suffix = range(first, len(self._layers))
-            self.perf.counter("replay.layers_reused").inc(
-                len(self._layers) - len(suffix)
-            )
-            suffix_names = [self.layer_names[i] for i in suffix]
-            if self._bns:
-                acts = self._fused_recal_pass(dirty, suffix_names, full)
-            else:
-                self.model.eval()
-                with record_activations(self.model, suffix_names) as acts:
-                    if full:
-                        self._forward_cache.forward(self.images)
-                    else:
-                        self._forward_cache.forward(self.images, dirty=dirty)
-            if full and not self._forward_cache.recorded_in_order(
-                [layer for _, layer in self._layers]
-            ):
-                # forward execution order deviates from definition order
-                # (or a layer bypasses __call__): prefix cutoffs would be
-                # unsound, so this evaluation stands but replay must not
-                self.fast = False
-            batch = len(self.images)
-            for i in suffix:
-                self._col_cache[i] = _pool_column(
-                    acts[self.layer_names[i]], batch, self.config.pooling
-                )
-            self._ref_cfg = cfg
-            return np.stack(self._col_cache, axis=1)
-        except BaseException:
-            # forward cache, column cache, and _ref_cfg may now disagree
-            # about which candidate they describe — drop everything
-            self.reset_caches()
-            raise
-        finally:
-            clear_quantization(self.model)
-
-    def _fused_recal_pass(self, dirty, suffix_names, full) -> dict:
-        """One training-mode pass with BN momentum 1: recalibrates BN and
-        records fingerprint activations simultaneously, making the
-        reference path's second forward redundant (see
-        :func:`repro.quant.quantizer.bn_batch_stats`).
-        """
-        from .quantizer import bn_batch_stats
-
-        with bn_batch_stats(self.model, self._bns):
-            with record_activations(self.model, suffix_names) as acts:
-                if full:
-                    self._forward_cache.forward(self.images)
-                else:
-                    self._forward_cache.forward(self.images, dirty=dirty)
-        return acts

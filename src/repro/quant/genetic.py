@@ -92,16 +92,44 @@ class LPQEngine:
         self.history = SearchHistory()
         self.perf = get_perf()
 
+    # -- evaluation -----------------------------------------------------
+    def _evaluate_batch(self, solutions: list[QuantSolution]) -> list[float]:
+        """Score a batch of candidates, results in submission order.
+
+        Evaluators exposing ``evaluate_many`` (the incremental evaluators
+        and :class:`repro.parallel.PopulationEvaluator`) receive the whole
+        batch at once — duplicates are deduped against their memo and the
+        rest fanned out across executor workers; plain callables are
+        scored serially.  Either way the returned order matches the
+        submitted order, so trajectories are backend-independent.
+        """
+        evaluate_many = getattr(self.evaluator, "evaluate_many", None)
+        if evaluate_many is not None:
+            fits = list(evaluate_many(solutions))
+            if len(fits) != len(solutions):
+                raise ValueError(
+                    f"evaluate_many returned {len(fits)} results for "
+                    f"{len(solutions)} candidates"
+                )
+            return fits
+        return [self.evaluator(sol) for sol in solutions]
+
     # -- Step 1 ---------------------------------------------------------
     def initialize(self) -> None:
-        """Sample K candidates and pre-compute their fitness."""
-        self.population = []
+        """Sample K candidates and pre-compute their fitness.
+
+        All candidates are generated up front (the evaluator draws no
+        engine RNG, so the draw order is unchanged) and scored as one
+        batch.
+        """
         with self.perf.timer("lpq.initialize").time():
-            for _ in range(self.config.population):
-                sol = random_solution(
+            sols = [
+                random_solution(
                     self.rng, self.num_layers, self.centers, self.config.hw_widths
                 )
-                self.population.append((sol, self.evaluator(sol)))
+                for _ in range(self.config.population)
+            ]
+            self.population = list(zip(sols, self._evaluate_batch(sols)))
         self.perf.counter("lpq.candidates").inc(self.config.population)
         self._rank()
         best_sol, best_fit = self.population[0]
@@ -146,6 +174,16 @@ class LPQEngine:
 
     # -- Steps 2-4 for one block ----------------------------------------
     def step(self, block: range) -> None:
+        """One batched GA step: generate the Step-2 child and all
+        diversity children up front, then score them as one batch.
+
+        Generation order (and hence the RNG draw order) is identical to
+        the historical serial step — candidates were always generated
+        before any evaluation ran — so serial trajectories are bitwise
+        reproductions of the pre-batched engine, while parallel backends
+        get the whole population slice at once (the diversity children
+        are embarrassingly parallel).
+        """
         with self.perf.timer("lpq.step").time():
             best, second = self.population[0][0], self.population[1][0]
             child = self._make_child(best, second, block)
@@ -161,10 +199,10 @@ class LPQEngine:
                     diverse.append(self._make_child(child, random_parent, block))
 
             # Step 4: evaluation and population update
-            child_fit = self.evaluator(child)
-            self.population.append((child, child_fit))
+            fits = self._evaluate_batch([child] + diverse)
+            self.population.append((child, fits[0]))
             if diverse:
-                scored = [(d, self.evaluator(d)) for d in diverse]
+                scored = list(zip(diverse, fits[1:]))
                 scored.sort(key=lambda item: item[1])
                 self.population.append(scored[0])
             self.perf.counter("lpq.candidates").inc(1 + len(diverse))

@@ -5,7 +5,10 @@ shows they either overfit the calibration set (MSE, KL) or miss the
 representational collapse of intermediate layers (global contrastive).
 Each evaluator shares the interface of
 :class:`repro.quant.fitness.FitnessEvaluator` so the GA engine can swap
-objectives for the convergence experiment.
+objectives for the convergence experiment — including the incremental
+fast path (result memo, weight/activation quant caches, prefix-reuse
+forward replay, fused BN recalibration): a Fig. 5(a) baseline sweep no
+longer pays the full reference-path cost per candidate.
 """
 
 from __future__ import annotations
@@ -13,8 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Module, softmax
-from .fitness import FitnessConfig, compression_ratio, contrastive_objective
-from .params import QuantSolution
+from .engine import FitnessConfig, IncrementalEvaluator
+from .fitness import contrastive_objective
 
 __all__ = ["OutputObjectiveEvaluator", "OBJECTIVES"]
 
@@ -58,8 +61,20 @@ OBJECTIVES = {
 }
 
 
-class OutputObjectiveEvaluator:
-    """Fitness from a global (final-output) loss plus the L_CR factor."""
+class OutputObjectiveEvaluator(IncrementalEvaluator):
+    """Fitness from a global (final-output) loss plus the L_CR factor.
+
+    Built on the same incremental engine as ``FitnessEvaluator``; the
+    candidate measurement is simply the model's final output, so the fast
+    pass records no intermediate activations and the prefix-reuse replay
+    recomputes only the suffix forward.  Exposes the same
+    ``evaluations``/``computed_evaluations`` counters and perf sections
+    (``objective.evaluate`` timer, ``objective.memo`` cache) so benches
+    report both evaluators uniformly.
+    """
+
+    timer_name = "objective.evaluate"
+    memo_name = "objective.memo"
 
     def __init__(
         self,
@@ -68,31 +83,24 @@ class OutputObjectiveEvaluator:
         param_counts: list[int],
         objective: str,
         config: FitnessConfig | None = None,
+        perf=None,
     ) -> None:
-        from .quantizer import clear_quantization
-
         if objective not in _GLOBAL_LOSSES:
             raise ValueError(
                 f"unknown objective {objective!r}; choose from "
                 f"{sorted(_GLOBAL_LOSSES)}"
             )
-        self.model = model
-        self.images = calib_images
-        self.param_counts = param_counts
         self.objective = objective
-        self.config = config or FitnessConfig()
-        clear_quantization(model)
-        model.eval()
-        self.fp_output = np.asarray(model(calib_images), dtype=np.float64)
-        self.evaluations = 0
+        super().__init__(model, calib_images, param_counts, config, perf=perf)
 
-    def __call__(self, solution: QuantSolution, act_params=None) -> float:
-        from .quantizer import bn_recalibrated, quantized
+    def _prepare_reference(self) -> None:
+        self.fp_output = np.asarray(self.model(self.images), dtype=np.float64)
 
-        with quantized(self.model, solution, act_params):
-            with bn_recalibrated(self.model, self.images):
-                out = np.asarray(self.model(self.images), dtype=np.float64)
-        self.evaluations += 1
-        loss = _GLOBAL_LOSSES[self.objective](out, self.fp_output)
-        lcr = compression_ratio(solution, self.param_counts)
-        return loss * lcr**self.config.lam
+    def _reference_measurement(self) -> np.ndarray:
+        return np.asarray(self.model(self.images), dtype=np.float64)
+
+    def _measurement_from_pass(self, acts, out, suffix) -> np.ndarray:
+        return np.asarray(out, dtype=np.float64)
+
+    def _loss(self, out: np.ndarray) -> float:
+        return _GLOBAL_LOSSES[self.objective](out, self.fp_output)

@@ -15,7 +15,7 @@ from ..nn import Module
 from ..numerics import LPParams
 from .fitness import FitnessConfig, FitnessEvaluator
 from .genetic import LPQConfig, LPQEngine, SearchHistory
-from .objectives import OutputObjectiveEvaluator
+from .objectives import OBJECTIVES, OutputObjectiveEvaluator
 from .params import QuantSolution
 from .quantizer import (
     LayerStats,
@@ -56,33 +56,66 @@ def lpq_quantize(
     fitness_config: FitnessConfig | None = None,
     objective: str = "global_local_contrastive",
     act_sf_mode: str = "calibrated",
+    executor=None,
 ) -> LPQResult:
     """Run LPQ on ``model`` using an unlabelled calibration batch.
 
     ``objective`` selects the fitness:  the paper's global-local
     contrastive objective by default, or one of the Fig. 5(a) baselines
     ("mse", "kl", "cosine", "global_contrastive").
+
+    ``executor`` (a :class:`repro.parallel.ExecutorConfig`) fans the
+    population evaluation out across worker replicas — ``serial`` (the
+    default behaviour), ``thread``, or ``process`` backends.  Every
+    backend produces a bitwise-identical search trajectory; the knob only
+    changes wall-clock.
     """
     config = config or LPQConfig()
     stats = collect_layer_stats(model, calib_images)
-    if objective == "global_local_contrastive":
-        evaluator = FitnessEvaluator(
-            model, calib_images, stats.param_counts, fitness_config
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; choose from {sorted(OBJECTIVES)}"
         )
+    if executor is not None:
+        # deferred import: repro.parallel builds on this package
+        from ..parallel import EvaluatorSpec, PopulationEvaluator
+
+        spec = EvaluatorSpec(
+            images=calib_images,
+            model=model,
+            config=fitness_config,
+            objective=(
+                None if objective == "global_local_contrastive" else objective
+            ),
+            act_mode=act_sf_mode,
+            stats=stats,
+        )
+        with PopulationEvaluator(spec, executor) as evaluator:
+            engine = LPQEngine(evaluator, stats.weight_log_centers, config)
+            solution, fitness = engine.run()
+            evaluations = evaluator.evaluations
     else:
-        evaluator = OutputObjectiveEvaluator(
-            model, calib_images, stats.param_counts, objective, fitness_config
-        )
+        if objective == "global_local_contrastive":
+            evaluator = FitnessEvaluator(
+                model, calib_images, stats.param_counts, fitness_config
+            )
+        else:
+            evaluator = OutputObjectiveEvaluator(
+                model, calib_images, stats.param_counts, objective,
+                fitness_config,
+            )
 
-    def evaluate_with_acts(solution):
-        # candidates are scored in their *deployed* configuration:
-        # weights and activations quantized together (activation params
-        # follow deterministically from the weight params, Section 4)
-        acts = derive_activation_params(solution, stats, mode=act_sf_mode)
-        return evaluator(solution, acts)
+        def evaluate_with_acts(solution):
+            # candidates are scored in their *deployed* configuration:
+            # weights and activations quantized together (activation
+            # params follow deterministically from the weight params,
+            # Section 4)
+            acts = derive_activation_params(solution, stats, mode=act_sf_mode)
+            return evaluator(solution, acts)
 
-    engine = LPQEngine(evaluate_with_acts, stats.weight_log_centers, config)
-    solution, fitness = engine.run()
+        engine = LPQEngine(evaluate_with_acts, stats.weight_log_centers, config)
+        solution, fitness = engine.run()
+        evaluations = evaluator.evaluations
     act_params = derive_activation_params(solution, stats, mode=act_sf_mode)
     return LPQResult(
         solution=solution,
@@ -90,5 +123,5 @@ def lpq_quantize(
         fitness=fitness,
         history=engine.history,
         stats=stats,
-        evaluations=evaluator.evaluations,
+        evaluations=evaluations,
     )

@@ -157,3 +157,64 @@ class TestUnsupportedModels:
         np.testing.assert_array_equal(
             cache.forward(x, dirty=net.lin), net(x)
         )
+
+
+class TestThreadIsolation:
+    """The active-replay state must be thread-local: parallel population
+    evaluation runs one replica (and one ForwardCache) per thread."""
+
+    def test_active_replay_not_visible_across_threads(self, model, x):
+        import threading
+
+        from repro.nn import module as _module
+
+        cache = ForwardCache(model)
+        prev = cache._activate()
+        try:
+            assert _module._REPLAY.active is cache
+            seen = []
+            thread = threading.Thread(
+                target=lambda: seen.append(_module._REPLAY.active)
+            )
+            thread.start()
+            thread.join()
+            assert seen == [None]  # other threads run plain forwards
+        finally:
+            _module._REPLAY.active = prev
+
+    def test_concurrent_cached_forwards_stay_correct(self):
+        """Two models replaying concurrently in two threads must each
+        produce exactly what they produce serially."""
+        import threading
+
+        nn.seed(17)
+        models = [SmallCNN() for _ in range(2)]
+        for m in models:
+            m.eval()
+        x = np.random.default_rng(9).normal(size=(2, 3, 8, 8))
+        expected = [m(x) for m in models]
+        caches = [ForwardCache(m) for m in models]
+        for cache in caches:
+            cache.forward(x)  # record passes
+
+        failures = []
+        barrier = threading.Barrier(2)
+
+        def worker(idx):
+            try:
+                barrier.wait()
+                for _ in range(25):
+                    dirty = quantizable_layers(models[idx])[1][1]
+                    out = caches[idx].forward(x, dirty=dirty)
+                    np.testing.assert_array_equal(out, expected[idx])
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append((idx, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures

@@ -1,0 +1,32 @@
+"""Shared fixtures for the parallel population-evaluation tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import calibration_batch
+from repro.quant import collect_layer_stats
+
+from .parmodels import ParBNCNN
+
+
+@pytest.fixture(scope="module")
+def par_setup():
+    nn.seed(11)
+    model = ParBNCNN()
+    model.eval()
+    images = calibration_batch(8, seed=5)
+    stats = collect_layer_stats(model, images)
+    return model, images, stats
+
+
+@pytest.fixture()
+def candidates(par_setup):
+    from repro.quant import random_solution
+
+    _, _, stats = par_setup
+    rng = np.random.default_rng(3)
+    return [
+        random_solution(rng, len(stats), stats.weight_log_centers, (2, 4, 8))
+        for _ in range(5)
+    ]

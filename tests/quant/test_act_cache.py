@@ -1,0 +1,119 @@
+"""ActQuantCache: bitwise identity with uncached lp_quantize, identity
+keying, and end-to-end equivalence of cached activation quantizers."""
+
+import numpy as np
+import pytest
+
+from repro.numerics import LPParams, lp_quantize
+from repro.quant import (
+    ActQuantCache,
+    QuantSolution,
+    apply_quantization,
+    clear_quantization,
+    collect_layer_stats,
+    derive_activation_params,
+)
+from repro.nn import quantizable_layers
+
+
+@pytest.fixture()
+def act_tensor():
+    return np.random.default_rng(7).normal(0, 1.0, (4, 6, 8, 8)).astype(
+        np.float32
+    )
+
+
+class _FakeLayer:
+    pass
+
+
+PARAMS = LPParams(n=6, es=1, rs=3, sf=0.5)
+
+
+class TestBitwiseIdentity:
+    def test_cached_equals_uncached(self, act_tensor):
+        cache = ActQuantCache(max_entries=4)
+        layer = _FakeLayer()
+        direct = lp_quantize(act_tensor, PARAMS).astype(act_tensor.dtype)
+        np.testing.assert_array_equal(
+            cache.quantize(layer, act_tensor, PARAMS), direct
+        )
+        # the hit path returns the stored tensor — still bitwise equal
+        hit = cache.quantize(layer, act_tensor, PARAMS)
+        np.testing.assert_array_equal(hit, direct)
+
+    def test_hit_requires_same_array_object(self, act_tensor):
+        cache = ActQuantCache(max_entries=4)
+        layer = _FakeLayer()
+        first = cache.quantize(layer, act_tensor, PARAMS)
+        twin = act_tensor.copy()  # equal contents, different identity
+        second = cache.quantize(layer, twin, PARAMS)
+        assert first is not second
+        assert len(cache) == 2  # the twin occupied its own entry
+        np.testing.assert_array_equal(first, second)
+
+    def test_distinct_params_and_layers_are_distinct_entries(
+        self, act_tensor
+    ):
+        cache = ActQuantCache(max_entries=8)
+        a, b = _FakeLayer(), _FakeLayer()
+        other = LPParams(n=4, es=0, rs=2, sf=0.5)
+        cache.quantize(a, act_tensor, PARAMS)
+        cache.quantize(a, act_tensor, other)
+        cache.quantize(b, act_tensor, PARAMS)
+        assert len(cache) == 3
+
+
+class TestBookkeeping:
+    def test_lru_eviction_bounds_memory(self, act_tensor):
+        cache = ActQuantCache(max_entries=2)
+        layer = _FakeLayer()
+        for n in (2, 4, 6, 8):
+            cache.quantize(layer, act_tensor, LPParams(n=n, es=0, rs=2))
+        assert len(cache) == 2
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            ActQuantCache(max_entries=0)
+
+    def test_stats_wiring(self, act_tensor):
+        from repro.perf import CacheStats
+
+        stats = CacheStats("act")
+        cache = ActQuantCache(max_entries=4, stats=stats)
+        layer = _FakeLayer()
+        cache.quantize(layer, act_tensor, PARAMS)
+        cache.quantize(layer, act_tensor, PARAMS)
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+    def test_clear(self, act_tensor):
+        cache = ActQuantCache(max_entries=4)
+        cache.quantize(_FakeLayer(), act_tensor, PARAMS)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestEndToEnd:
+    def test_forward_with_cached_quantizers_is_bitwise_identical(
+        self, tiny_model, calib_images
+    ):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        layers = quantizable_layers(tiny_model)
+        sol = QuantSolution(
+            tuple(LPParams(4, 1, 2, stats.weight_log_centers[i])
+                  for i in range(len(layers)))
+        )
+        acts = derive_activation_params(sol, stats)
+        try:
+            apply_quantization(tiny_model, sol, acts)
+            plain = tiny_model(calib_images)
+            cache = ActQuantCache(max_entries=32)
+            apply_quantization(tiny_model, sol, acts, act_cache=cache)
+            cached_once = tiny_model(calib_images)
+            cached_again = tiny_model(calib_images)  # now served from cache
+        finally:
+            clear_quantization(tiny_model)
+        np.testing.assert_array_equal(plain, cached_once)
+        np.testing.assert_array_equal(plain, cached_again)
+        assert len(cache) > 0

@@ -184,6 +184,76 @@ class TestEndToEndSearch:
         assert res_slow.solution == res_fast.solution
 
 
+class TestOutputObjectiveEngine:
+    """The Fig. 5(a) baseline evaluator shares the incremental engine."""
+
+    @pytest.mark.parametrize("objective", ["mse", "kl", "cosine",
+                                           "global_contrastive"])
+    def test_bn_model_fast_equals_reference(self, bn_setup, objective):
+        from repro.quant import OutputObjectiveEvaluator
+
+        model, images, stats = bn_setup
+        slow = OutputObjectiveEvaluator(
+            model, images, stats.param_counts, objective,
+            FitnessConfig(fast=False),
+        )
+        fast = OutputObjectiveEvaluator(
+            model, images, stats.param_counts, objective,
+            FitnessConfig(fast=True),
+        )
+        for sol in _candidates(stats, count=4, seed=5):
+            acts = derive_activation_params(sol, stats)
+            assert slow(sol, acts) == fast(sol, acts)
+
+    def test_ln_free_model_fast_equals_reference(
+        self, tiny_model, calib_images
+    ):
+        from repro.nn import quantizable_layers
+        from repro.quant import OutputObjectiveEvaluator
+
+        counts = [l.weight.size for _, l in quantizable_layers(tiny_model)]
+        stats = collect_layer_stats(tiny_model, calib_images)
+        slow = OutputObjectiveEvaluator(
+            tiny_model, calib_images, counts, "mse", FitnessConfig(fast=False)
+        )
+        fast = OutputObjectiveEvaluator(
+            tiny_model, calib_images, counts, "mse", FitnessConfig(fast=True)
+        )
+        for sol in _candidates(stats, count=4, seed=8):
+            acts = derive_activation_params(sol, stats)
+            assert slow(sol, acts) == fast(sol, acts)
+
+    def test_counter_parity_with_fitness_evaluator(self, bn_setup):
+        """Satellite parity: computed_evaluations + perf wiring exist."""
+        from repro.perf import reset_perf
+        from repro.quant import OutputObjectiveEvaluator
+
+        model, images, stats = bn_setup
+        perf = reset_perf()
+        evaluator = OutputObjectiveEvaluator(
+            model, images, stats.param_counts, "mse"
+        )
+        sol = _candidates(stats, count=1)[0]
+        acts = derive_activation_params(sol, stats)
+        f1 = evaluator(sol, acts)
+        f2 = evaluator(sol, acts)
+        assert f1 == f2
+        assert evaluator.evaluations == 2
+        assert evaluator.computed_evaluations == 1  # second was a memo hit
+        snap = perf.snapshot()
+        assert snap["timers"]["objective.evaluate"]["count"] == 1
+        assert snap["caches"]["objective.memo"]["hits"] == 1
+
+    def test_rejects_unknown_objective(self, bn_setup):
+        from repro.quant import OutputObjectiveEvaluator
+
+        model, images, stats = bn_setup
+        with pytest.raises(ValueError):
+            OutputObjectiveEvaluator(
+                model, images, stats.param_counts, "nope"
+            )
+
+
 class TestWeightQuantCache:
     def test_cache_returns_identical_tensors(self, bn_setup):
         from repro.nn import quantizable_layers

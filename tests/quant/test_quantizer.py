@@ -137,6 +137,51 @@ class TestActivationRules:
             expected += 0.5
             assert ap.sf == pytest.approx(expected)
 
+    def test_recurrence_accumulates_heterogeneous_sf(
+        self, tiny_model, calib_images
+    ):
+        """sf_act^l must be the running sum of all weight sfs so far
+        (plus the input log-centre), not just the local layer's."""
+        stats = collect_layer_stats(tiny_model, calib_images)
+        layers = quantizable_layers(tiny_model)
+        sfs = [0.25 * (i + 1) for i in range(len(layers))]
+        sol = QuantSolution(
+            tuple(LPParams(4, 1, 2, sf) for sf in sfs)
+        )
+        act = derive_activation_params(sol, stats, mode="recurrence")
+        running = 0.0
+        for ap, sf in zip(act, sfs):
+            running += sf
+            assert ap.sf == pytest.approx(running)
+
+    def test_recurrence_ignores_calibration_centers(
+        self, tiny_model, calib_images
+    ):
+        """Recurrence mode models the PPU's analytic scale chain: the
+        calibrated activation centres must play no role."""
+        stats = collect_layer_stats(tiny_model, calib_images)
+        shifted = type(stats)(
+            stats.names,
+            stats.param_counts,
+            stats.weight_log_centers,
+            [c + 100.0 for c in stats.act_log_centers],
+        )
+        sol = _uniform_solution(tiny_model, n=4, es=1, rs=2, sf=0.5)
+        a = derive_activation_params(sol, stats, mode="recurrence")
+        b = derive_activation_params(sol, shifted, mode="recurrence")
+        assert a == b
+        calibrated = derive_activation_params(sol, shifted, mode="calibrated")
+        assert calibrated != a
+
+    def test_recurrence_keeps_field_rules(self, tiny_model, calib_images):
+        """n/es/rs derivation is mode-independent (Section 4 rules)."""
+        stats = collect_layer_stats(tiny_model, calib_images)
+        sol = _uniform_solution(tiny_model, n=4, es=1, rs=3)
+        rec = derive_activation_params(sol, stats, mode="recurrence")
+        cal = derive_activation_params(sol, stats, mode="calibrated")
+        for r, c in zip(rec, cal):
+            assert (r.n, r.es, r.rs) == (c.n, c.es, c.rs) == (8, 2, 3)
+
     def test_rejects_unknown_mode(self, tiny_model, calib_images):
         stats = collect_layer_stats(tiny_model, calib_images)
         sol = _uniform_solution(tiny_model)
