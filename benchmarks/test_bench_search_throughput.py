@@ -24,6 +24,9 @@ MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 MIN_PARALLEL_SPEEDUP = float(
     os.environ.get("REPRO_BENCH_MIN_PARALLEL_SPEEDUP", "1.8")
 )
+MIN_MULTIJOB_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_MULTIJOB_SPEEDUP", "1.0")
+)
 #: the parallel wall-clock bar only applies when the hardware can
 #: actually run the two workers concurrently
 MULTICORE = (os.cpu_count() or 1) >= 2
@@ -64,6 +67,20 @@ def test_bench_search_throughput(benchmark, tmp_path):
             f"backend, got {process['speedup_vs_fast']:.2f}x"
         )
 
+    # multi-job scheduler: two jobs on one shared pool must reproduce
+    # their back-to-back trajectories bitwise, and on a multi-core
+    # runner the shared pool must beat back-to-back aggregate throughput
+    multi = rec["multi_job"]
+    assert multi["identical"], (
+        "scheduler-run jobs diverged from their back-to-back runs: "
+        f"{multi['jobs']}"
+    )
+    if MULTICORE:
+        assert multi["speedup"] >= MIN_MULTIJOB_SPEEDUP, (
+            f"expected >= {MIN_MULTIJOB_SPEEDUP}x aggregate speedup from "
+            f"the shared pool, got {multi['speedup']:.2f}x"
+        )
+
     obj = rec["objective_evaluator"]
     assert obj["identical"], (
         "OutputObjectiveEvaluator fast path diverged: "
@@ -79,6 +96,7 @@ def test_bench_search_throughput(benchmark, tmp_path):
         process["speedup_vs_fast"], 2
     )
     benchmark.extra_info["objective_speedup"] = round(obj["speedup"], 2)
+    benchmark.extra_info["multi_job_speedup"] = round(multi["speedup"], 2)
     benchmark.extra_info["reference_wall_s"] = round(
         section["reference"]["wall_s"], 3
     )

@@ -28,7 +28,7 @@ def main() -> None:
 
     # small demo budget: search the safer 4/8-bit widths (the paper's
     # full budget of 1400+ evaluations is needed to place 2-bit layers
-    # safely — see DESIGN.md §6 and the REPRO_EFFORT=paper benchmarks)
+    # safely — see the REPRO_EFFORT=paper benchmarks)
     config = LPQConfig(population=8, passes=2, cycles=1, block_size=6,
                        hw_widths=(4, 8))
     workers = min(os.cpu_count() or 1, 4)

@@ -12,7 +12,9 @@ For every selected model the record compares the reference evaluation
 path, the incremental engine (fitness memo, weight/activation quant
 caches, fused BN recalibration, prefix-reuse forwards), and the parallel
 population executors (``repro.parallel``) on the same search, asserting
-the trajectories stay bitwise identical.  The emitted file is the repo's
+the trajectories stay bitwise identical.  The ``multi_job`` section
+additionally compares two jobs run back-to-back against the
+``repro.serve`` shared-pool scheduler.  The emitted file is the repo's
 perf-trajectory artifact: commit a refreshed copy whenever a PR moves
 the numbers.
 """
@@ -48,6 +50,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="executor worker count (default: all CPUs)")
     parser.add_argument("--no-objective", action="store_true",
                         help="skip the OutputObjectiveEvaluator section")
+    parser.add_argument("--no-multi-job", action="store_true",
+                        help="skip the shared-pool multi-job scheduler "
+                             "section")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default: repo root "
                              "BENCH_search_throughput.json)")
@@ -62,6 +67,7 @@ def main(argv: list[str] | None = None) -> int:
         backends=backends,
         workers=args.workers,
         include_objective=not args.no_objective,
+        include_multi_job=not args.no_multi_job,
     )
     path = write_bench_record(record, args.out)
 
@@ -95,6 +101,18 @@ def main(argv: list[str] | None = None) -> int:
               f"speedup {obj['speedup']:.2f}x  "
               f"identical: {obj['identical']}")
         ok = ok and obj["identical"]
+    multi = record.get("multi_job")
+    if multi is not None:
+        agg = multi["aggregate_evals_per_s"]
+        print(f"[multi-job: {', '.join(multi['jobs'])} on shared "
+              f"{multi['backend']} pool]")
+        print(f"  back-to-back: {multi['sequential_wall_s']:.2f}s "
+              f"({agg['sequential']:.2f} evals/s)")
+        print(f"  scheduler:    {multi['scheduler_wall_s']:.2f}s "
+              f"({agg['scheduler']:.2f} evals/s)  "
+              f"speedup {multi['speedup']:.2f}x  "
+              f"identical: {multi['identical']}")
+        ok = ok and multi["identical"]
     print(f"record written to {path}")
     first = record["models"][models[0]]
     print(json.dumps(first["fast"]["perf"]["caches"], indent=2,

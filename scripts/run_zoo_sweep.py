@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Quantize the whole model zoo with one shared-pool scheduler run.
+
+The paper's Table 1 / Table 2 sweeps quantize every zoo model with the
+same LPQ recipe.  This driver submits all of them as jobs to one
+:class:`repro.serve.SearchScheduler`, so the searches share a single
+executor pool instead of spinning one up per model, and emits a JSON
+record plus a Table-1-style summary.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_zoo_sweep.py \
+        [--model resnet18 --model vit_b ...]  (default: all six zoo models)
+        [--suite zoo|bench]   zoo = trained checkpoints (trains + caches
+                              on first use); bench = the small synthetic
+                              throughput-bench models (fast smoke run)
+        [--backend serial|thread|process] [--workers N]
+        [--calib 64] [--seed 0] [--effort fast|paper]
+        [--no-eval]           skip the before/after top-1 evaluation
+        [--out ZOO_sweep.json]
+
+``--effort paper`` uses the paper's search budget (K=20, P=10, C=4);
+``fast`` (default) is a reduced budget for quick sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import nn  # noqa: E402
+from repro.data import calibration_batch, make_dataset  # noqa: E402
+from repro.parallel import BACKENDS, ExecutorConfig  # noqa: E402
+from repro.quant import LPQConfig, bn_recalibrated, quantized  # noqa: E402
+from repro.serve import SearchScheduler  # noqa: E402
+
+
+def search_config(effort: str, seed: int) -> LPQConfig:
+    if effort == "paper":
+        return LPQConfig(seed=seed)  # K=20, P=10, C=4, B=4
+    return LPQConfig(
+        population=6, passes=2, cycles=1, block_size=4,
+        diversity_parents=5, hw_widths=(2, 4, 8), seed=seed,
+    )
+
+
+def zoo_jobs(names: list[str]):
+    """(name, builder, state, fp_model) per trained zoo checkpoint."""
+    from repro.models import MODEL_REGISTRY, get_model
+
+    jobs = []
+    for name in names:
+        model = get_model(name)  # trains + caches on first use
+        jobs.append((name, MODEL_REGISTRY[name].builder, model))
+    return jobs
+
+
+def bench_jobs(names: list[str]):
+    from repro.perf.bench import BENCH_MODELS
+
+    jobs = []
+    for name in names:
+        nn.seed(0)
+        model = BENCH_MODELS[name]()
+        model.eval()
+        jobs.append((name, BENCH_MODELS[name], model))
+    return jobs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", action="append", dest="models",
+                        help="zoo model(s); repeatable (default: all)")
+    parser.add_argument("--suite", choices=("zoo", "bench"), default="zoo")
+    parser.add_argument("--backend", choices=BACKENDS, default="process")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--calib", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--effort", choices=("fast", "paper"),
+                        default="fast")
+    parser.add_argument("--no-eval", action="store_true",
+                        help="skip before/after top-1 accuracy")
+    parser.add_argument("--out", type=Path, default=Path("ZOO_sweep.json"))
+    args = parser.parse_args(argv)
+
+    if args.suite == "zoo":
+        from repro.models import MODEL_REGISTRY
+
+        names = args.models or sorted(MODEL_REGISTRY)
+        jobs = zoo_jobs(names)
+    else:
+        from repro.perf.bench import BENCH_MODELS
+
+        names = args.models or sorted(BENCH_MODELS)
+        jobs = bench_jobs(names)
+
+    calib = calibration_batch(args.calib, seed=args.seed + 1)
+    config = search_config(args.effort, args.seed)
+    executor = ExecutorConfig(backend=args.backend, workers=args.workers)
+    scheduler = SearchScheduler(executor=executor)
+    for name, builder, model in jobs:
+        scheduler.submit(
+            name,
+            calib_images=calib,
+            builder=builder,
+            state=model.state_dict(),
+            config=config,
+        )
+    start = time.perf_counter()
+    results = scheduler.run()
+    wall = time.perf_counter() - start
+
+    test = None
+    if not args.no_eval:
+        test = make_dataset("test", 512, seed=args.seed)
+
+    record: dict = {
+        "sweep": "zoo",
+        "suite": args.suite,
+        "backend": args.backend,
+        "effort": args.effort,
+        "calib": args.calib,
+        "seed": args.seed,
+        "wall_s": wall,
+        "models": {},
+    }
+    failed = []
+    print(f"zoo sweep: {len(jobs)} jobs on one shared {args.backend} pool, "
+          f"{wall:.1f}s total")
+    for name, _, model in jobs:
+        handle = scheduler.handles[name]
+        if not handle.done:
+            failed.append(name)
+            print(f"[{name}] FAILED:\n{handle.error}")
+            continue
+        result = results[name]
+        row = {
+            "mean_weight_bits": result.mean_weight_bits,
+            "mean_act_bits": result.mean_act_bits,
+            "model_size_mb": result.model_size_mb(),
+            "fp_size_mb": sum(result.stats.param_counts) * 4 / 1e6,
+            "fitness": result.fitness,
+            "evaluations": result.evaluations,
+        }
+        line = (f"[{name}] W {result.mean_weight_bits:.2f}b  "
+                f"A {result.mean_act_bits:.2f}b  "
+                f"{result.model_size_mb():.3f} MB "
+                f"(FP {row['fp_size_mb']:.3f} MB)  "
+                f"{result.evaluations} evals")
+        if test is not None:
+            from repro.models.zoo import evaluate
+
+            fp_acc = evaluate(model, test.images, test.labels)
+            with quantized(model, result.solution, result.act_params):
+                with bn_recalibrated(model, calib):
+                    q_acc = evaluate(model, test.images, test.labels)
+            row["fp_top1"] = fp_acc
+            row["lp_top1"] = q_acc
+            line += f"  top-1 {fp_acc:.2f}% -> {q_acc:.2f}%"
+        record["models"][name] = row
+        print(line)
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"record written to {args.out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ Subpackages
 - :mod:`repro.data` — synthetic calibration/evaluation dataset.
 - :mod:`repro.quant` — LPQ genetic post-training quantization.
 - :mod:`repro.parallel` — parallel population evaluation (executor backends).
+- :mod:`repro.serve` — multi-search scheduler: many LPQ searches, one pool.
 - :mod:`repro.accel` — LPA systolic-array accelerator model + baselines.
 - :mod:`repro.perf` — perf counters, timers, and the search throughput bench.
 - :mod:`repro.experiments` — one harness per paper table/figure.

@@ -16,11 +16,13 @@ batch.  This package fans population slices out across worker replicas:
 The hard guarantee mirrors the incremental engine's: every backend
 produces bitwise-identical fitness values and search trajectories.
 
->>> from repro.parallel import EvaluatorSpec, ExecutorConfig, PopulationEvaluator
->>> spec = EvaluatorSpec(images=calib, model=model, stats=stats)
->>> with PopulationEvaluator(spec, ExecutorConfig("process", 4)) as ev:
-...     engine = LPQEngine(ev, stats.weight_log_centers, config)
-...     solution, fitness = engine.run()
+::
+
+    from repro.parallel import EvaluatorSpec, ExecutorConfig, PopulationEvaluator
+    spec = EvaluatorSpec(images=calib, model=model, stats=stats)
+    with PopulationEvaluator(spec, ExecutorConfig("process", 4)) as ev:
+        engine = LPQEngine(ev, stats.weight_log_centers, config)
+        solution, fitness = engine.run()
 """
 
 from .evaluator import EvaluatorReplica, EvaluatorSpec, PopulationEvaluator

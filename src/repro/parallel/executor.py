@@ -52,6 +52,24 @@ class ExecutorConfig:
     overrides the multiprocessing start method for the process backend
     (``None`` = platform default; "spawn" exercises the fully-pickled
     path that a distributed deployment would use).
+
+    The same config drives single-search executors
+    (:func:`repro.quant.lpq_quantize`'s ``executor`` knob) and the
+    shared multi-search pools of :class:`repro.serve.SearchScheduler`;
+    whatever the backend and worker count, search trajectories are
+    bitwise-identical — the knob only changes wall-clock.
+
+    >>> from repro.parallel import ExecutorConfig
+    >>> ExecutorConfig().backend  # serial: in-process, zero overhead
+    'serial'
+    >>> ExecutorConfig("thread", workers=2).resolved_workers()
+    2
+    >>> ExecutorConfig().resolved_workers() >= 1  # None = all CPUs
+    True
+    >>> ExecutorConfig("gpu")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown backend 'gpu'; choose from ('serial', 'thread', 'process')
     """
 
     backend: str = "serial"

@@ -23,6 +23,12 @@ channel width, spatial halving), mirroring real CNNs where early
 high-resolution layers dominate: the deeper the first changed layer, the
 bigger the replayed prefix.
 
+The ``multi_job`` section measures the :mod:`repro.serve` scheduler: two
+search jobs run back-to-back (a dedicated executor pool each) and then
+multiplexed onto one shared pool, whole-job wall clock both ways.  The
+shared pool must win on aggregate throughput while every per-job
+trajectory stays bitwise-identical to its back-to-back run.
+
 ``python scripts/run_search_throughput_bench.py`` emits the record as
 ``BENCH_search_throughput.json`` so the perf trajectory is tracked
 across PRs.
@@ -244,6 +250,140 @@ def _strip_history(*records: dict) -> None:
         rec.pop("history", None)  # bulky; equality already distilled
 
 
+def _multi_job_plan(
+    model_names: tuple[str, ...], config: LPQConfig
+) -> list[tuple[str, str, LPQConfig]]:
+    """(job name, bench model, search config) triples for the multi-job
+    comparison: the first two models when available, otherwise the same
+    model twice under different search seeds (still two distinct jobs)."""
+    from dataclasses import replace
+
+    if len(model_names) >= 2:
+        return [(name, name, config) for name in model_names[:2]]
+    name = model_names[0]
+    return [
+        (f"{name}-a", name, config),
+        (f"{name}-b", name, replace(config, seed=config.seed + 1)),
+    ]
+
+
+def _multi_job_section(
+    model_names: tuple[str, ...],
+    backend: str,
+    workers: int | None,
+    calib: int,
+    config: LPQConfig,
+    seed: int,
+) -> dict:
+    """Same jobs run back-to-back (one pool each) vs multiplexed on one
+    shared pool by the :class:`repro.serve.SearchScheduler`.
+
+    Both legs time the *whole* job — pool startup included — because
+    that is what running a fleet actually costs; per-job trajectories
+    must stay bitwise-identical either way.
+    """
+    from ..parallel import EvaluatorSpec, ExecutorConfig, PopulationEvaluator
+    from ..serve import SearchScheduler
+
+    jobs = _multi_job_plan(model_names, config)
+
+    # -- back-to-back: one dedicated pool per job ------------------------
+    sequential: dict = {}
+    sequential_wall = 0.0
+    for job_name, model_name, job_config in jobs:
+        model, images, stats = _prepare(model_name, calib, seed)
+        reset_perf()
+        start = time.perf_counter()
+        spec = EvaluatorSpec(
+            images=images,
+            builder=BENCH_MODELS[model_name],
+            state=model.state_dict(),
+            config=FitnessConfig(fast=True),
+            stats=stats,
+        )
+        with PopulationEvaluator(
+            spec, ExecutorConfig(backend=backend, workers=workers)
+        ) as evaluator:
+            engine = LPQEngine(evaluator, stats.weight_log_centers, job_config)
+            solution, fitness = engine.run()
+            evaluations = evaluator.evaluations
+        wall = time.perf_counter() - start
+        sequential_wall += wall
+        sequential[job_name] = {
+            "wall_s": wall,
+            "best_fitness": fitness,
+            "mean_bits": solution.mean_weight_bits(),
+            "evaluations": evaluations,
+            "history": list(engine.history.best_fitness),
+            "solution": solution,
+        }
+
+    # -- scheduler: all jobs multiplexed on one shared pool --------------
+    prepared = [
+        (job_name, model_name, job_config, _prepare(model_name, calib, seed))
+        for job_name, model_name, job_config in jobs
+    ]
+    reset_perf()
+    start = time.perf_counter()
+    scheduler = SearchScheduler(
+        executor=ExecutorConfig(backend=backend, workers=workers)
+    )
+    for job_name, model_name, job_config, (model, images, stats) in prepared:
+        scheduler.submit(
+            job_name,
+            calib_images=images,
+            builder=BENCH_MODELS[model_name],
+            state=model.state_dict(),
+            config=job_config,
+            fitness_config=FitnessConfig(fast=True),
+            stats=stats,
+        )
+    results = scheduler.run()
+    scheduler_wall = time.perf_counter() - start
+
+    identical = True
+    section_jobs: dict = {}
+    total_evals = 0
+    for job_name, model_name, _ in jobs:
+        seq = sequential[job_name]
+        res = results[job_name]
+        job_identical = (
+            res.fitness == seq["best_fitness"]
+            and list(res.history.best_fitness) == seq["history"]
+            and res.solution == seq["solution"]
+            and res.evaluations == seq["evaluations"]
+        )
+        identical = identical and job_identical
+        total_evals += res.evaluations
+        section_jobs[job_name] = {
+            "model": model_name,
+            "sequential_wall_s": seq["wall_s"],
+            "best_fitness": res.fitness,
+            "mean_bits": res.mean_weight_bits,
+            "evaluations": res.evaluations,
+            "identical": job_identical,
+        }
+    return {
+        "backend": backend,
+        "jobs": section_jobs,
+        "sequential_wall_s": sequential_wall,
+        "scheduler_wall_s": scheduler_wall,
+        "speedup": (
+            sequential_wall / scheduler_wall if scheduler_wall > 0 else 0.0
+        ),
+        "evaluations": total_evals,
+        "aggregate_evals_per_s": {
+            "sequential": (
+                total_evals / sequential_wall if sequential_wall > 0 else 0.0
+            ),
+            "scheduler": (
+                total_evals / scheduler_wall if scheduler_wall > 0 else 0.0
+            ),
+        },
+        "identical": identical,
+    }
+
+
 def _model_section(
     model_name: str,
     calib: int,
@@ -294,6 +434,7 @@ def run_search_throughput_bench(
     workers: int | None = None,
     objective: str = "mse",
     include_objective: bool = True,
+    include_multi_job: bool = True,
 ) -> dict:
     """Benchmark record: per-model reference/fast/backend search runs.
 
@@ -301,6 +442,13 @@ def run_search_throughput_bench(
     record keeps the PR-1 top-level ``reference``/``fast``/``speedup``/
     ``identical`` fields (mirroring the first model) so the perf
     trajectory across PRs stays comparable.
+
+    ``include_multi_job`` adds the ``multi_job`` section: two search
+    jobs run back-to-back on dedicated pools vs multiplexed on one
+    shared pool by the :class:`repro.serve.SearchScheduler`, using the
+    first non-serial backend (pool startup amortisation plus batch
+    interleaving should put the shared-pool aggregate throughput above
+    back-to-back; trajectories must stay bitwise-identical).
     """
     config = config or bench_config(seed)
     record: dict = {
@@ -356,6 +504,13 @@ def run_search_throughput_bench(
             ),
         }
         _strip_history(obj_ref, obj_fast)
+    if include_multi_job:
+        multi_backend = next(
+            (b for b in backends if b != "serial"), backends[0]
+        )
+        record["multi_job"] = _multi_job_section(
+            models, multi_backend, workers, calib, config, seed
+        )
     # legacy top-level mirror of the first model's serial comparison
     first = record["models"][models[0]]
     record["model"] = f"{models[0]} / {calib} calib images"

@@ -74,7 +74,34 @@ class LPQEngine:
     """Runs the genetic search against a fitness evaluator.
 
     ``evaluator(solution)`` must return a scalar (lower = fitter); see
-    :class:`repro.quant.fitness.FitnessEvaluator`.
+    :class:`repro.quant.fitness.FitnessEvaluator`.  ``evaluator`` may be
+    ``None`` when the engine is driven externally through
+    :meth:`work_units` (the :class:`repro.serve.SearchScheduler` path),
+    where candidate batches are yielded to the caller and fitness lists
+    are sent back instead of being computed in-engine.
+
+    Candidate *generation* (all engine RNG draws) is split from
+    population *commit* — :meth:`propose_initial`/:meth:`commit_initial`
+    and :meth:`propose_step`/:meth:`commit_step` — so a batch can be
+    evaluated anywhere (in-process, thread pool, shared multi-job
+    process pool) without changing the draw order.  :meth:`run`,
+    :meth:`initialize`, and :meth:`step` compose exactly those pieces,
+    so an externally driven search is bitwise-identical to a standalone
+    one.
+
+    A quick self-contained run against a toy fitness (mean weight bits,
+    so the search just minimises precision):
+
+    >>> from repro.quant import LPQConfig, LPQEngine
+    >>> config = LPQConfig(population=4, passes=1, cycles=1,
+    ...                    hw_widths=(2, 4, 8), seed=7)
+    >>> engine = LPQEngine(lambda s: s.mean_weight_bits(),
+    ...                    [0.0, 0.0, 0.0], config)
+    >>> solution, fitness = engine.run()
+    >>> len(solution)
+    3
+    >>> fitness == min(fit for _, fit in engine.population)
+    True
     """
 
     def __init__(
@@ -82,6 +109,7 @@ class LPQEngine:
         evaluator,
         layer_log_centers: list[float],
         config: LPQConfig | None = None,
+        perf=None,
     ) -> None:
         self.evaluator = evaluator
         self.centers = list(layer_log_centers)
@@ -90,7 +118,7 @@ class LPQEngine:
         self.num_layers = len(self.centers)
         self.population: list[tuple[QuantSolution, float]] = []
         self.history = SearchHistory()
-        self.perf = get_perf()
+        self.perf = perf if perf is not None else get_perf()
 
     # -- evaluation -----------------------------------------------------
     def _evaluate_batch(self, solutions: list[QuantSolution]) -> list[float]:
@@ -103,6 +131,12 @@ class LPQEngine:
         scored serially.  Either way the returned order matches the
         submitted order, so trajectories are backend-independent.
         """
+        if self.evaluator is None:
+            raise RuntimeError(
+                "engine has no evaluator: drive it through work_units() "
+                "(e.g. via repro.serve.SearchScheduler) or construct it "
+                "with an evaluator"
+            )
         evaluate_many = getattr(self.evaluator, "evaluate_many", None)
         if evaluate_many is not None:
             fits = list(evaluate_many(solutions))
@@ -115,6 +149,35 @@ class LPQEngine:
         return [self.evaluator(sol) for sol in solutions]
 
     # -- Step 1 ---------------------------------------------------------
+    def propose_initial(self) -> list[QuantSolution]:
+        """Generate the K Step-1 candidates (all RNG, no evaluation).
+
+        The candidates are independent given the frozen model, so a
+        scheduler may split the returned batch into chunks and evaluate
+        them concurrently — ordering of the *results* is all that
+        matters for determinism, not ordering of the evaluations.
+        """
+        return [
+            random_solution(
+                self.rng, self.num_layers, self.centers, self.config.hw_widths
+            )
+            for _ in range(self.config.population)
+        ]
+
+    def commit_initial(
+        self, solutions: list[QuantSolution], fits: list[float]
+    ) -> None:
+        """Install the scored Step-1 population (fits in proposal order)."""
+        if len(fits) != len(solutions):
+            raise ValueError(
+                f"{len(fits)} fitness values for {len(solutions)} candidates"
+            )
+        self.population = list(zip(solutions, fits))
+        self.perf.counter("lpq.candidates").inc(len(solutions))
+        self._rank()
+        best_sol, best_fit = self.population[0]
+        self.history.record(best_fit, best_sol)
+
     def initialize(self) -> None:
         """Sample K candidates and pre-compute their fitness.
 
@@ -123,17 +186,9 @@ class LPQEngine:
         batch.
         """
         with self.perf.timer("lpq.initialize").time():
-            sols = [
-                random_solution(
-                    self.rng, self.num_layers, self.centers, self.config.hw_widths
-                )
-                for _ in range(self.config.population)
-            ]
-            self.population = list(zip(sols, self._evaluate_batch(sols)))
-        self.perf.counter("lpq.candidates").inc(self.config.population)
-        self._rank()
-        best_sol, best_fit = self.population[0]
-        self.history.record(best_fit, best_sol)
+            sols = self.propose_initial()
+            fits = self._evaluate_batch(sols)
+        self.commit_initial(sols, fits)
 
     def _rank(self) -> None:
         self.population.sort(key=lambda item: item[1])
@@ -173,43 +228,57 @@ class LPQEngine:
         ]
 
     # -- Steps 2-4 for one block ----------------------------------------
-    def step(self, block: range) -> None:
-        """One batched GA step: generate the Step-2 child and all
-        diversity children up front, then score them as one batch.
+    def propose_step(self, block: range) -> list[QuantSolution]:
+        """Generate one GA step's candidates: the Step-2 child first,
+        then the Step-3 diversity children (all RNG, no evaluation).
 
         Generation order (and hence the RNG draw order) is identical to
         the historical serial step — candidates were always generated
-        before any evaluation ran — so serial trajectories are bitwise
-        reproductions of the pre-batched engine, while parallel backends
-        get the whole population slice at once (the diversity children
-        are embarrassingly parallel).
+        before any evaluation ran — so trajectories are independent of
+        where (or in what order) the batch is eventually scored.
         """
+        best, second = self.population[0][0], self.population[1][0]
+        child = self._make_child(best, second, block)
+
+        # Step 3: diversity-promoting selection
+        diverse: list[QuantSolution] = []
+        if self.config.diversity:
+            for _ in range(self.config.diversity_parents):
+                random_parent = random_solution(
+                    self.rng, self.num_layers, self.centers,
+                    self.config.hw_widths,
+                )
+                diverse.append(self._make_child(child, random_parent, block))
+        return [child] + diverse
+
+    def commit_step(
+        self, candidates: list[QuantSolution], fits: list[float]
+    ) -> None:
+        """Step 4: population update from a scored :meth:`propose_step`
+        batch (fits in proposal order: child first, then diversity)."""
+        if len(fits) != len(candidates):
+            raise ValueError(
+                f"{len(fits)} fitness values for {len(candidates)} candidates"
+            )
+        child, diverse = candidates[0], candidates[1:]
+        self.population.append((child, fits[0]))
+        if diverse:
+            scored = list(zip(diverse, fits[1:]))
+            scored.sort(key=lambda item: item[1])
+            self.population.append(scored[0])
+        self.perf.counter("lpq.candidates").inc(len(candidates))
+        self._rank()
+        # bound population growth: keep the K fittest
+        del self.population[self.config.population :]
+        self.history.record(self.population[0][1], self.population[0][0])
+
+    def step(self, block: range) -> None:
+        """One batched GA step: generate the Step-2 child and all
+        diversity children up front, then score them as one batch."""
         with self.perf.timer("lpq.step").time():
-            best, second = self.population[0][0], self.population[1][0]
-            child = self._make_child(best, second, block)
-
-            # Step 3: diversity-promoting selection
-            diverse: list[QuantSolution] = []
-            if self.config.diversity:
-                for _ in range(self.config.diversity_parents):
-                    random_parent = random_solution(
-                        self.rng, self.num_layers, self.centers,
-                        self.config.hw_widths,
-                    )
-                    diverse.append(self._make_child(child, random_parent, block))
-
-            # Step 4: evaluation and population update
-            fits = self._evaluate_batch([child] + diverse)
-            self.population.append((child, fits[0]))
-            if diverse:
-                scored = list(zip(diverse, fits[1:]))
-                scored.sort(key=lambda item: item[1])
-                self.population.append(scored[0])
-            self.perf.counter("lpq.candidates").inc(1 + len(diverse))
-            self._rank()
-            # bound population growth: keep the K fittest
-            del self.population[self.config.population :]
-            self.history.record(self.population[0][1], self.population[0][0])
+            cands = self.propose_step(block)
+            fits = self._evaluate_batch(cands)
+            self.commit_step(cands, fits)
 
     # -- full search ------------------------------------------------------
     def run(self) -> tuple[QuantSolution, float]:
@@ -222,3 +291,39 @@ class LPQEngine:
                     for _ in range(self.config.cycles):
                         self.step(block)
         return self.population[0]
+
+    # -- externally driven search ----------------------------------------
+    def work_units(self):
+        """Coroutine exposing the search as submittable candidate batches.
+
+        Yields each batch of candidates the search wants scored (the
+        Step-1 population first, then one batch per GA step) and expects
+        the fitness list — in the yielded order — to be sent back::
+
+            gen = engine.work_units()
+            batch = next(gen)
+            while True:
+                try:
+                    batch = gen.send([evaluate(s) for s in batch])
+                except StopIteration:
+                    break
+            best_solution, best_fitness = engine.population[0]
+
+        All engine RNG is drawn at generation time in exactly the order
+        :meth:`run` draws it, so a driver may evaluate a batch anywhere
+        — split into chunks across a shared worker pool, interleaved
+        with batches from other searches — and the trajectory stays
+        bitwise-identical to a standalone :meth:`run`.  This is the seam
+        :class:`repro.serve.SearchScheduler` multiplexes many searches
+        through one executor with.
+        """
+        if not self.population:
+            sols = self.propose_initial()
+            fits = yield sols
+            self.commit_initial(sols, fits)
+        for _ in range(self.config.passes):
+            for block in self._blocks():
+                for _ in range(self.config.cycles):
+                    cands = self.propose_step(block)
+                    fits = yield cands
+                    self.commit_step(cands, fits)

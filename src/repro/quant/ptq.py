@@ -68,7 +68,31 @@ def lpq_quantize(
     population evaluation out across worker replicas — ``serial`` (the
     default behaviour), ``thread``, or ``process`` backends.  Every
     backend produces a bitwise-identical search trajectory; the knob only
-    changes wall-clock.
+    changes wall-clock.  To quantize *several* models on one shared
+    worker pool, see :func:`repro.serve.lpq_quantize_many`.
+
+    A complete search on a toy model (real calls shrink only the search
+    budget, not the pipeline):
+
+    >>> import numpy as np
+    >>> from repro import nn
+    >>> from repro.quant import LPQConfig, lpq_quantize
+    >>> nn.seed(0)
+    >>> model = nn.Sequential(
+    ...     nn.Conv2d(3, 4, 3, padding=1, bias=False),
+    ...     nn.BatchNorm2d(4), nn.ReLU(),
+    ...     nn.GlobalAvgPool(), nn.Linear(4, 4)).eval()
+    >>> images = np.random.default_rng(0).normal(
+    ...     size=(4, 3, 8, 8)).astype(np.float32)
+    >>> result = lpq_quantize(model, images, config=LPQConfig(
+    ...     population=3, passes=1, cycles=1, diversity_parents=2,
+    ...     hw_widths=(4, 8), seed=5))
+    >>> len(result.solution)  # one LPParams per quantizable layer
+    2
+    >>> bool(np.isfinite(result.fitness))
+    True
+    >>> result.mean_weight_bits <= 8.0  # hw_widths bounds the search
+    True
     """
     config = config or LPQConfig()
     stats = collect_layer_stats(model, calib_images)

@@ -1,0 +1,44 @@
+"""Multi-search service layer: many LPQ searches, one worker pool.
+
+:mod:`repro.parallel` made a *single* search parallel — population
+slices fan out across worker replicas built from a picklable
+:class:`~repro.parallel.EvaluatorSpec`.  This package makes *fleets* of
+searches share that machinery:
+
+* :class:`SearchScheduler` — accepts many search jobs (model ×
+  fitness config × budget), drives each job's
+  :meth:`~repro.quant.LPQEngine.work_units` coroutine, and multiplexes
+  every job's candidate chunks onto one shared serial/thread/process
+  pool with cost-adaptive chunking.  Per-job :class:`SearchHandle`
+  futures; job-scoped failure and cancellation.
+* :func:`lpq_quantize_many` — one-call quantization of a model fleet
+  (the paper's Table 1 / Fig. 5 zoo sweeps), returning a
+  ``{name: LPQResult}`` map.
+* :mod:`repro.serve.pool` — the shared multi-job executor backends.
+
+The layer's invariant matches the rest of the stack: scheduling is
+never allowed to move a bit.  Every per-job result is bitwise-identical
+to a standalone :func:`repro.quant.lpq_quantize` run with the same
+seed, on every backend at any worker count.
+"""
+
+from .pool import (
+    ChunkResult,
+    SharedProcessPool,
+    SharedSerialPool,
+    SharedThreadPool,
+    make_shared_pool,
+)
+from .scheduler import SearchHandle, SearchScheduler
+from .api import lpq_quantize_many
+
+__all__ = [
+    "ChunkResult",
+    "SearchHandle",
+    "SearchScheduler",
+    "SharedProcessPool",
+    "SharedSerialPool",
+    "SharedThreadPool",
+    "lpq_quantize_many",
+    "make_shared_pool",
+]

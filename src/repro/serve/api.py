@@ -1,0 +1,111 @@
+"""One-call multi-model quantization on a shared executor pool.
+
+:func:`lpq_quantize_many` is to a model fleet what
+:func:`repro.quant.lpq_quantize` is to one model: the paper's Table 1 /
+Fig. 5 sweeps quantize ResNets, MobileNets, ViTs, and Swins with the
+same recipe, and running those searches through one
+:class:`~repro.serve.SearchScheduler` lets them share a single worker
+pool instead of spinning one up per model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..quant import LPQConfig, LPQResult
+from .scheduler import _DEFAULT_OBJECTIVE, SearchScheduler
+
+__all__ = ["lpq_quantize_many"]
+
+
+def _per_job(value, name: str):
+    """Resolve a possibly per-job parameter: a mapping keyed by job name
+    selects per job (and must cover every job), anything else applies
+    to every job."""
+    if isinstance(value, Mapping):
+        if name not in value:
+            raise KeyError(
+                f"per-job mapping has no entry for job {name!r} "
+                f"(keys: {sorted(value)})"
+            )
+        return value[name]
+    return value
+
+
+def lpq_quantize_many(
+    models,
+    calib_images,
+    config: LPQConfig | Mapping | None = None,
+    fitness_config=None,
+    objective=_DEFAULT_OBJECTIVE,
+    act_sf_mode: str = "calibrated",
+    executor=None,
+    target_chunk_s: float = 0.25,
+) -> dict[str, LPQResult]:
+    """Run one LPQ search per model, multiplexed on a shared pool.
+
+    ``models`` maps job names to model instances (a plain iterable of
+    models gets ``job0``, ``job1``, … names).  ``calib_images``,
+    ``config``, ``fitness_config``, and ``objective`` may each be a
+    single value applied to every job or a mapping keyed by job name
+    (a mapping must have an entry for every job — partial maps raise
+    ``KeyError`` rather than silently falling back to defaults).
+    ``executor`` is the usual :class:`~repro.parallel.ExecutorConfig`;
+    all jobs share the one pool it describes.  Every per-job result is
+    bitwise-identical to a standalone
+    :func:`repro.quant.lpq_quantize` call with the same arguments.
+
+    Raises ``RuntimeError`` listing the failed jobs if any search
+    failed; use a :class:`~repro.serve.SearchScheduler` directly for
+    per-job failure handling.
+
+    >>> import numpy as np
+    >>> from repro import nn
+    >>> from repro.quant import LPQConfig, lpq_quantize
+    >>> from repro.serve import lpq_quantize_many
+    >>> nn.seed(0)
+    >>> def tiny():
+    ...     return nn.Sequential(
+    ...         nn.Conv2d(3, 4, 3, padding=1, bias=False),
+    ...         nn.BatchNorm2d(4), nn.ReLU(),
+    ...         nn.GlobalAvgPool(), nn.Linear(4, 4))
+    >>> a, b = tiny().eval(), tiny().eval()
+    >>> images = np.random.default_rng(0).normal(
+    ...     size=(4, 3, 8, 8)).astype(np.float32)
+    >>> config = LPQConfig(population=3, passes=1, cycles=1,
+    ...                    diversity_parents=2, hw_widths=(4, 8), seed=3)
+    >>> results = lpq_quantize_many({"a": a, "b": b}, images, config=config)
+    >>> sorted(results)
+    ['a', 'b']
+    >>> results["a"].solution == lpq_quantize(a, images, config=config).solution
+    True
+    """
+    if isinstance(models, Mapping):
+        jobs = dict(models)
+    else:
+        jobs = {f"job{i}": model for i, model in enumerate(models)}
+    scheduler = SearchScheduler(
+        executor=executor, target_chunk_s=target_chunk_s
+    )
+    for name, model in jobs.items():
+        scheduler.submit(
+            name,
+            model,
+            _per_job(calib_images, name),
+            config=_per_job(config, name),
+            fitness_config=_per_job(fitness_config, name),
+            objective=_per_job(objective, name),
+            act_sf_mode=act_sf_mode,
+        )
+    results = scheduler.run()
+    failed = [
+        name for name, handle in scheduler.handles.items() if handle.failed
+    ]
+    if failed:
+        details = "\n".join(
+            f"--- {name}:\n{scheduler.handles[name].error}" for name in failed
+        )
+        raise RuntimeError(
+            f"{len(failed)} search job(s) failed: {failed}\n{details}"
+        )
+    return results

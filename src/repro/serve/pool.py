@@ -1,0 +1,282 @@
+"""Shared multi-job executor pools for the search scheduler.
+
+The :mod:`repro.parallel` executors bind one pool to one
+:class:`~repro.parallel.EvaluatorSpec`: every worker builds a single
+replica at startup and all tasks score candidates for that one search.
+A :class:`repro.serve.SearchScheduler` instead keeps *many* searches in
+flight, so its pools multiplex: every task is tagged with a job id, and
+each worker lazily builds (and keeps) one replica *per job* it has seen
+— the same worker scores candidates for a ResNet search and a ViT
+search back to back, each against that job's own model copy, caches,
+and private perf registry.
+
+Three backends mirror :mod:`repro.parallel.executor`:
+
+* :class:`SharedSerialPool` — one in-process replica per job; submit
+  evaluates synchronously.  The zero-overhead baseline.
+* :class:`SharedThreadPool` — N worker slots handed out through a
+  queue; each slot holds a ``job → replica`` map built on first use
+  (``copy_model=True``: slots mutate their models independently).
+* :class:`SharedProcessPool` — a :class:`multiprocessing.pool.Pool`
+  whose workers receive the full ``job → spec`` map at init and build
+  replicas lazily per job on first task.  Only ``(job, candidates)``
+  and ``(fitness, perf-delta)`` cross the process boundary per task.
+
+All pools are *asynchronous at the submit boundary*: results arrive on
+a caller-supplied queue as :class:`ChunkResult` messages tagged with
+``(job, seq, chunk)``, so the scheduler reassembles each batch in
+submission order no matter which worker finished first — completion
+order never reaches the search trajectory.  A task that raises reports
+an ``error`` string instead of poisoning the pool: the worker stays
+alive and keeps serving other jobs' tasks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..parallel import EvaluatorSpec, ExecutorConfig
+from ..perf import PerfRegistry, diff_snapshots
+
+__all__ = [
+    "ChunkResult",
+    "SharedSerialPool",
+    "SharedThreadPool",
+    "SharedProcessPool",
+    "make_shared_pool",
+]
+
+
+@dataclass
+class ChunkResult:
+    """One evaluated chunk, delivered on the scheduler's result queue.
+
+    ``fits`` holds the fitness values in the chunk's submission order
+    (``None`` on failure, with ``error`` carrying the worker traceback).
+    ``perf_delta`` is the worker replica's perf-registry delta for
+    exactly this chunk (see :func:`repro.perf.diff_snapshots`) and
+    ``elapsed`` its wall-clock seconds — the scheduler's adaptive
+    chunking feeds on the latter.
+    """
+
+    job: str
+    seq: int
+    chunk: int
+    fits: list[float] | None
+    perf_delta: dict | None
+    elapsed: float
+    error: str | None = None
+
+
+def _evaluate_with_entry(entry, solutions):
+    """Score a chunk on one job-replica entry; returns (fits, delta)."""
+    replica, registry, last_snap = entry
+    fits = [replica.evaluate(sol) for sol in solutions]
+    snap = registry.snapshot()
+    delta = diff_snapshots(snap, last_snap[0])
+    last_snap[0] = snap
+    return fits, delta
+
+
+def _build_entry(spec: EvaluatorSpec, copy_model: bool):
+    registry = PerfRegistry()
+    replica = spec.build(perf=registry, copy_model=copy_model)
+    return (replica, registry, [registry.snapshot()])
+
+
+class SharedSerialPool:
+    """In-process multi-job pool; ``submit`` evaluates synchronously and
+    enqueues the result before returning."""
+
+    def __init__(
+        self, specs: dict[str, EvaluatorSpec], results: queue.SimpleQueue
+    ) -> None:
+        self.workers = 1
+        self._specs = dict(specs)
+        self._results = results
+        self._replicas: dict[str, tuple] = {}
+
+    def submit(self, job: str, seq: int, chunk: int, solutions) -> None:
+        start = time.perf_counter()
+        try:
+            entry = self._replicas.get(job)
+            if entry is None:
+                # copy_model=True: two jobs may legitimately share one
+                # model instance; each replica must mutate its own copy
+                entry = _build_entry(self._specs[job], copy_model=True)
+                self._replicas[job] = entry
+            fits, delta = _evaluate_with_entry(entry, solutions)
+            result = ChunkResult(
+                job, seq, chunk, fits, delta, time.perf_counter() - start
+            )
+        except Exception:
+            result = ChunkResult(
+                job, seq, chunk, None, None, time.perf_counter() - start,
+                error=traceback.format_exc(),
+            )
+        self._results.put(result)
+
+    def close(self) -> None:
+        pass
+
+
+class SharedThreadPool:
+    """Thread-pool multi-job evaluation over per-slot replica maps.
+
+    Worker slots are handed out through a queue so each ``job →
+    replica`` map is used by exactly one task at a time; replicas are
+    built lazily the first time a slot sees a job.
+    """
+
+    def __init__(
+        self,
+        specs: dict[str, EvaluatorSpec],
+        workers: int,
+        results: queue.SimpleQueue,
+    ) -> None:
+        self.workers = workers
+        self._specs = dict(specs)
+        self._results = results
+        self._slots: queue.SimpleQueue = queue.SimpleQueue()
+        for _ in range(workers):
+            self._slots.put({})
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+
+    def submit(self, job: str, seq: int, chunk: int, solutions) -> None:
+        self._pool.submit(self._run, job, seq, chunk, solutions)
+
+    def _run(self, job: str, seq: int, chunk: int, solutions) -> None:
+        slot = self._slots.get()
+        start = time.perf_counter()
+        try:
+            try:
+                entry = slot.get(job)
+                if entry is None:
+                    entry = _build_entry(self._specs[job], copy_model=True)
+                    slot[job] = entry
+                fits, delta = _evaluate_with_entry(entry, solutions)
+                result = ChunkResult(
+                    job, seq, chunk, fits, delta, time.perf_counter() - start
+                )
+            except Exception:
+                result = ChunkResult(
+                    job, seq, chunk, None, None, time.perf_counter() - start,
+                    error=traceback.format_exc(),
+                )
+        finally:
+            self._slots.put(slot)
+        self._results.put(result)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# -- process backend ----------------------------------------------------
+# Worker state lives in module globals: each worker receives the full
+# job → spec map once at init and builds replicas lazily per job.  A
+# spec whose replica fails to build fails *its own job's* tasks (the
+# error travels back inside the result tuple) — the worker survives and
+# keeps serving other jobs.
+_SHARED_SPECS: dict[str, EvaluatorSpec] | None = None
+_SHARED_STATE: dict[str, tuple] | None = None
+
+
+def _init_shared_worker(specs: dict[str, EvaluatorSpec]) -> None:
+    global _SHARED_SPECS, _SHARED_STATE
+    # plain assignments: nothing here can raise, so the PR-2 concern of
+    # a raising initializer respawning workers forever does not apply —
+    # replica construction is deferred to the first task per job
+    _SHARED_SPECS = specs
+    _SHARED_STATE = {}
+
+
+def _evaluate_shared_chunk(job: str, solutions):
+    start = time.perf_counter()
+    try:
+        if _SHARED_STATE is None or _SHARED_SPECS is None:
+            raise RuntimeError("shared pool worker not initialized")
+        entry = _SHARED_STATE.get(job)
+        if entry is None:
+            # a fresh process owns its unpickled spec outright
+            entry = _build_entry(_SHARED_SPECS[job], copy_model=False)
+            _SHARED_STATE[job] = entry
+        fits, delta = _evaluate_with_entry(entry, solutions)
+        return fits, delta, time.perf_counter() - start, None
+    except Exception:
+        return (
+            None, None, time.perf_counter() - start, traceback.format_exc()
+        )
+
+
+class SharedProcessPool:
+    """Process-pool multi-job evaluation; results arrive via the pool's
+    async callbacks, which enqueue :class:`ChunkResult` messages."""
+
+    def __init__(
+        self,
+        specs: dict[str, EvaluatorSpec],
+        workers: int,
+        results: queue.SimpleQueue,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = workers
+        self._results = results
+        ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._pool = ctx.Pool(
+            processes=workers,
+            initializer=_init_shared_worker,
+            initargs=(dict(specs),),
+        )
+
+    def submit(self, job: str, seq: int, chunk: int, solutions) -> None:
+        def on_done(payload, job=job, seq=seq, chunk=chunk):
+            fits, delta, elapsed, error = payload
+            self._results.put(
+                ChunkResult(job, seq, chunk, fits, delta, elapsed, error)
+            )
+
+        def on_error(exc, job=job, seq=seq, chunk=chunk):
+            # belt and braces: task exceptions are already caught inside
+            # the worker; this catches pickling failures and the like
+            self._results.put(
+                ChunkResult(job, seq, chunk, None, None, 0.0, error=repr(exc))
+            )
+
+        self._pool.apply_async(
+            _evaluate_shared_chunk,
+            (job, solutions),
+            callback=on_done,
+            error_callback=on_error,
+        )
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+
+def make_shared_pool(
+    specs: dict[str, EvaluatorSpec],
+    config: ExecutorConfig,
+    results: queue.SimpleQueue,
+):
+    """Build the shared pool selected by ``config`` (same
+    :class:`~repro.parallel.ExecutorConfig` as single-job executors)."""
+    if config.backend == "serial":
+        return SharedSerialPool(specs, results)
+    workers = config.resolved_workers()
+    if config.backend == "thread":
+        return SharedThreadPool(specs, workers, results)
+    return SharedProcessPool(
+        specs, workers, results, start_method=config.start_method
+    )

@@ -1,0 +1,474 @@
+"""Multi-search scheduler: many LPQ searches on one shared worker pool.
+
+One :class:`SearchScheduler` holds any number of LPQ search *jobs*
+(model × :class:`~repro.quant.FitnessConfig` × search budget) and
+drives them concurrently over a single shared executor
+(:mod:`repro.serve.pool`).  Each job is an
+:class:`~repro.quant.LPQEngine` driven through its
+:meth:`~repro.quant.LPQEngine.work_units` coroutine: the engine yields
+candidate batches (the Step-1 population first, then one batch per GA
+step), the scheduler splits every batch into cost-adaptive chunks, and
+chunks from *all* jobs interleave freely on the pool — block-level
+pipelining within a job, job-level pipelining across the fleet.
+
+Determinism is inherited, not re-proven: all engine RNG is drawn at
+generation time in the standalone order, chunk results are reassembled
+by ``(seq, chunk)`` tags before they reach the engine, and every worker
+replica is a byte-identical reconstruction from the job's
+:class:`~repro.parallel.EvaluatorSpec`.  Scheduling therefore cannot
+move a bit — per-job results are bitwise-identical to a standalone
+:func:`repro.quant.lpq_quantize` with the same seed, on every backend
+(``tests/serve/test_scheduler.py`` asserts exactly this).
+
+Failure is job-scoped: a replica that raises fails its own job (the
+handle reports the worker traceback) while the pool and every other job
+keep running.  Cancellation via :meth:`SearchHandle.cancel` takes
+effect at the next batch boundary.
+"""
+
+from __future__ import annotations
+
+import queue
+import traceback
+from dataclasses import dataclass, field
+
+from ..parallel import EvaluatorSpec, ExecutorConfig
+from ..perf import PerfRegistry, get_perf
+from ..quant import (
+    LPQConfig,
+    LPQEngine,
+    LPQResult,
+    LayerStats,
+    OBJECTIVES,
+    collect_layer_stats,
+    derive_activation_params,
+)
+from .pool import make_shared_pool
+
+__all__ = ["SearchHandle", "SearchScheduler"]
+
+#: sentinel objective name meaning "the paper's FitnessEvaluator"
+_DEFAULT_OBJECTIVE = "global_local_contrastive"
+
+
+class SearchHandle:
+    """Per-job future returned by :meth:`SearchScheduler.submit`.
+
+    Resolved by :meth:`SearchScheduler.run`: afterwards exactly one of
+    ``done`` (``result()`` returns the job's
+    :class:`~repro.quant.LPQResult`), ``failed`` (``result()`` raises
+    with the worker traceback in ``error``), or ``cancelled`` is true.
+    ``cancel()`` may be called before or during ``run()``; it takes
+    effect at the job's next batch boundary.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._status = "pending"
+        self._result: LPQResult | None = None
+        self._error: str | None = None
+        self._perf: dict | None = None
+        self._cancel_requested = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def status(self) -> str:
+        """One of ``pending`` / ``done`` / ``failed`` / ``cancelled``."""
+        return self._status
+
+    @property
+    def done(self) -> bool:
+        return self._status == "done"
+
+    @property
+    def failed(self) -> bool:
+        return self._status == "failed"
+
+    @property
+    def cancelled(self) -> bool:
+        return self._status == "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self._status != "pending"
+
+    @property
+    def error(self) -> str | None:
+        return self._error
+
+    @property
+    def perf(self) -> dict | None:
+        """The job's merged perf snapshot (engine events + every worker
+        delta attributed to this job), available once finished."""
+        return self._perf
+
+    def cancel(self) -> None:
+        """Request cancellation (no-op once the job has finished)."""
+        self._cancel_requested = True
+
+    def result(self) -> LPQResult:
+        """The job's :class:`~repro.quant.LPQResult` (raises otherwise)."""
+        if self._status == "done":
+            return self._result
+        if self._status == "failed":
+            raise RuntimeError(
+                f"search job {self.name!r} failed:\n{self._error}"
+            )
+        if self._status == "cancelled":
+            raise RuntimeError(f"search job {self.name!r} was cancelled")
+        raise RuntimeError(
+            f"search job {self.name!r} has not run yet; call "
+            "SearchScheduler.run()"
+        )
+
+    # -- resolution (scheduler-internal) --------------------------------
+    def _resolve(self, result: LPQResult) -> None:
+        self._status, self._result = "done", result
+
+    def _fail(self, error: str) -> None:
+        self._status, self._error = "failed", error
+
+    def _mark_cancelled(self) -> None:
+        self._status = "cancelled"
+
+
+@dataclass
+class _JobState:
+    """Scheduler-internal bookkeeping for one search job."""
+
+    name: str
+    spec: EvaluatorSpec
+    engine: LPQEngine
+    stats: LayerStats
+    act_sf_mode: str
+    perf: PerfRegistry
+    handle: SearchHandle
+    gen: object | None = None
+    seq: int = -1
+    batch: list | None = None  # full batch (duplicates included)
+    unique: list | None = None  # deduped candidates actually submitted
+    chunk_sizes: list[int] = field(default_factory=list)
+    chunk_fits: dict[int, list] = field(default_factory=dict)
+    chunks_outstanding: int = 0
+    memo: dict = field(default_factory=dict)
+    evaluations: int = 0  # requested (memo hits included)
+    computed_evaluations: int = 0  # submitted to a worker
+    cost_est: float | None = None  # EWMA seconds per candidate
+
+
+class SearchScheduler:
+    """Runs many LPQ searches concurrently on one shared executor pool.
+
+    ``executor`` is the same :class:`~repro.parallel.ExecutorConfig`
+    knob as single-job searches (``serial`` / ``thread`` / ``process``
+    backends); ``target_chunk_s`` sets the wall-clock a single submitted
+    chunk should cost, which the adaptive chunker divides by each job's
+    measured per-candidate cost — cheap-model jobs ship large chunks
+    (low dispatch overhead), expensive-model jobs ship small ones (no
+    pool starvation).  The first batch of every job is submitted at
+    chunk size 1 to seed the cost estimate with maximum parallelism.
+
+    Submit jobs, then call :meth:`run`; per-job :class:`SearchHandle`
+    futures resolve to :class:`~repro.quant.LPQResult` values that are
+    bitwise-identical to standalone :func:`repro.quant.lpq_quantize`
+    runs with the same configuration.
+
+    >>> import numpy as np
+    >>> from repro import nn
+    >>> from repro.quant import LPQConfig, lpq_quantize
+    >>> from repro.serve import SearchScheduler
+    >>> nn.seed(0)
+    >>> class Tiny(nn.Module):
+    ...     def __init__(self):
+    ...         super().__init__()
+    ...         self.conv = nn.Conv2d(3, 4, 3, padding=1, bias=False)
+    ...         self.bn = nn.BatchNorm2d(4)
+    ...         self.pool = nn.GlobalAvgPool()
+    ...         self.head = nn.Linear(4, 4)
+    ...     def forward(self, x):
+    ...         return self.head(self.pool(self.bn(self.conv(x))))
+    >>> model = Tiny().eval()
+    >>> images = np.random.default_rng(0).normal(
+    ...     size=(4, 3, 8, 8)).astype(np.float32)
+    >>> config = LPQConfig(population=3, passes=1, cycles=1,
+    ...                    diversity_parents=2, hw_widths=(4, 8), seed=1)
+    >>> scheduler = SearchScheduler()
+    >>> handle = scheduler.submit("tiny", model, images, config=config)
+    >>> results = scheduler.run()
+    >>> handle.done
+    True
+    >>> standalone = lpq_quantize(model, images, config=config)
+    >>> results["tiny"].solution == standalone.solution
+    True
+    """
+
+    def __init__(
+        self,
+        executor: ExecutorConfig | None = None,
+        target_chunk_s: float = 0.25,
+        cost_ewma: float = 0.5,
+        perf=None,
+    ) -> None:
+        if target_chunk_s <= 0:
+            raise ValueError("target_chunk_s must be positive")
+        if not 0.0 < cost_ewma <= 1.0:
+            raise ValueError("cost_ewma must be in (0, 1]")
+        self.executor_config = executor or ExecutorConfig()
+        self.target_chunk_s = target_chunk_s
+        self.cost_ewma = cost_ewma
+        self.perf = perf if perf is not None else get_perf()
+        self._jobs: dict[str, _JobState] = {}
+
+    # -- job submission --------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        model=None,
+        calib_images=None,
+        *,
+        builder=None,
+        state=None,
+        config: LPQConfig | None = None,
+        fitness_config=None,
+        objective: str = _DEFAULT_OBJECTIVE,
+        act_sf_mode: str = "calibrated",
+        stats: LayerStats | None = None,
+    ) -> SearchHandle:
+        """Register one LPQ search job; returns its :class:`SearchHandle`.
+
+        The model source mirrors :class:`~repro.parallel.EvaluatorSpec`:
+        either a ``model`` instance or a picklable ``builder`` callable
+        (optionally with a ``state`` dict of trained weights).  The
+        remaining knobs mirror :func:`repro.quant.lpq_quantize` —
+        a scheduler job is the same search, just multiplexed.
+        """
+        if name in self._jobs:
+            raise ValueError(f"duplicate job name {name!r}")
+        if calib_images is None:
+            raise ValueError("calib_images is required")
+        if objective not in OBJECTIVES and objective != _DEFAULT_OBJECTIVE:
+            raise ValueError(
+                f"unknown objective {objective!r}; choose from "
+                f"{sorted(OBJECTIVES) + [_DEFAULT_OBJECTIVE]}"
+            )
+        if act_sf_mode not in ("calibrated", "recurrence"):
+            raise ValueError(f"unknown activation sf mode {act_sf_mode!r}")
+        if (model is None) == (builder is None):
+            raise ValueError("exactly one of model or builder is required")
+        if stats is None:
+            # the calibration pass needs a live model; built here only
+            # when the caller did not precollect stats
+            local = model
+            if local is None:
+                local = builder()
+                if state is not None:
+                    local.load_state_dict(state)
+            local.eval()
+            stats = collect_layer_stats(local, calib_images)
+        spec = EvaluatorSpec(
+            images=calib_images,
+            builder=builder,
+            state=state,
+            model=model,
+            config=fitness_config,
+            objective=None if objective == _DEFAULT_OBJECTIVE else objective,
+            act_mode=act_sf_mode,
+            stats=stats,
+        )
+        job_perf = PerfRegistry()
+        engine = LPQEngine(
+            None, stats.weight_log_centers, config, perf=job_perf
+        )
+        handle = SearchHandle(name)
+        self._jobs[name] = _JobState(
+            name=name,
+            spec=spec,
+            engine=engine,
+            stats=stats,
+            act_sf_mode=act_sf_mode,
+            perf=job_perf,
+            handle=handle,
+        )
+        return handle
+
+    @property
+    def handles(self) -> dict[str, SearchHandle]:
+        return {name: st.handle for name, st in self._jobs.items()}
+
+    # -- the multiplexing loop -------------------------------------------
+    def run(self) -> dict[str, LPQResult]:
+        """Drive every pending job to completion on one shared pool.
+
+        Returns ``{name: LPQResult}`` for the jobs that completed in
+        this call; failed or cancelled jobs are reported through their
+        handles instead.  May be called again after submitting more
+        jobs (each call builds a pool for that call's pending jobs).
+        """
+        pending: dict[str, _JobState] = {}
+        for name, st in self._jobs.items():
+            if st.handle.finished:
+                continue
+            if st.handle._cancel_requested:
+                self._finalize_cancelled(st)
+                continue
+            pending[name] = st
+        if not pending:
+            return {}
+        results_q: queue.SimpleQueue = queue.SimpleQueue()
+        pool = make_shared_pool(
+            {name: st.spec for name, st in pending.items()},
+            self.executor_config,
+            results_q,
+        )
+        outstanding = 0
+        try:
+            for st in pending.values():
+                outstanding += self._start_job(st, pool)
+            while outstanding:
+                res = results_q.get()
+                outstanding -= 1
+                st = pending.get(res.job)
+                if st is None or st.handle.finished or res.seq != st.seq:
+                    continue  # stale chunk of a failed/finished job
+                if res.error is not None:
+                    self._finalize_failed(st, res.error)
+                    continue
+                st.perf.merge_snapshot(res.perf_delta)
+                self._update_cost(st, res)
+                st.chunk_fits[res.chunk] = res.fits
+                st.chunks_outstanding -= 1
+                if st.chunks_outstanding == 0:
+                    fits_unique = [
+                        fit
+                        for chunk in sorted(st.chunk_fits)
+                        for fit in st.chunk_fits[chunk]
+                    ]
+                    for sol, fit in zip(st.unique, fits_unique):
+                        st.memo[sol] = fit
+                    fits = [st.memo[sol] for sol in st.batch]
+                    outstanding += self._advance(st, pool, fits)
+        finally:
+            pool.close()
+        return {
+            name: st.handle._result
+            for name, st in pending.items()
+            if st.handle.done
+        }
+
+    # -- per-job driving -------------------------------------------------
+    def _start_job(self, st: _JobState, pool) -> int:
+        st.gen = st.engine.work_units()
+        return self._advance(st, pool, None)
+
+    def _advance(self, st: _JobState, pool, fits) -> int:
+        """Feed results back and submit the next batch; returns the
+        number of chunks submitted (0 = job reached a terminal state).
+
+        Loops in place when a batch is fully memoised (no worker round
+        trip needed) so consecutive memo-served batches cannot recurse.
+        """
+        while True:
+            try:
+                if fits is None:
+                    batch = next(st.gen)
+                else:
+                    batch = st.gen.send(fits)
+            except StopIteration:
+                self._finalize_done(st)
+                return 0
+            except Exception:
+                self._finalize_failed(st, traceback.format_exc())
+                return 0
+            if st.handle._cancel_requested:
+                self._finalize_cancelled(st)
+                return 0
+            submitted = self._submit_batch(st, pool, batch)
+            if submitted:
+                return submitted
+            # every candidate was served from the job memo
+            fits = [st.memo[sol] for sol in st.batch]
+
+    def _submit_batch(self, st: _JobState, pool, batch) -> int:
+        st.seq += 1
+        st.batch = list(batch)
+        st.evaluations += len(st.batch)
+        memo_stats = st.perf.cache("population.memo")
+        unique, seen = [], set()
+        for sol in st.batch:
+            if sol in st.memo or sol in seen:
+                memo_stats.hit()
+            else:
+                memo_stats.miss()
+                seen.add(sol)
+                unique.append(sol)
+        st.unique = unique
+        st.computed_evaluations += len(unique)
+        if not unique:
+            return 0
+        chunks = self._chunks(st, unique, pool.workers)
+        st.chunk_fits = {}
+        st.chunk_sizes = [len(c) for c in chunks]
+        st.chunks_outstanding = len(chunks)
+        st.perf.counter("serve.batches").inc()
+        st.perf.counter("serve.chunks").inc(len(chunks))
+        for idx, chunk in enumerate(chunks):
+            pool.submit(st.name, st.seq, idx, chunk)
+        return len(chunks)
+
+    def _chunks(self, st: _JobState, unique: list, workers: int) -> list:
+        """Cost-adaptive chunking: aim for ``target_chunk_s`` per chunk,
+        never fewer chunks than would keep ``workers`` busy, chunk size
+        1 until the job has a cost estimate."""
+        if st.cost_est is None:
+            size = 1
+        else:
+            size = max(1, int(self.target_chunk_s / max(st.cost_est, 1e-9)))
+            # keep at least `workers` chunks in flight when the batch
+            # allows it, so a cheap job cannot collapse into one task
+            # that serialises the pool
+            size = min(size, max(1, len(unique) // workers))
+        return [unique[i : i + size] for i in range(0, len(unique), size)]
+
+    def _update_cost(self, st: _JobState, res) -> None:
+        if not res.fits or res.elapsed <= 0:
+            return
+        per_candidate = res.elapsed / len(res.fits)
+        if st.cost_est is None:
+            st.cost_est = per_candidate
+        else:
+            a = self.cost_ewma
+            st.cost_est = a * per_candidate + (1.0 - a) * st.cost_est
+
+    # -- terminal states --------------------------------------------------
+    def _finalize_done(self, st: _JobState) -> None:
+        solution, fitness = st.engine.population[0]
+        act_params = derive_activation_params(
+            solution, st.stats, mode=st.act_sf_mode
+        )
+        st.handle._resolve(
+            LPQResult(
+                solution=solution,
+                act_params=act_params,
+                fitness=fitness,
+                history=st.engine.history,
+                stats=st.stats,
+                evaluations=st.evaluations,
+            )
+        )
+        self._merge_job_perf(st)
+
+    def _finalize_failed(self, st: _JobState, error: str) -> None:
+        st.handle._fail(error)
+        self._merge_job_perf(st)
+
+    def _finalize_cancelled(self, st: _JobState) -> None:
+        st.handle._mark_cancelled()
+        self._merge_job_perf(st)
+
+    def _merge_job_perf(self, st: _JobState) -> None:
+        """Publish the job's perf snapshot on its handle and fold the
+        private registry (engine events + worker deltas) into the
+        scheduler's ambient registry exactly once."""
+        st.handle._perf = st.perf.snapshot()
+        if st.perf is not self.perf:
+            self.perf.merge_snapshot(st.handle._perf)

@@ -1,0 +1,67 @@
+"""Docs stay true: public-API doctests run and docs/ references resolve.
+
+Runs the same two gates as the CI docs leg (``scripts/check_docs.py``)
+under plain pytest, so a broken docstring example or a stale
+``path/file.py:symbol`` reference fails tier-1 locally too.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    return _load_check_docs()
+
+
+def test_public_api_doctests(check_docs):
+    assert check_docs.run_doctests(verbose=False) == 0
+
+
+def test_docs_references_resolve(check_docs):
+    assert check_docs.check_references(verbose=False) == 0
+
+
+def test_docs_pages_exist():
+    for page in ("architecture.md", "perf.md", "api.md"):
+        assert (REPO / "docs" / page).is_file(), f"docs/{page} missing"
+
+
+def test_checker_catches_broken_reference(tmp_path, check_docs, monkeypatch):
+    """The link-check must actually fail on a dangling reference."""
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "bad.md").write_text(
+        "see `src/repro/quant/ptq.py:not_a_symbol` and "
+        "`src/repro/gone.py:lpq_quantize`\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_PAGES", ("docs/*.md",))
+    assert check_docs.check_references(verbose=False) == 2
+
+
+def test_check_docs_script_entrypoint():
+    """The CI leg's exact invocation exits 0."""
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

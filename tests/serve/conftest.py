@@ -1,0 +1,33 @@
+"""Shared fixtures for the multi-search scheduler tests."""
+
+import pytest
+
+from repro import nn
+from repro.data import calibration_batch
+from repro.quant import LPQConfig
+
+from .servemodels import ServeBNCNN, ServeMLP
+
+
+SEARCH = LPQConfig(
+    population=3,
+    passes=1,
+    cycles=1,
+    block_size=2,
+    diversity_parents=2,
+    hw_widths=(4, 8),
+    seed=21,
+)
+
+
+@pytest.fixture(scope="module")
+def serve_setup():
+    """Two heterogeneous models + one shared calibration batch."""
+    nn.seed(31)
+    cnn = ServeBNCNN()
+    cnn.eval()
+    nn.seed(32)
+    mlp = ServeMLP()
+    mlp.eval()
+    images = calibration_batch(8, seed=7)
+    return cnn, mlp, images

@@ -1,0 +1,74 @@
+"""Test models for the scheduler suite.
+
+Lives in a real module (not conftest) so ``EvaluatorSpec`` can pickle
+builders by reference for process workers.
+"""
+
+from repro import nn
+
+
+class ServeBNCNN(nn.Module):
+    """Small BN CNN, fast to evaluate (the scheduler suite's workhorse)."""
+
+    def __init__(self):
+        super().__init__()
+        self.features = nn.Sequential(
+            nn.Conv2d(3, 6, 3, padding=1, bias=False),
+            nn.BatchNorm2d(6),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(6, 8, 3, padding=1, bias=False),
+            nn.BatchNorm2d(8),
+            nn.ReLU(),
+        )
+        self.pool = nn.GlobalAvgPool()
+        self.head = nn.Linear(8, 8)
+
+    def forward(self, x):
+        return self.head(self.pool(self.features(x)))
+
+
+class ServeMLP(nn.Module):
+    """BN-free second job: different cost profile than the CNN, so a
+    two-job schedule exercises heterogeneous adaptive chunking."""
+
+    def __init__(self):
+        super().__init__()
+        self.pool = nn.GlobalAvgPool()
+        self.fc1 = nn.Linear(3, 16)
+        self.act = nn.ReLU()
+        self.fc2 = nn.Linear(16, 8)
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(self.pool(x))))
+
+
+class FailingBNCNN(nn.Module):
+    """Builds and calibrates fine (eval-mode forwards succeed) but
+    raises on the first training-mode forward — i.e. inside the fused
+    BN-recalibration pass of the first candidate evaluation.  Used to
+    prove a failing job cannot poison the shared pool."""
+
+    def __init__(self):
+        super().__init__()
+        self.conv = nn.Conv2d(3, 4, 3, padding=1, bias=False)
+        self.bn = nn.BatchNorm2d(4)
+        self.pool = nn.GlobalAvgPool()
+        self.head = nn.Linear(4, 4)
+
+    def forward(self, x):
+        if self.training:
+            raise RuntimeError("injected failure: training-mode forward")
+        return self.head(self.pool(self.bn(self.conv(x))))
+
+
+def build_serve_cnn() -> nn.Module:
+    return ServeBNCNN()
+
+
+def build_serve_mlp() -> nn.Module:
+    return ServeMLP()
+
+
+def build_failing_cnn() -> nn.Module:
+    return FailingBNCNN()

@@ -1,0 +1,258 @@
+"""SearchScheduler: bitwise determinism vs standalone runs, fairness,
+block-pipelined initialization, failure/cancellation isolation.
+
+The scheduler's hard guarantee extends the stack's: multiplexing many
+searches over one shared pool — whatever the backend, worker count, or
+chunking — must not move a single bit relative to standalone
+``lpq_quantize`` runs with the same seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ExecutorConfig
+from repro.perf import reset_perf
+from repro.quant import LPQConfig, LPQEngine, lpq_quantize
+from repro.serve import SearchScheduler, lpq_quantize_many
+
+from .conftest import SEARCH
+from .servemodels import build_failing_cnn
+
+
+def _standalone(model, images, config=SEARCH):
+    reset_perf()
+    return lpq_quantize(model, images, config=config)
+
+
+class TestSchedulerDeterminism:
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", None),
+        ("thread", 2),
+        ("process", 2),
+        ("process", 3),
+    ])
+    def test_two_jobs_bitwise_equal_standalone(
+        self, serve_setup, backend, workers
+    ):
+        """Fairness + correctness: two heterogeneous jobs sharing one
+        pool both finish, with results bitwise-equal to standalone."""
+        cnn, mlp, images = serve_setup
+        ref_cnn = _standalone(cnn, images)
+        ref_mlp = _standalone(mlp, images)
+        reset_perf()
+        executor = (
+            None if backend == "serial"
+            else ExecutorConfig(backend, workers=workers)
+        )
+        results = lpq_quantize_many(
+            {"cnn": cnn, "mlp": mlp}, images, config=SEARCH, executor=executor
+        )
+        assert sorted(results) == ["cnn", "mlp"]
+        for name, ref in (("cnn", ref_cnn), ("mlp", ref_mlp)):
+            got = results[name]
+            assert got.solution == ref.solution
+            assert got.fitness == ref.fitness
+            assert got.history.best_fitness == ref.history.best_fitness
+            assert got.history.mean_bits == ref.history.mean_bits
+            assert got.act_params == ref.act_params
+            assert got.evaluations == ref.evaluations
+
+    def test_chunking_choice_cannot_move_results(self, serve_setup):
+        """Block-pipelined initialization determinism: single-candidate
+        chunks (maximal Step-1 fan-out) and maximal chunks produce the
+        same trajectory as the unchunked standalone search."""
+        cnn, _, images = serve_setup
+        ref = _standalone(cnn, images)
+        for target_chunk_s in (1e-9, 1e9):
+            reset_perf()
+            scheduler = SearchScheduler(
+                executor=ExecutorConfig("thread", workers=2),
+                target_chunk_s=target_chunk_s,
+            )
+            scheduler.submit("cnn", cnn, images, config=SEARCH)
+            results = scheduler.run()
+            assert results["cnn"].solution == ref.solution
+            assert results["cnn"].history.best_fitness == ref.history.best_fitness
+
+    def test_step1_population_is_one_pipelined_batch(self, serve_setup):
+        """The engine exposes Step-1 as one submittable batch whose K
+        candidates the scheduler may evaluate concurrently."""
+        cnn, _, images = serve_setup
+        from repro.quant import collect_layer_stats
+
+        stats = collect_layer_stats(cnn, images)
+        engine = LPQEngine(None, stats.weight_log_centers, SEARCH)
+        gen = engine.work_units()
+        first = next(gen)
+        assert len(first) == SEARCH.population
+        gen.close()
+        # and a forced chunk-size-1 schedule (every candidate its own
+        # work unit) was proven bitwise-safe in the test above
+
+    def test_per_job_configs_and_objectives(self, serve_setup):
+        """Per-job parameter maps reach the right jobs."""
+        cnn, mlp, images = serve_setup
+        other = LPQConfig(
+            population=3, passes=1, cycles=1, block_size=2,
+            diversity_parents=2, hw_widths=(4, 8), seed=77,
+        )
+        reset_perf()
+        ref_cnn = lpq_quantize(cnn, images, config=SEARCH, objective="mse")
+        reset_perf()
+        ref_mlp = lpq_quantize(mlp, images, config=other)
+        reset_perf()
+        results = lpq_quantize_many(
+            {"cnn": cnn, "mlp": mlp},
+            images,
+            config={"cnn": SEARCH, "mlp": other},
+            objective={"cnn": "mse", "mlp": "global_local_contrastive"},
+        )
+        assert results["cnn"].solution == ref_cnn.solution
+        assert results["cnn"].fitness == ref_cnn.fitness
+        assert results["mlp"].solution == ref_mlp.solution
+
+    def test_iterable_models_get_default_names(self, serve_setup):
+        cnn, mlp, images = serve_setup
+        reset_perf()
+        results = lpq_quantize_many([cnn, mlp], images, config=SEARCH)
+        assert sorted(results) == ["job0", "job1"]
+
+    def test_partial_per_job_mapping_raises(self, serve_setup):
+        """A per-job mapping that misses a job must raise, not silently
+        run that job on defaults (the paper-budget search)."""
+        cnn, mlp, images = serve_setup
+        with pytest.raises(KeyError, match="mlp"):
+            lpq_quantize_many(
+                {"cnn": cnn, "mlp": mlp}, images, config={"cnn": SEARCH}
+            )
+
+
+class TestSchedulerLifecycle:
+    def test_failing_job_isolated_from_healthy_job(self, serve_setup):
+        """Failure of one job must not poison the shared pool: the
+        healthy job completes bitwise-clean, the failed job's handle
+        carries the worker traceback."""
+        cnn, _, images = serve_setup
+        ref = _standalone(cnn, images)
+        reset_perf()
+        scheduler = SearchScheduler(
+            executor=ExecutorConfig("process", workers=2)
+        )
+        good = scheduler.submit("good", cnn, images, config=SEARCH)
+        bad_model = build_failing_cnn()
+        bad_model.eval()
+        bad = scheduler.submit("bad", bad_model, images, config=SEARCH)
+        results = scheduler.run()
+        assert good.done
+        assert results["good"].solution == ref.solution
+        assert results["good"].fitness == ref.fitness
+        assert bad.failed and not bad.done
+        assert "injected failure" in bad.error
+        assert "bad" not in results
+        with pytest.raises(RuntimeError, match="failed"):
+            bad.result()
+
+    def test_lpq_quantize_many_raises_on_failure(self, serve_setup):
+        _, _, images = serve_setup
+        bad_model = build_failing_cnn()
+        bad_model.eval()
+        with pytest.raises(RuntimeError, match="injected failure"):
+            lpq_quantize_many({"bad": bad_model}, images, config=SEARCH)
+
+    def test_cancelled_job_skipped_others_run(self, serve_setup):
+        cnn, mlp, images = serve_setup
+        ref = _standalone(cnn, images)
+        reset_perf()
+        scheduler = SearchScheduler()
+        keep = scheduler.submit("keep", cnn, images, config=SEARCH)
+        drop = scheduler.submit("drop", mlp, images, config=SEARCH)
+        drop.cancel()
+        results = scheduler.run()
+        assert keep.done and drop.cancelled
+        assert sorted(results) == ["keep"]
+        assert results["keep"].solution == ref.solution
+        with pytest.raises(RuntimeError, match="cancelled"):
+            drop.result()
+
+    def test_rerun_picks_up_new_jobs_only(self, serve_setup):
+        cnn, mlp, images = serve_setup
+        reset_perf()
+        scheduler = SearchScheduler()
+        scheduler.submit("first", cnn, images, config=SEARCH)
+        first = scheduler.run()
+        assert sorted(first) == ["first"]
+        scheduler.submit("second", mlp, images, config=SEARCH)
+        second = scheduler.run()
+        assert sorted(second) == ["second"]
+        assert scheduler.handles["first"].done
+        assert second["second"].solution == _standalone(mlp, images).solution
+
+    def test_submit_validation(self, serve_setup):
+        cnn, _, images = serve_setup
+        scheduler = SearchScheduler()
+        scheduler.submit("dup", cnn, images, config=SEARCH)
+        with pytest.raises(ValueError, match="duplicate"):
+            scheduler.submit("dup", cnn, images, config=SEARCH)
+        with pytest.raises(ValueError, match="calib_images"):
+            scheduler.submit("no-images", cnn)
+        with pytest.raises(ValueError, match="objective"):
+            scheduler.submit("bad-obj", cnn, images, objective="nope")
+        with pytest.raises(ValueError, match="exactly one"):
+            scheduler.submit("no-model", calib_images=images)
+        handle = scheduler.handles["dup"]
+        with pytest.raises(RuntimeError, match="not run yet"):
+            handle.result()
+
+    def test_job_perf_merged_into_ambient_registry(self, serve_setup):
+        """Worker cache traffic and engine counters must reach the
+        ambient registry once the job finishes — a multi-job fan-out
+        must not lose observability."""
+        cnn, _, images = serve_setup
+        perf = reset_perf()
+        scheduler = SearchScheduler()
+        handle = scheduler.submit("cnn", cnn, images, config=SEARCH)
+        scheduler.run()
+        # the per-job future carries the job's own merged snapshot
+        assert handle.perf is not None
+        assert handle.perf["counters"]["serve.batches"] > 0
+        assert handle.perf["caches"]["quant.weight_cache"]["misses"] > 0
+        snap = perf.snapshot()
+        assert snap["counters"]["lpq.candidates"] > 0
+        assert snap["caches"]["quant.weight_cache"]["misses"] > 0
+        assert snap["caches"]["population.memo"]["misses"] > 0
+        assert snap["counters"]["serve.batches"] > 0
+        assert snap["counters"]["serve.chunks"] >= snap["counters"]["serve.batches"]
+
+
+class TestAdaptiveChunking:
+    def test_first_batch_single_candidate_chunks(self, serve_setup):
+        """Until a job has a cost estimate, chunks are single candidates
+        (maximal fan-out + timing seed); afterwards the chunker respects
+        the target chunk cost."""
+        cnn, _, images = serve_setup
+        scheduler = SearchScheduler(target_chunk_s=0.5)
+        handle = scheduler.submit("cnn", cnn, images, config=SEARCH)
+        state = scheduler._jobs["cnn"]
+        unique = list(range(6))
+        assert [len(c) for c in scheduler._chunks(state, unique, 2)] == [1] * 6
+        state.cost_est = 0.01  # cheap: want big chunks, capped by workers
+        assert [len(c) for c in scheduler._chunks(state, unique, 2)] == [3, 3]
+        state.cost_est = 10.0  # expensive: one candidate per chunk
+        assert [len(c) for c in scheduler._chunks(state, unique, 2)] == [1] * 6
+        assert not handle.finished
+
+    def test_cost_estimate_updates_from_results(self, serve_setup):
+        from repro.serve.pool import ChunkResult
+
+        cnn, _, images = serve_setup
+        scheduler = SearchScheduler(cost_ewma=0.5)
+        scheduler.submit("cnn", cnn, images, config=SEARCH)
+        state = scheduler._jobs["cnn"]
+        scheduler._update_cost(
+            state, ChunkResult("cnn", 0, 0, [1.0, 2.0], {}, 1.0)
+        )
+        assert state.cost_est == pytest.approx(0.5)
+        scheduler._update_cost(
+            state, ChunkResult("cnn", 0, 1, [1.0], {}, 1.5)
+        )
+        assert state.cost_est == pytest.approx(1.0)
