@@ -1,4 +1,4 @@
-"""Ablation — kurtosis-3 vs mean pooling of IR fingerprints (DESIGN.md)."""
+"""Ablation — kurtosis-3 vs mean pooling of IR fingerprints (docs/design.md §5)."""
 
 from conftest import run_once
 from repro.experiments import run_pooling_ablation

@@ -10,7 +10,7 @@ def test_bench_table1(benchmark, effort):
     for model, row in rows.items():
         # shape targets: modest top-1 drop at real compression.  The
         # scaled-down models are more quantization-brittle than ImageNet
-        # ResNets (see DESIGN.md §6), so the drop budget is wider than
+        # ResNets (see docs/design.md §6), so the drop budget is wider than
         # the paper's <1pp while still excluding collapse.
         assert row["drop"] <= 10.0, f"{model}: drop {row['drop']:.2f}%"
         assert row["compression"] >= 4.0, f"{model}: {row['compression']:.1f}x"

@@ -65,6 +65,23 @@ def main() -> None:
     print(f"\ntop-1: FP {fp:.2f}%  ->  LP mixed-precision {qacc:.2f}% "
           f"(drop {fp - qacc:.2f}%)")
 
+    # --- 4. The same search as a declarative spec file -------------------
+    # A SearchSpec names everything by registry reference, so the whole
+    # experiment round-trips through plain JSON (lpq_quantize(spec=...)
+    # reproduces the search above bit for bit).
+    from repro.spec import CalibSpec, SearchSpec
+
+    spec = SearchSpec(
+        model="zoo:resnet18",
+        calib=CalibSpec(batch=64),
+        config=LPQConfig(population=8, passes=1, cycles=1, block_size=6,
+                         hw_widths=(4, 8)),
+        executor=executor,
+    )
+    path = spec.dump("quickstart_search.json")
+    print(f"\nspec written to {path} ({len(spec.to_json())} bytes of JSON)")
+    print(f"replay it:  python scripts/run_search.py --spec {path}")
+
 
 if __name__ == "__main__":
     main()

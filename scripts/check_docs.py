@@ -40,6 +40,9 @@ DOCTEST_MODULES = (
     "repro.parallel.executor",  # ExecutorConfig
     "repro.serve.scheduler",  # SearchScheduler
     "repro.serve.api",  # lpq_quantize_many
+    "repro.spec.registry",  # register/resolve/names
+    "repro.spec.spec",  # SearchSpec round trip
+    "repro.numerics.registry",  # make_format
 )
 
 #: markdown files whose file.py:symbol references are link-checked

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Run one declarative LPQ search from a JSON spec file.
+
+The spec file is a serialized :class:`repro.spec.SearchSpec` — model by
+registry name, calibration batch as a ``(batch, seed, source)``
+descriptor, search/fitness configs, objective, executor, seed — so the
+whole experiment is reproducible from the one file (committed examples
+live under ``examples/specs/``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_search.py --spec examples/specs/tiny_resnet.json
+    PYTHONPATH=src python scripts/run_search.py --spec my_search.json \
+        --backend process --workers 4 --out result.json
+
+``--backend``/``--workers`` override the spec's executor (handy for
+running a committed spec serially in CI); ``--out`` writes a JSON
+record of the spec and the result.  Exits non-zero on a failed search
+or a non-finite fitness — the CI spec leg relies on this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.parallel import ExecutorConfig  # noqa: E402
+from repro.quant import lpq_quantize  # noqa: E402
+from repro.spec import SearchSpec, registry  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spec", type=Path, required=True,
+                        help="path to a SearchSpec JSON file")
+    parser.add_argument("--backend", default=None,
+                        help="override the spec's executor backend")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="override the spec's executor worker count")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write a JSON record of spec + result")
+    args = parser.parse_args(argv)
+
+    try:
+        spec = SearchSpec.load(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"run_search: cannot load spec {args.spec}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not spec.serializable:
+        print(f"run_search: spec {args.spec} must name a registered "
+              "model and a calib descriptor", file=sys.stderr)
+        return 2
+    if args.backend is not None or args.workers is not None:
+        # override only what was asked for; the spec's other executor
+        # fields (workers, start_method) stay in force
+        base = spec.executor or ExecutorConfig()
+        executor = ExecutorConfig(
+            backend=args.backend or base.backend,
+            workers=args.workers if args.workers is not None else base.workers,
+            start_method=base.start_method,
+        )
+        spec = dataclasses.replace(spec, executor=executor)
+
+    executor = spec.executor.backend if spec.executor else "serial"
+    print(f"spec: {args.spec}")
+    print(f"  model={spec.model}  calib={spec.calib.batch}@seed"
+          f"{spec.calib.seed}  objective={spec.objective}  "
+          f"executor={executor}  seed={spec.search_config().seed}")
+    print(f"  registered models: {len(registry.names('model'))}  "
+          f"objectives: {len(registry.names('objective'))}")
+
+    start = time.perf_counter()
+    result = lpq_quantize(spec=spec)
+    wall = time.perf_counter() - start
+
+    fp_mb = sum(result.stats.param_counts) * 4 / 1e6
+    print(f"result: {len(result.solution)} layers in {wall:.2f}s "
+          f"({result.evaluations} fitness evaluations)")
+    print(f"  fitness:          {result.fitness:.6f}")
+    print(f"  mean weight bits: {result.mean_weight_bits:.2f}")
+    print(f"  mean act bits:    {result.mean_act_bits:.2f}")
+    print(f"  model size:       {result.model_size_mb():.4f} MB "
+          f"(FP32 {fp_mb:.4f} MB)")
+
+    if args.out is not None:
+        record = {
+            "spec": spec.to_dict(),
+            "wall_s": wall,
+            "fitness": result.fitness,
+            "mean_weight_bits": result.mean_weight_bits,
+            "mean_act_bits": result.mean_act_bits,
+            "model_size_mb": result.model_size_mb(),
+            "evaluations": result.evaluations,
+            "solution": [
+                [p.n, p.es, p.rs, p.sf]
+                for p in result.solution.layer_params
+            ],
+        }
+        args.out.write_text(json.dumps(record, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"record written to {args.out}")
+
+    if not math.isfinite(result.fitness):
+        print(f"run_search: non-finite fitness {result.fitness!r}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

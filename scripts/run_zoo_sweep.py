@@ -2,10 +2,13 @@
 """Quantize the whole model zoo with one shared-pool scheduler run.
 
 The paper's Table 1 / Table 2 sweeps quantize every zoo model with the
-same LPQ recipe.  This driver submits all of them as jobs to one
-:class:`repro.serve.SearchScheduler`, so the searches share a single
-executor pool instead of spinning one up per model, and emits a JSON
-record plus a Table-1-style summary.
+same LPQ recipe.  This driver declares every job as a
+:class:`repro.spec.SearchSpec` (model by registry reference —
+``zoo:resnet18``, ``bench:vit`` — calibration as a descriptor) and
+submits them all to one :class:`repro.serve.SearchScheduler`, so the
+searches share a single executor pool instead of spinning one up per
+model, and emits a JSON record (including each job's spec, replayable
+via ``scripts/run_search.py --spec``) plus a Table-1-style summary.
 
 Usage::
 
@@ -33,11 +36,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro import nn  # noqa: E402
-from repro.data import calibration_batch, make_dataset  # noqa: E402
+from repro.data import make_dataset  # noqa: E402
 from repro.parallel import BACKENDS, ExecutorConfig  # noqa: E402
 from repro.quant import LPQConfig, bn_recalibrated, quantized  # noqa: E402
 from repro.serve import SearchScheduler  # noqa: E402
+from repro.spec import CalibSpec, SearchSpec, resolve_model  # noqa: E402
 
 
 def search_config(effort: str, seed: int) -> LPQConfig:
@@ -49,27 +52,16 @@ def search_config(effort: str, seed: int) -> LPQConfig:
     )
 
 
-def zoo_jobs(names: list[str]):
-    """(name, builder, state, fp_model) per trained zoo checkpoint."""
-    from repro.models import MODEL_REGISTRY, get_model
-
-    jobs = []
-    for name in names:
-        model = get_model(name)  # trains + caches on first use
-        jobs.append((name, MODEL_REGISTRY[name].builder, model))
-    return jobs
-
-
-def bench_jobs(names: list[str]):
-    from repro.perf.bench import BENCH_MODELS
-
-    jobs = []
-    for name in names:
-        nn.seed(0)
-        model = BENCH_MODELS[name]()
-        model.eval()
-        jobs.append((name, BENCH_MODELS[name], model))
-    return jobs
+def sweep_specs(
+    suite: str, names: list[str], calib: CalibSpec, config: LPQConfig
+) -> list[SearchSpec]:
+    """One declarative spec per model (``zoo:`` or ``bench:`` refs)."""
+    return [
+        SearchSpec(
+            model=f"{suite}:{name}", calib=calib, config=config, name=name
+        )
+        for name in names
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -92,25 +84,21 @@ def main(argv: list[str] | None = None) -> int:
         from repro.models import MODEL_REGISTRY
 
         names = args.models or sorted(MODEL_REGISTRY)
-        jobs = zoo_jobs(names)
     else:
         from repro.perf.bench import BENCH_MODELS
 
         names = args.models or sorted(BENCH_MODELS)
-        jobs = bench_jobs(names)
 
-    calib = calibration_batch(args.calib, seed=args.seed + 1)
+    calib_spec = CalibSpec(batch=args.calib, seed=args.seed + 1)
     config = search_config(args.effort, args.seed)
+    specs = sweep_specs(args.suite, names, calib_spec, config)
+    calib = calib_spec.build()
     executor = ExecutorConfig(backend=args.backend, workers=args.workers)
     scheduler = SearchScheduler(executor=executor)
-    for name, builder, model in jobs:
-        scheduler.submit(
-            name,
-            calib_images=calib,
-            builder=builder,
-            state=model.state_dict(),
-            config=config,
-        )
+    for spec in specs:
+        # submit resolves each zoo ref, training + caching checkpoints
+        # on first use, so pool workers load from the cache
+        scheduler.submit(spec.name, spec=spec)
     start = time.perf_counter()
     results = scheduler.run()
     wall = time.perf_counter() - start
@@ -130,9 +118,10 @@ def main(argv: list[str] | None = None) -> int:
         "models": {},
     }
     failed = []
-    print(f"zoo sweep: {len(jobs)} jobs on one shared {args.backend} pool, "
+    print(f"zoo sweep: {len(specs)} jobs on one shared {args.backend} pool, "
           f"{wall:.1f}s total")
-    for name, _, model in jobs:
+    for spec in specs:
+        name = spec.name
         handle = scheduler.handles[name]
         if not handle.done:
             failed.append(name)
@@ -140,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
             continue
         result = results[name]
         row = {
+            "spec": spec.to_dict(),
             "mean_weight_bits": result.mean_weight_bits,
             "mean_act_bits": result.mean_act_bits,
             "model_size_mb": result.model_size_mb(),
@@ -155,6 +145,9 @@ def main(argv: list[str] | None = None) -> int:
         if test is not None:
             from repro.models.zoo import evaluate
 
+            # checkpoint-cache load (trained during submit); one model
+            # resident at a time during reporting
+            model = resolve_model(spec.model)
             fp_acc = evaluate(model, test.images, test.labels)
             with quantized(model, result.solution, result.act_params):
                 with bn_recalibrated(model, calib):

@@ -1,11 +1,18 @@
-"""Synthetic data substrate standing in for ImageNet (see DESIGN.md)."""
+"""Synthetic data substrate standing in for ImageNet (see
+docs/design.md for why a procedural dataset preserves what the
+reproduction needs)."""
 
+from ..spec import registry
 from .synthetic import (
     NUM_CLASSES,
     SyntheticImageDataset,
     calibration_batch,
     make_dataset,
 )
+
+# the built-in calibration source of CalibSpec descriptors:
+# (batch, seed) -> images
+registry.register("calib", "synthetic", calibration_batch)
 
 __all__ = [
     "NUM_CLASSES",

@@ -1,6 +1,6 @@
-"""Design-choice ablations called out in DESIGN.md (beyond the paper's
-own tables): kurtosis vs mean IR pooling, diversity-promoting selection
-on/off, block-wise vs whole-vector regeneration."""
+"""Design-choice ablations called out in docs/design.md §5 (beyond the
+paper's own tables): kurtosis vs mean IR pooling, diversity-promoting
+selection on/off, block-wise vs whole-vector regeneration."""
 
 from __future__ import annotations
 

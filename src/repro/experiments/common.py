@@ -97,7 +97,7 @@ def get_lpq_result(
         # λ is re-calibrated to this reproduction's L_CO scale (our
         # cosine-normalised contrastive loss spans a smaller range than
         # the paper's unnormalised one); 0.15 here plays the role the
-        # paper's 0.4 plays on ImageNet models. See DESIGN.md §6.
+        # paper's 0.4 plays on ImageNet models. See docs/design.md §6.
         res = lpq_quantize(model, calib, config=eff.config,
                            fitness_config=FitnessConfig(lam=0.15))
         rec = _serialize_result(res)
@@ -119,7 +119,7 @@ def eval_quantized(model, solution, act_params, images, labels,
 
     BatchNorm statistics are re-estimated on a calibration batch under
     the quantized weights (standard PTQ deployment practice; see
-    DESIGN.md §6) — a no-op for LayerNorm-based transformers.
+    docs/design.md §6) — a no-op for LayerNorm-based transformers.
     """
     from ..quant import bn_recalibrated, quantized
 

@@ -5,6 +5,7 @@ benchmark suite, trained on the synthetic dataset and cached on disk.
 from .mobilenet import InvertedResidual, MobileNetV2, mobilenetv2_mini
 from .resnet import BasicBlock, Bottleneck, ResNet, resnet18_mini, resnet50_mini
 from .swin import PatchMerging, SwinBlock, SwinTransformer, swin_t_mini
+from .tiny import tiny_mlp, tiny_resnet
 from .vit import EncoderBlock, VisionTransformer, deit_s_mini, vit_b_mini
 from .zoo import (
     CNN_MODELS,
@@ -41,6 +42,8 @@ __all__ = [
     "resnet18_mini",
     "resnet50_mini",
     "swin_t_mini",
+    "tiny_mlp",
+    "tiny_resnet",
     "train_model",
     "vit_b_mini",
     "zoo_dir",

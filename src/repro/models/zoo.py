@@ -20,6 +20,7 @@ import numpy as np
 
 from .. import nn
 from ..data import make_dataset
+from ..spec import registry
 from .mobilenet import mobilenetv2_mini
 from .resnet import resnet18_mini, resnet50_mini
 from .swin import swin_t_mini
@@ -128,24 +129,46 @@ def train_model(name: str, verbose: bool = False) -> tuple[nn.Module, dict]:
 
 
 def get_model(name: str, retrain: bool = False, verbose: bool = False) -> nn.Module:
-    """Load a cached checkpoint, training and caching it on first use."""
+    """Load a cached checkpoint, training and caching it on first use.
+
+    Returned models carry a ``wire_builder`` tag — the ``(module,
+    qualname)`` of their zero-arg architecture builder — so
+    :mod:`repro.spec.wire` can name them on the serve pool's JSON wire
+    (architecture by builder reference, weights as the live state dict).
+    """
     if name not in MODEL_REGISTRY:
         raise KeyError(f"unknown model {name!r}; choose from {sorted(MODEL_REGISTRY)}")
+    builder = MODEL_REGISTRY[name].builder
     ckpt = zoo_dir() / f"{name}.npz"
     meta_path = zoo_dir() / f"{name}.json"
     if ckpt.exists() and not retrain:
-        model = MODEL_REGISTRY[name].builder()
+        model = builder()
         with np.load(ckpt) as data:
             model.load_state_dict({k: data[k] for k in data.files})
-        model.eval()
-        return model
-    model, meta = train_model(name, verbose=verbose)
-    np.savez_compressed(ckpt, **model.state_dict())
-    meta_path.write_text(json.dumps(meta, indent=2))
+    else:
+        model, meta = train_model(name, verbose=verbose)
+        np.savez_compressed(ckpt, **model.state_dict())
+        meta_path.write_text(json.dumps(meta, indent=2))
     model.eval()
+    model.wire_builder = (builder.__module__, builder.__qualname__)
     return model
 
 
 def fp_model_size_mb(model: nn.Module) -> float:
     """FP32 model size in MB (4 bytes/param), the Table 1 'Model Size'."""
     return model.num_parameters() * 4 / 1e6
+
+
+def _zoo_loader(name: str):
+    """Spec-registry loader for a trained checkpoint (trains + caches on
+    first use, so resolving ``zoo:<name>`` is deterministic)."""
+
+    def load() -> nn.Module:
+        return get_model(name)
+
+    load.__name__ = f"load_zoo_{name}"
+    return load
+
+
+for _name in MODEL_REGISTRY:
+    registry.register("model", f"zoo:{_name}", _zoo_loader(_name))

@@ -3,14 +3,20 @@
 Used by the Fig. 5(b) format-comparison experiment, where each format is
 calibrated to the tensor being quantized (per-tensor scale/bias) and then
 compared on per-layer RMSE.
+
+Both lookup tables here are :mod:`repro.spec.registry` registries — the
+``format_family`` registry behind :data:`FORMAT_FAMILIES` (calibrated
+per-tensor constructors) and the ``format_parser`` registry behind
+:func:`make_format` (compact spec-string parsers).  Registered extension
+formats are accepted everywhere the built-ins are, and a JSON
+:class:`~repro.spec.SearchSpec` can reference any of them by name.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
-
 import numpy as np
 
+from ..spec import registry as spec_registry
 from .adaptivfloat import AdaptivFloatFormat
 from .base import NumberFormat
 from .flint import FlintFormat
@@ -20,7 +26,92 @@ from .logposit import LogPositFormat, LPParams
 from .minifloat import MiniFloatFormat
 from .posit import PositFormat
 
-__all__ = ["make_format", "calibrated_format", "FORMAT_FAMILIES", "tensor_log_center"]
+__all__ = ["make_format", "calibrated_format", "FORMAT_FAMILIES",
+           "FORMAT_PARSERS", "tensor_log_center"]
+
+
+#: spec-string kind -> parser; the ``format_parser`` registry of
+#: :mod:`repro.spec.registry`, so extension formats can plug into
+#: :func:`make_format` by registering a parser under their kind
+FORMAT_PARSERS = spec_registry.registry("format_parser")
+
+
+def _format_parser(kind: str, signature: str, min_args: int, max_args: int):
+    """Register a :func:`make_format` parser with a declared arity.
+
+    The registered wrapper turns truncated argument lists and
+    unparsable numbers into ``ValueError``\\ s that name the full spec
+    string and the expected signature — a malformed spec must never
+    surface as a bare ``IndexError`` from deep inside a parser.
+    """
+
+    def decorate(fn):
+        def parse(spec: str, args: list[str]) -> NumberFormat:
+            if not min_args <= len(args) <= max_args:
+                arity = (
+                    str(min_args)
+                    if min_args == max_args
+                    else f"{min_args}..{max_args}"
+                )
+                raise ValueError(
+                    f"malformed format spec {spec!r}: {kind!r} takes "
+                    f"{arity} comma-separated argument(s) "
+                    f"({kind}:{signature}), got {len(args)}"
+                )
+            try:
+                return fn(args)
+            except (ValueError, TypeError) as exc:
+                raise ValueError(
+                    f"malformed format spec {spec!r} "
+                    f"(expected {kind}:{signature}): {exc}"
+                ) from None
+
+        parse.signature = signature
+        FORMAT_PARSERS.register(kind, parse)
+        return fn
+
+    return decorate
+
+
+@_format_parser("lp", "n,es,rs[,sf]", 3, 4)
+def _parse_lp(args: list[str]) -> NumberFormat:
+    n, es, rs = (int(a) for a in args[:3])
+    sf = float(args[3]) if len(args) > 3 else 0.0
+    return LogPositFormat(LPParams(n=n, es=es, rs=rs, sf=sf))
+
+
+@_format_parser("posit", "n,es", 2, 2)
+def _parse_posit(args: list[str]) -> NumberFormat:
+    return PositFormat(n=int(args[0]), es=int(args[1]))
+
+
+@_format_parser("int", "n,scale", 2, 2)
+def _parse_int(args: list[str]) -> NumberFormat:
+    return IntFormat(n=int(args[0]), scale=float(args[1]))
+
+
+@_format_parser("fp", "n,ebits", 2, 2)
+def _parse_fp(args: list[str]) -> NumberFormat:
+    return MiniFloatFormat(n=int(args[0]), ebits=int(args[1]))
+
+
+@_format_parser("lns", "n,ibits[,bias]", 2, 3)
+def _parse_lns(args: list[str]) -> NumberFormat:
+    bias = float(args[2]) if len(args) > 2 else 0.0
+    return LNSFormat(n=int(args[0]), ibits=int(args[1]), bias=bias)
+
+
+@_format_parser("flint", "n[,scale]", 1, 2)
+def _parse_flint(args: list[str]) -> NumberFormat:
+    scale = float(args[1]) if len(args) > 1 else 1.0
+    return FlintFormat(n=int(args[0]), scale=scale)
+
+
+@_format_parser("afloat", "n,ebits,exp_bias", 3, 3)
+def _parse_afloat(args: list[str]) -> NumberFormat:
+    return AdaptivFloatFormat(
+        n=int(args[0]), ebits=int(args[1]), exp_bias=int(args[2])
+    )
 
 
 def make_format(spec: str) -> NumberFormat:
@@ -28,30 +119,29 @@ def make_format(spec: str) -> NumberFormat:
 
     Examples: ``"lp:8,2,3,0.5"``, ``"posit:8,1"``, ``"int:8,0.01"``,
     ``"fp:8,4"``, ``"lns:8,3"``, ``"flint:8"``, ``"afloat:8,4,7"``.
+
+    Unknown kinds and malformed argument lists raise ``ValueError``
+    naming the offending spec and the expected signature:
+
+    >>> make_format("posit:8,1").name
+    'posit<8,1>'
+    >>> make_format("lp:8")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    ValueError: malformed format spec 'lp:8': 'lp' takes 3..4 ...
+    >>> make_format("posit:")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    ValueError: malformed format spec 'posit:': 'posit' takes 2 ...
     """
     kind, _, rest = spec.partition(":")
-    args = [a for a in rest.split(",") if a]
-    if kind == "lp":
-        n, es, rs = (int(a) for a in args[:3])
-        sf = float(args[3]) if len(args) > 3 else 0.0
-        return LogPositFormat(LPParams(n=n, es=es, rs=rs, sf=sf))
-    if kind == "posit":
-        return PositFormat(n=int(args[0]), es=int(args[1]))
-    if kind == "int":
-        return IntFormat(n=int(args[0]), scale=float(args[1]))
-    if kind == "fp":
-        return MiniFloatFormat(n=int(args[0]), ebits=int(args[1]))
-    if kind == "lns":
-        bias = float(args[2]) if len(args) > 2 else 0.0
-        return LNSFormat(n=int(args[0]), ibits=int(args[1]), bias=bias)
-    if kind == "flint":
-        scale = float(args[1]) if len(args) > 1 else 1.0
-        return FlintFormat(n=int(args[0]), scale=scale)
-    if kind == "afloat":
-        return AdaptivFloatFormat(
-            n=int(args[0]), ebits=int(args[1]), exp_bias=int(args[2])
+    if kind not in FORMAT_PARSERS:
+        raise ValueError(
+            f"unknown format spec {spec!r}; known kinds: "
+            f"{sorted(FORMAT_PARSERS)}"
         )
-    raise ValueError(f"unknown format spec {spec!r}")
+    args = [a for a in rest.split(",") if a]
+    return FORMAT_PARSERS[kind](spec, args)
 
 
 def tensor_log_center(x: np.ndarray) -> float:
@@ -100,15 +190,20 @@ def _calibrated_lp(x: np.ndarray, n: int) -> NumberFormat:
 #: name -> calibrated-constructor; each takes (tensor, n) and returns a
 #: format adapted to that tensor, mirroring how each format family is used
 #: in practice (per-tensor scales for int/flint, bias for adaptivfloat...).
-FORMAT_FAMILIES: dict[str, Callable[[np.ndarray, int], NumberFormat]] = {
-    "int": lambda x, n: IntFormat.for_tensor(x, n),
-    "float": lambda x, n: MiniFloatFormat(n=n, ebits=min(4, n - 2)),
-    "adaptivfloat": lambda x, n: AdaptivFloatFormat.for_tensor(x, n),
-    "posit": lambda x, n: PositFormat(n=n, es=min(2, max(0, n - 3))),
-    "lns": lambda x, n: LNSFormat.for_tensor(x, n),
-    "flint": lambda x, n: FlintFormat.for_tensor(x, n),
-    "lp": _calibrated_lp,
-}
+#: This is the ``format_family`` registry of :mod:`repro.spec.registry`
+#: itself (a Mapping), so dict-style call sites keep working while
+#: registered extension families are accepted everywhere the built-ins are.
+FORMAT_FAMILIES = spec_registry.registry("format_family")
+for _name, _ctor in (
+    ("int", lambda x, n: IntFormat.for_tensor(x, n)),
+    ("float", lambda x, n: MiniFloatFormat(n=n, ebits=min(4, n - 2))),
+    ("adaptivfloat", lambda x, n: AdaptivFloatFormat.for_tensor(x, n)),
+    ("posit", lambda x, n: PositFormat(n=n, es=min(2, max(0, n - 3)))),
+    ("lns", lambda x, n: LNSFormat.for_tensor(x, n)),
+    ("flint", lambda x, n: FlintFormat.for_tensor(x, n)),
+    ("lp", _calibrated_lp),
+):
+    FORMAT_FAMILIES.register(_name, _ctor)
 
 
 def calibrated_format(family: str, x: np.ndarray, n: int) -> NumberFormat:

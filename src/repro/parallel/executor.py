@@ -30,6 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..perf import PerfRegistry, diff_snapshots
+from ..spec import registry as spec_registry
 from .evaluator import EvaluatorReplica, EvaluatorSpec
 
 __all__ = [
@@ -41,6 +42,10 @@ __all__ = [
     "make_executor",
 ]
 
+#: the built-in backends; the executor registry
+#: (``repro.spec.registry``) is the source of truth for validation and
+#: dispatch, so registered extension backends are accepted everywhere
+#: an ``ExecutorConfig`` is
 BACKENDS = ("serial", "thread", "process")
 
 
@@ -77,9 +82,11 @@ class ExecutorConfig:
     start_method: str | None = None
 
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
+        backends = spec_registry.registry("executor")
+        if self.backend not in backends:
             raise ValueError(
-                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+                f"unknown backend {self.backend!r}; choose from "
+                f"{backends.names()}"
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be positive")
@@ -88,6 +95,19 @@ class ExecutorConfig:
         if self.workers is not None:
             return self.workers
         return max(os.cpu_count() or 1, 1)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON dict form (used by :class:`repro.spec.SearchSpec`)."""
+        from ..spec.serde import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutorConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        from ..spec.serde import config_from_dict
+
+        return config_from_dict(cls, data)
 
 
 class SerialExecutor:
@@ -236,12 +256,35 @@ class ProcessExecutor:
 
 
 def make_executor(spec: EvaluatorSpec, config: ExecutorConfig, perf):
-    """Build the executor selected by ``config``."""
-    if config.backend == "serial":
-        return SerialExecutor(spec, perf)
-    workers = config.resolved_workers()
-    if config.backend == "thread":
-        return ThreadExecutor(spec, workers, perf)
-    return ProcessExecutor(
-        spec, workers, perf, start_method=config.start_method
-    )
+    """Build the executor selected by ``config``.
+
+    Backends dispatch through the executor registry
+    (``repro.spec.registry``), so a registered extension backend — a
+    factory ``(spec, config, perf) -> executor`` — slots in everywhere
+    the built-in three do.
+    """
+    factory = spec_registry.resolve("executor", config.backend)
+    return factory(spec, config, perf)
+
+
+# -- the built-in backends, in canonical order ---------------------------
+spec_registry.register(
+    "executor", "serial", lambda spec, config, perf: SerialExecutor(spec, perf)
+)
+spec_registry.register(
+    "executor",
+    "thread",
+    lambda spec, config, perf: ThreadExecutor(
+        spec, config.resolved_workers(), perf
+    ),
+)
+spec_registry.register(
+    "executor",
+    "process",
+    lambda spec, config, perf: ProcessExecutor(
+        spec,
+        config.resolved_workers(),
+        perf,
+        start_method=config.start_method,
+    ),
+)

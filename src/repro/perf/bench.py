@@ -44,6 +44,7 @@ from pathlib import Path
 
 from .. import nn
 from ..data import calibration_batch
+from ..spec import registry as spec_registry
 from ..models.swin import SwinTransformer
 from ..models.vit import VisionTransformer
 from ..quant import (
@@ -133,6 +134,27 @@ BENCH_MODELS = {
     "vit": bench_vit,
     "swin": bench_swin,
 }
+
+
+def _bench_loader(name: str):
+    """Spec-registry loader: seeded build, mirroring how the bench and
+    the examples instantiate these models (``nn.seed(0)`` then build)."""
+
+    def load() -> nn.Module:
+        builder = BENCH_MODELS[name]
+        nn.seed(0)
+        model = builder()
+        model.eval()
+        # lets repro.spec.wire name this instance by builder reference
+        model.wire_builder = (builder.__module__, builder.__qualname__)
+        return model
+
+    load.__name__ = f"load_bench_{name}"
+    return load
+
+
+for _name in BENCH_MODELS:
+    spec_registry.register("model", f"bench:{_name}", _bench_loader(_name))
 
 
 def bench_config(seed: int = 0) -> LPQConfig:

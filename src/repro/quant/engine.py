@@ -81,6 +81,19 @@ class FitnessConfig:
     weight_cache_entries: int = 1024
     act_cache_entries: int = 64
 
+    def to_dict(self) -> dict:
+        """Plain-JSON dict form (used by :class:`repro.spec.SearchSpec`)."""
+        from ..spec.serde import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FitnessConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        from ..spec.serde import config_from_dict
+
+        return config_from_dict(cls, data)
+
 
 def _has_active_dropout(model: Module) -> bool:
     return any(

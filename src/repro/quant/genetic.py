@@ -50,6 +50,19 @@ class LPQConfig:
     blockwise: bool = True
     seed: int = 0
 
+    def to_dict(self) -> dict:
+        """Plain-JSON dict form (used by :class:`repro.spec.SearchSpec`)."""
+        from ..spec.serde import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LPQConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        from ..spec.serde import config_from_dict
+
+        return config_from_dict(cls, data)
+
 
 @dataclass
 class SearchHistory:

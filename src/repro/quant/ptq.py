@@ -3,6 +3,15 @@
 ``lpq_quantize(model, calib_images)`` runs the full LPQ pipeline — layer
 statistics, fitness evaluator, genetic search, activation-parameter
 derivation — and returns everything needed to deploy or score the result.
+
+Both call styles are the same code: the legacy keyword signature is a
+thin shim that constructs an (inline) :class:`repro.spec.SearchSpec`,
+and ``lpq_quantize(spec=...)`` runs a declarative spec directly —
+referencing the model and calibration batch by registry name, so the
+identical search can be launched from a JSON file
+(``scripts/run_search.py --spec``).  The two paths produce bitwise-
+identical :class:`LPQResult`\\ s (``tests/spec/test_shim_equivalence.py``
+asserts this on every executor backend).
 """
 
 from __future__ import annotations
@@ -50,13 +59,15 @@ class LPQResult:
 
 
 def lpq_quantize(
-    model: Module,
-    calib_images: np.ndarray,
+    model: Module | None = None,
+    calib_images: np.ndarray | None = None,
     config: LPQConfig | None = None,
     fitness_config: FitnessConfig | None = None,
     objective: str = "global_local_contrastive",
     act_sf_mode: str = "calibrated",
     executor=None,
+    *,
+    spec=None,
 ) -> LPQResult:
     """Run LPQ on ``model`` using an unlabelled calibration batch.
 
@@ -70,6 +81,13 @@ def lpq_quantize(
     backend produces a bitwise-identical search trajectory; the knob only
     changes wall-clock.  To quantize *several* models on one shared
     worker pool, see :func:`repro.serve.lpq_quantize_many`.
+
+    ``spec`` (a :class:`repro.spec.SearchSpec`, mutually exclusive with
+    every other argument) runs a declarative search request instead: the
+    model and calibration batch are resolved from the spec's registry
+    references, and all remaining knobs come from the spec's fields.
+    The legacy keyword call constructs exactly such a spec internally,
+    so the two styles are the same search bit for bit.
 
     A complete search on a toy model (real calls shrink only the search
     budget, not the pipeline):
@@ -93,8 +111,75 @@ def lpq_quantize(
     True
     >>> result.mean_weight_bits <= 8.0  # hw_widths bounds the search
     True
+
+    The same search as a declarative spec (the model referenced by
+    registry name, so this request could have come from a JSON file):
+
+    >>> from repro.spec import CalibSpec, SearchSpec
+    >>> spec = SearchSpec(model="tiny:mlp", calib=CalibSpec(batch=4),
+    ...                   config=LPQConfig(population=3, passes=1,
+    ...                                    cycles=1, diversity_parents=2,
+    ...                                    hw_widths=(4, 8), seed=5))
+    >>> bool(np.isfinite(lpq_quantize(spec=spec).fitness))
+    True
     """
-    config = config or LPQConfig()
+    # deferred import: repro.spec.spec builds on this package
+    from ..spec.spec import SearchSpec, reject_spec_conflicts
+
+    if spec is not None:
+        if not isinstance(spec, SearchSpec):
+            raise TypeError(
+                f"spec must be a repro.spec.SearchSpec, got "
+                f"{type(spec).__name__}"
+            )
+        reject_spec_conflicts(
+            "lpq_quantize(spec=...)",
+            (
+                ("model", model),
+                ("calib_images", calib_images),
+                ("config", config),
+                ("fitness_config", fitness_config),
+                ("executor", executor),
+            ),
+            objective=objective,
+            act_sf_mode=act_sf_mode,
+        )
+    else:
+        if model is None or calib_images is None:
+            raise TypeError(
+                "lpq_quantize requires model and calib_images (or a "
+                "spec=SearchSpec)"
+            )
+        # the legacy shim: an *inline* spec around the live objects —
+        # same fields, same code path, it just refuses to serialize
+        spec = SearchSpec(
+            config=config or LPQConfig(),
+            fitness=fitness_config,
+            objective=objective,
+            act_sf_mode=act_sf_mode,
+            executor=executor,
+        )
+    return _run_spec(spec, model=model, calib_images=calib_images)
+
+
+def _run_spec(
+    spec, model: Module | None = None, calib_images: np.ndarray | None = None
+) -> LPQResult:
+    """The one LPQ implementation behind both call styles.
+
+    ``model``/``calib_images`` carry the live objects of an inline
+    (legacy-shim) spec; a declarative spec resolves them through the
+    component registries instead.
+    """
+    if model is None:
+        model = spec.build_model()
+    if calib_images is None:
+        calib_images = spec.build_calib()
+    config = spec.search_config()
+    fitness_config = spec.fitness
+    objective = spec.objective
+    act_sf_mode = spec.act_sf_mode
+    executor = spec.executor
     stats = collect_layer_stats(model, calib_images)
     if objective not in OBJECTIVES:
         raise ValueError(
@@ -104,7 +189,7 @@ def lpq_quantize(
         # deferred import: repro.parallel builds on this package
         from ..parallel import EvaluatorSpec, PopulationEvaluator
 
-        spec = EvaluatorSpec(
+        espec = EvaluatorSpec(
             images=calib_images,
             model=model,
             config=fitness_config,
@@ -114,7 +199,7 @@ def lpq_quantize(
             act_mode=act_sf_mode,
             stats=stats,
         )
-        with PopulationEvaluator(spec, executor) as evaluator:
+        with PopulationEvaluator(espec, executor) as evaluator:
             engine = LPQEngine(evaluator, stats.weight_log_centers, config)
             solution, fitness = engine.run()
             evaluations = evaluator.evaluations

@@ -1,20 +1,26 @@
 """Multi-search service layer: many LPQ searches, one worker pool.
 
 :mod:`repro.parallel` made a *single* search parallel — population
-slices fan out across worker replicas built from a picklable
+slices fan out across worker replicas built from an
 :class:`~repro.parallel.EvaluatorSpec`.  This package makes *fleets* of
 searches share that machinery:
 
 * :class:`SearchScheduler` — accepts many search jobs (model ×
-  fitness config × budget), drives each job's
-  :meth:`~repro.quant.LPQEngine.work_units` coroutine, and multiplexes
-  every job's candidate chunks onto one shared serial/thread/process
-  pool with cost-adaptive chunking.  Per-job :class:`SearchHandle`
-  futures; job-scoped failure and cancellation.
+  fitness config × budget, or a declarative
+  :class:`~repro.spec.SearchSpec` via ``submit(name, spec=...)``),
+  drives each job's :meth:`~repro.quant.LPQEngine.work_units`
+  coroutine, and multiplexes every job's candidate chunks onto one
+  shared serial/thread/process pool with cost-adaptive chunking.
+  Per-job :class:`SearchHandle` futures; job-scoped failure and
+  cancellation.
 * :func:`lpq_quantize_many` — one-call quantization of a model fleet
   (the paper's Table 1 / Fig. 5 zoo sweeps), returning a
-  ``{name: LPQResult}`` map.
+  ``{name: LPQResult}`` map.  Accepts live models or a fleet of
+  :class:`~repro.spec.SearchSpec` values.
 * :mod:`repro.serve.pool` — the shared multi-job executor backends.
+  The process pool's job payloads are plain JSON
+  (:mod:`repro.spec.wire`), never pickled evaluator objects, so the
+  same payloads could cross a socket to a remote pool.
 
 The layer's invariant matches the rest of the stack: scheduling is
 never allowed to move a bit.  Every per-job result is bitwise-identical

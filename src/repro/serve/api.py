@@ -32,9 +32,41 @@ def _per_job(value, name: str):
     return value
 
 
+def _as_spec_jobs(models) -> dict | None:
+    """``{name: SearchSpec}`` when ``models`` is declarative, else None.
+
+    Declarative inputs are a mapping of names to
+    :class:`~repro.spec.SearchSpec` values or a plain iterable of specs
+    (named by each spec's ``name`` field, falling back to ``job0``,
+    ``job1``, …).
+    """
+    from ..spec.spec import SearchSpec
+
+    values = list(models.values()) if isinstance(models, Mapping) else models
+    spec_count = sum(isinstance(v, SearchSpec) for v in values)
+    if spec_count and spec_count != len(values):
+        raise ValueError(
+            "lpq_quantize_many cannot mix SearchSpecs and live models "
+            f"in one fleet ({spec_count} of {len(values)} jobs are "
+            "specs); submit all-specs or all-models"
+        )
+    if not values or not spec_count:
+        return None
+    if isinstance(models, Mapping):
+        return dict(models)
+    items = models
+    jobs: dict[str, SearchSpec] = {}
+    for i, spec in enumerate(items):
+        name = spec.job_name(f"job{i}")
+        if name in jobs:
+            raise ValueError(f"duplicate spec job name {name!r}")
+        jobs[name] = spec
+    return jobs
+
+
 def lpq_quantize_many(
     models,
-    calib_images,
+    calib_images=None,
     config: LPQConfig | Mapping | None = None,
     fitness_config=None,
     objective=_DEFAULT_OBJECTIVE,
@@ -54,6 +86,14 @@ def lpq_quantize_many(
     all jobs share the one pool it describes.  Every per-job result is
     bitwise-identical to a standalone
     :func:`repro.quant.lpq_quantize` call with the same arguments.
+
+    Declarative alternative: pass a list of
+    :class:`~repro.spec.SearchSpec` values (or a ``{name: spec}``
+    mapping) as ``models`` and nothing else — each spec fully describes
+    its own search, and jobs cross the process-pool boundary as the
+    specs' plain-JSON payloads.  When no ``executor`` is given, the
+    fleet uses the executor the specs agree on (specs that disagree
+    raise ``ValueError``).
 
     Raises ``RuntimeError`` listing the failed jobs if any search
     failed; use a :class:`~repro.serve.SearchScheduler` directly for
@@ -79,7 +119,59 @@ def lpq_quantize_many(
     ['a', 'b']
     >>> results["a"].solution == lpq_quantize(a, images, config=config).solution
     True
+
+    The declarative form of the same fleet (models by registry name):
+
+    >>> from repro.spec import CalibSpec, SearchSpec
+    >>> specs = [
+    ...     SearchSpec(model="tiny:mlp", calib=CalibSpec(batch=4),
+    ...                config=config, name="mlp"),
+    ...     SearchSpec(model="tiny:mlp", calib=CalibSpec(batch=4),
+    ...                config=config, seed=9, name="mlp-reseeded"),
+    ... ]
+    >>> sorted(lpq_quantize_many(specs))
+    ['mlp', 'mlp-reseeded']
     """
+    if not isinstance(models, Mapping):
+        models = list(models)
+    spec_jobs = _as_spec_jobs(models)
+    if spec_jobs is not None:
+        from ..spec.spec import reject_spec_conflicts
+
+        reject_spec_conflicts(
+            "lpq_quantize_many(specs)",
+            (
+                ("calib_images", calib_images),
+                ("config", config),
+                ("fitness_config", fitness_config),
+            ),
+            objective=objective,
+            act_sf_mode=act_sf_mode,
+        )
+        if executor is None:
+            carried = {
+                name: spec.executor
+                for name, spec in spec_jobs.items()
+                if spec.executor is not None
+            }
+            if len({str(c.to_dict()) for c in carried.values()}) > 1:
+                raise ValueError(
+                    "specs carry conflicting executor configs "
+                    f"({sorted(carried)}); pass executor= explicitly"
+                )
+            executor = next(iter(carried.values()), None)
+        scheduler = SearchScheduler(
+            executor=executor, target_chunk_s=target_chunk_s
+        )
+        for name, spec in spec_jobs.items():
+            scheduler.submit(name, spec=spec)
+        results = scheduler.run()
+        return _collect(scheduler, results)
+    if calib_images is None:
+        raise TypeError(
+            "lpq_quantize_many requires calib_images (or a fleet of "
+            "SearchSpecs)"
+        )
     if isinstance(models, Mapping):
         jobs = dict(models)
     else:
@@ -98,6 +190,13 @@ def lpq_quantize_many(
             act_sf_mode=act_sf_mode,
         )
     results = scheduler.run()
+    return _collect(scheduler, results)
+
+
+def _collect(
+    scheduler: SearchScheduler, results: dict[str, LPQResult]
+) -> dict[str, LPQResult]:
+    """Raise on any failed job; otherwise return the result map."""
     failed = [
         name for name, handle in scheduler.handles.items() if handle.failed
     ]

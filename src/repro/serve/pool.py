@@ -18,9 +18,12 @@ Three backends mirror :mod:`repro.parallel.executor`:
   queue; each slot holds a ``job → replica`` map built on first use
   (``copy_model=True``: slots mutate their models independently).
 * :class:`SharedProcessPool` — a :class:`multiprocessing.pool.Pool`
-  whose workers receive the full ``job → spec`` map at init and build
-  replicas lazily per job on first task.  Only ``(job, candidates)``
-  and ``(fitness, perf-delta)`` cross the process boundary per task.
+  whose workers receive the full ``job → wire payload`` map at init and
+  build replicas lazily per job on first task.  The payloads are plain
+  JSON dicts (:func:`repro.spec.wire.encode_job`) — no pickled
+  evaluator objects cross the pool boundary, so the same payloads could
+  cross a socket to a remote pool.  Only ``(job, candidates)`` and
+  ``(fitness, perf-delta)`` cross per task.
 
 All pools are *asynchronous at the submit boundary*: results arrive on
 a caller-supplied queue as :class:`ChunkResult` messages tagged with
@@ -48,6 +51,7 @@ __all__ = [
     "SharedSerialPool",
     "SharedThreadPool",
     "SharedProcessPool",
+    "encode_pool_wires",
     "make_shared_pool",
 ]
 
@@ -180,32 +184,37 @@ class SharedThreadPool:
 
 # -- process backend ----------------------------------------------------
 # Worker state lives in module globals: each worker receives the full
-# job → spec map once at init and builds replicas lazily per job.  A
-# spec whose replica fails to build fails *its own job's* tasks (the
-# error travels back inside the result tuple) — the worker survives and
-# keeps serving other jobs.
-_SHARED_SPECS: dict[str, EvaluatorSpec] | None = None
+# job → wire-payload map (plain JSON dicts, repro.spec.wire) once at
+# init and reconstructs EvaluatorSpecs + replicas lazily per job.  A
+# payload whose replica fails to decode or build fails *its own job's*
+# tasks (the error travels back inside the result tuple) — the worker
+# survives and keeps serving other jobs.
+_SHARED_WIRES: dict[str, dict] | None = None
 _SHARED_STATE: dict[str, tuple] | None = None
 
 
-def _init_shared_worker(specs: dict[str, EvaluatorSpec]) -> None:
-    global _SHARED_SPECS, _SHARED_STATE
+def _init_shared_worker(wires: dict[str, dict]) -> None:
+    global _SHARED_WIRES, _SHARED_STATE
     # plain assignments: nothing here can raise, so the PR-2 concern of
     # a raising initializer respawning workers forever does not apply —
-    # replica construction is deferred to the first task per job
-    _SHARED_SPECS = specs
+    # payload decoding and replica construction are deferred to the
+    # first task per job
+    _SHARED_WIRES = wires
     _SHARED_STATE = {}
 
 
 def _evaluate_shared_chunk(job: str, solutions):
     start = time.perf_counter()
     try:
-        if _SHARED_STATE is None or _SHARED_SPECS is None:
+        if _SHARED_STATE is None or _SHARED_WIRES is None:
             raise RuntimeError("shared pool worker not initialized")
         entry = _SHARED_STATE.get(job)
         if entry is None:
-            # a fresh process owns its unpickled spec outright
-            entry = _build_entry(_SHARED_SPECS[job], copy_model=False)
+            from ..spec.wire import decode_job
+
+            # the worker owns everything it decodes from the wire
+            entry = _build_entry(decode_job(_SHARED_WIRES[job]),
+                                 copy_model=False)
             _SHARED_STATE[job] = entry
         fits, delta = _evaluate_with_entry(entry, solutions)
         return fits, delta, time.perf_counter() - start, None
@@ -217,16 +226,23 @@ def _evaluate_shared_chunk(job: str, solutions):
 
 class SharedProcessPool:
     """Process-pool multi-job evaluation; results arrive via the pool's
-    async callbacks, which enqueue :class:`ChunkResult` messages."""
+    async callbacks, which enqueue :class:`ChunkResult` messages.
+
+    ``wires`` maps job names to the plain-JSON payloads of
+    :func:`repro.spec.wire.encode_job`; they are the *only* job state
+    handed to workers (``self.wires`` is kept for inspection — the
+    protocol tests round-trip it through ``json.dumps``/``loads``).
+    """
 
     def __init__(
         self,
-        specs: dict[str, EvaluatorSpec],
+        wires: dict[str, dict],
         workers: int,
         results: queue.SimpleQueue,
         start_method: str | None = None,
     ) -> None:
         self.workers = workers
+        self.wires = dict(wires)
         self._results = results
         ctx = (
             multiprocessing.get_context(start_method)
@@ -236,7 +252,7 @@ class SharedProcessPool:
         self._pool = ctx.Pool(
             processes=workers,
             initializer=_init_shared_worker,
-            initargs=(dict(specs),),
+            initargs=(self.wires,),
         )
 
     def submit(self, job: str, seq: int, chunk: int, solutions) -> None:
@@ -265,18 +281,52 @@ class SharedProcessPool:
         self._pool.join()
 
 
+def encode_pool_wires(
+    specs: dict[str, EvaluatorSpec],
+    search_specs: dict | None = None,
+) -> dict[str, dict]:
+    """Encode every job for the wire (:func:`repro.spec.wire.encode_job`).
+
+    ``search_specs`` optionally maps job names to the declarative
+    :class:`~repro.spec.SearchSpec` they were submitted as, which
+    selects the compact registry-reference payload.  A job that cannot
+    be named on the wire raises ``ValueError`` identifying it.
+    """
+    from ..spec.wire import encode_job
+
+    search_specs = search_specs or {}
+    wires = {}
+    for name, spec in specs.items():
+        try:
+            wires[name] = encode_job(spec, search_specs.get(name))
+        except ValueError as exc:
+            raise ValueError(
+                f"job {name!r} cannot cross the process-pool wire: {exc}"
+            ) from exc
+    return wires
+
+
 def make_shared_pool(
     specs: dict[str, EvaluatorSpec],
     config: ExecutorConfig,
     results: queue.SimpleQueue,
+    search_specs: dict | None = None,
 ):
     """Build the shared pool selected by ``config`` (same
-    :class:`~repro.parallel.ExecutorConfig` as single-job executors)."""
+    :class:`~repro.parallel.ExecutorConfig` as single-job executors).
+
+    The serial and thread pools share this process's memory and use the
+    live specs directly; the process pool serializes — its jobs travel
+    as the plain-JSON wire payloads of :func:`encode_pool_wires`.
+    """
     if config.backend == "serial":
         return SharedSerialPool(specs, results)
     workers = config.resolved_workers()
     if config.backend == "thread":
         return SharedThreadPool(specs, workers, results)
     return SharedProcessPool(
-        specs, workers, results, start_method=config.start_method
+        encode_pool_wires(specs, search_specs),
+        workers,
+        results,
+        start_method=config.start_method,
     )

@@ -14,11 +14,13 @@ pipelining within a job, job-level pipelining across the fleet.
 Determinism is inherited, not re-proven: all engine RNG is drawn at
 generation time in the standalone order, chunk results are reassembled
 by ``(seq, chunk)`` tags before they reach the engine, and every worker
-replica is a byte-identical reconstruction from the job's
-:class:`~repro.parallel.EvaluatorSpec`.  Scheduling therefore cannot
-move a bit — per-job results are bitwise-identical to a standalone
-:func:`repro.quant.lpq_quantize` with the same seed, on every backend
-(``tests/serve/test_scheduler.py`` asserts exactly this).
+replica is a byte-identical reconstruction of the job's
+:class:`~repro.parallel.EvaluatorSpec` — rebuilt in-process for the
+serial/thread pools, and from the job's plain-JSON wire payload
+(:mod:`repro.spec.wire`) for the process pool.  Scheduling therefore
+cannot move a bit — per-job results are bitwise-identical to a
+standalone :func:`repro.quant.lpq_quantize` with the same seed, on
+every backend (``tests/serve/test_scheduler.py`` asserts exactly this).
 
 Failure is job-scoped: a replica that raises fails its own job (the
 handle reports the worker traceback) while the pool and every other job
@@ -143,6 +145,7 @@ class _JobState:
     act_sf_mode: str
     perf: PerfRegistry
     handle: SearchHandle
+    search: object | None = None  # SearchSpec of a declarative submission
     gen: object | None = None
     seq: int = -1
     batch: list | None = None  # full batch (duplicates included)
@@ -233,6 +236,7 @@ class SearchScheduler:
         objective: str = _DEFAULT_OBJECTIVE,
         act_sf_mode: str = "calibrated",
         stats: LayerStats | None = None,
+        spec=None,
     ) -> SearchHandle:
         """Register one LPQ search job; returns its :class:`SearchHandle`.
 
@@ -241,9 +245,47 @@ class SearchScheduler:
         (optionally with a ``state`` dict of trained weights).  The
         remaining knobs mirror :func:`repro.quant.lpq_quantize` —
         a scheduler job is the same search, just multiplexed.
+
+        ``spec`` (a :class:`repro.spec.SearchSpec`, mutually exclusive
+        with every other search argument) submits a declarative request
+        instead: model and calibration batch resolve from the spec's
+        registry references, and — on the process backend — the job
+        crosses the pool boundary as the spec's own plain-JSON payload.
+        The spec's ``executor`` field is ignored here; the scheduler's
+        shared pool is the executor for every job it runs.
         """
         if name in self._jobs:
             raise ValueError(f"duplicate job name {name!r}")
+        search = None
+        if spec is not None:
+            from ..spec.spec import SearchSpec, reject_spec_conflicts
+
+            if not isinstance(spec, SearchSpec):
+                raise TypeError(
+                    f"spec must be a repro.spec.SearchSpec, got "
+                    f"{type(spec).__name__}"
+                )
+            reject_spec_conflicts(
+                "submit(spec=...)",
+                (
+                    ("model", model),
+                    ("calib_images", calib_images),
+                    ("builder", builder),
+                    ("state", state),
+                    ("config", config),
+                    ("fitness_config", fitness_config),
+                    ("stats", stats),
+                ),
+                objective=objective,
+                act_sf_mode=act_sf_mode,
+            )
+            search = spec
+            model = spec.build_model()
+            calib_images = spec.build_calib()
+            config = spec.search_config()
+            fitness_config = spec.fitness
+            objective = spec.objective
+            act_sf_mode = spec.act_sf_mode
         if calib_images is None:
             raise ValueError("calib_images is required")
         if objective not in OBJECTIVES and objective != _DEFAULT_OBJECTIVE:
@@ -265,7 +307,7 @@ class SearchScheduler:
                     local.load_state_dict(state)
             local.eval()
             stats = collect_layer_stats(local, calib_images)
-        spec = EvaluatorSpec(
+        espec = EvaluatorSpec(
             images=calib_images,
             builder=builder,
             state=state,
@@ -282,12 +324,13 @@ class SearchScheduler:
         handle = SearchHandle(name)
         self._jobs[name] = _JobState(
             name=name,
-            spec=spec,
+            spec=espec,
             engine=engine,
             stats=stats,
             act_sf_mode=act_sf_mode,
             perf=job_perf,
             handle=handle,
+            search=search,
         )
         return handle
 
@@ -319,6 +362,11 @@ class SearchScheduler:
             {name: st.spec for name, st in pending.items()},
             self.executor_config,
             results_q,
+            search_specs={
+                name: st.search
+                for name, st in pending.items()
+                if st.search is not None
+            },
         )
         outstanding = 0
         try:

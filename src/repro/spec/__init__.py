@@ -1,0 +1,54 @@
+"""Declarative search specs: every experiment a named, serializable object.
+
+The public surface has three pieces:
+
+* :mod:`repro.spec.registry` — one :class:`~repro.spec.registry.Registry`
+  per pluggable component family (objectives, format families/parsers,
+  executor backends, models, calibration sources).  Components are
+  referenced *by name*, which is what makes specs JSON-safe.
+* :class:`SearchSpec` (+ :class:`CalibSpec`) — the single source of
+  truth for launching an LPQ search: model ref, calibration descriptor,
+  search/fitness configs, objective, executor, seed.  Round-trips
+  through plain JSON bitwise-faithfully (``to_dict``/``from_dict``,
+  ``dump``/``load``).
+* :func:`run_search` — convenience alias: resolve a spec and run it
+  through :func:`repro.quant.lpq_quantize`, which both call styles and
+  ``scripts/run_search.py`` share.
+
+The legacy keyword APIs (:func:`repro.quant.lpq_quantize` and friends)
+are thin shims that *construct* a spec, so both paths share one
+implementation and produce bitwise-identical results.
+
+This module lazy-loads :class:`SearchSpec` (PEP 562): importing
+``repro.spec.registry`` from a component module never drags the quant
+stack in, which keeps registration import-cycle-free.
+"""
+
+from . import registry  # dependency-free; safe to import eagerly
+
+_LAZY = {
+    "CalibSpec": "spec",
+    "SearchSpec": "spec",
+    "SPEC_VERSION": "spec",
+    "reject_spec_conflicts": "spec",
+    "resolve_calib": "spec",
+    "resolve_model": "spec",
+    "run_search": "spec",
+}
+
+__all__ = ["registry", *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,105 @@
+"""JSON serialization helpers shared by the spec layer.
+
+Two families of helpers:
+
+* :func:`config_to_dict` / :func:`config_from_dict` — flat-dataclass
+  serde used by every registered config (``LPQConfig``,
+  ``FitnessConfig``, ``ExecutorConfig``, ``CalibSpec``).  Tuples become
+  lists on the way out and back again on the way in (JSON has no
+  tuples); unknown keys raise so a typo in a spec file cannot silently
+  fall back to a default.
+* :func:`encode_array` / :func:`decode_array` — bitwise-exact ndarray
+  transport (dtype + shape + base64 of the raw little-endian bytes).
+  This is what lets the :mod:`repro.serve` pool ship calibration
+  batches and model state dicts across the worker boundary as plain
+  JSON instead of pickles.
+
+JSON round trips are *faithful*: ints, strings, and bools are exact by
+construction, floats survive because JSON serializes binary64 shortest
+repr (which parses back to the identical bits), and arrays go through
+raw bytes.  The property tests in ``tests/spec/`` pin this down.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "config_to_dict",
+    "config_from_dict",
+    "encode_array",
+    "decode_array",
+    "encode_state",
+    "decode_state",
+]
+
+
+def config_to_dict(config) -> dict:
+    """Flat dataclass → JSON-ready dict (tuples become lists)."""
+    out = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[field.name] = value
+    return out
+
+
+def config_from_dict(cls, data: dict):
+    """JSON dict → dataclass ``cls``; unknown keys raise ``ValueError``.
+
+    Lists are converted back to tuples for fields whose type annotation
+    is a tuple (the only containers the specs use).
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"{cls.__name__} payload must be a dict, got "
+                         f"{type(data).__name__}")
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - set(fields))
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s) {unknown}; known fields: "
+            f"{sorted(fields)}"
+        )
+    kwargs = {}
+    for name, value in data.items():
+        annotation = str(fields[name].type)
+        if isinstance(value, list) and "tuple" in annotation:
+            value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """ndarray → JSON dict, bitwise-exact (little-endian raw bytes)."""
+    array = np.ascontiguousarray(array)
+    dtype = array.dtype.newbyteorder("<")
+    return {
+        "__ndarray__": True,
+        "dtype": dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.astype(dtype, copy=False).tobytes())
+        .decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    if not isinstance(payload, dict) or not payload.get("__ndarray__"):
+        raise ValueError("not an encoded ndarray payload")
+    raw = base64.b64decode(payload["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return array.reshape(payload["shape"]).copy()
+
+
+def encode_state(state: dict) -> dict:
+    """Model state dict (name → ndarray) → JSON dict."""
+    return {name: encode_array(value) for name, value in state.items()}
+
+
+def decode_state(payload: dict) -> dict:
+    """Inverse of :func:`encode_state`."""
+    return {name: decode_array(value) for name, value in payload.items()}

@@ -1,0 +1,289 @@
+"""JSON wire codec for the :mod:`repro.serve` pool boundary.
+
+The shared process pool used to ship pickled
+:class:`~repro.parallel.EvaluatorSpec` objects to its workers.  This
+module replaces that with a *wire payload*: a plain-JSON dict (only
+dicts, lists, strings, numbers, bools, ``None``) from which any worker
+— in this process, another process, or, eventually, another host — can
+reconstruct a byte-identical evaluator.  ``json.dumps(payload)`` always
+succeeds, which is the property that lets the payload cross a socket
+where a pickle should not (``tests/serve/test_wire.py`` asserts the
+round trip).
+
+Two payload kinds:
+
+* ``"search"`` — the job was submitted as a declarative
+  :class:`~repro.spec.SearchSpec`; the payload carries the spec's dict
+  form plus the calibration statistics, and the worker resolves the
+  model and calibration batch through the component registries.
+* ``"evaluator"`` — a legacy job around live objects; the calibration
+  batch and model state travel as bitwise-exact encoded arrays
+  (:func:`repro.spec.serde.encode_array`), and the model architecture
+  travels *by name*: an importable builder callable or the model's
+  importable class, resolved with :func:`decode_callable` worker-side.
+
+A live model instance is named on the wire by, in order of preference:
+its ``wire_builder`` tag — a ``(module, qualname)`` pair naming the
+importable zero-arg builder that produced it, stamped by
+:func:`repro.models.zoo.get_model` and the registry loaders — or its
+class, when that class is importable and zero-arg constructible.
+Instances that satisfy neither (a closure-defined class, a class whose
+constructor needs arguments) are rejected at encode time, in the
+submitting process, with a message pointing at the registry/builder
+alternatives.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import numpy as np
+
+from ..parallel.evaluator import EvaluatorSpec
+from ..quant.engine import FitnessConfig
+from ..quant.quantizer import LayerStats
+from .serde import (
+    config_from_dict,
+    decode_array,
+    decode_state,
+    encode_array,
+    encode_state,
+)
+from .spec import _DEFAULT_OBJECTIVE, SearchSpec
+
+__all__ = [
+    "WIRE_VERSION",
+    "encode_callable",
+    "decode_callable",
+    "encode_stats",
+    "decode_stats",
+    "encode_job",
+    "decode_job",
+]
+
+#: wire-format version stamped into every job payload
+WIRE_VERSION = 1
+
+
+# -- callables by name ---------------------------------------------------
+def encode_callable(fn) -> dict:
+    """Name an importable callable (``{"module", "qualname"}``).
+
+    Round-trip verified: the encoded reference must resolve back to the
+    exact same object, so a stale or shadowed name fails at encode time
+    (in the submitting process, with context) rather than in a worker.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise ValueError(
+            f"{fn!r} cannot be named on the wire (module={module!r}, "
+            f"qualname={qualname!r}); use a module-level builder "
+            "callable or register the model in the spec registry "
+            "(repro.spec.registry.register('model', name, loader))"
+        )
+    if decode_callable({"module": module, "qualname": qualname}) is not fn:
+        raise ValueError(
+            f"{module}.{qualname} does not resolve back to {fn!r}; "
+            "wire references must be importable by name"
+        )
+    return {"module": module, "qualname": qualname}
+
+
+def decode_callable(payload: dict):
+    """Inverse of :func:`encode_callable` (plain getattr walk)."""
+    obj = importlib.import_module(payload["module"])
+    for part in payload["qualname"].split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _encode_model_instance(model, probe_input=None) -> dict:
+    """Name a live model instance on the wire.
+
+    Prefers the instance's ``wire_builder`` tag (the importable zero-arg
+    builder that produced it — trained zoo checkpoints and the registry
+    loaders stamp it); otherwise the instance's class, which must then
+    be zero-arg constructible so the worker can rebuild the
+    architecture before loading the state dict.
+
+    The class path is *verified*, not assumed: a probe instance is
+    rebuilt here exactly as the worker will rebuild it, the state dict
+    is loaded, and (given ``probe_input``) one forward pass must match
+    the original bit for bit.  This catches the silent failure mode
+    where a behavior-affecting but shape-preserving constructor
+    argument (one ``load_state_dict`` cannot restore) would make
+    workers score a functionally different model.
+    """
+    tag = getattr(model, "wire_builder", None)
+    if tag is not None:
+        module, qualname = tag
+        payload = {"module": str(module), "qualname": str(qualname)}
+        decode_callable(payload)  # stale tags fail here, with context
+        return {"builder": payload}
+    cls = type(model)
+    try:
+        required = [
+            p.name
+            for p in inspect.signature(cls).parameters.values()
+            if p.default is inspect.Parameter.empty
+            and p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+    except (TypeError, ValueError):
+        required = []
+    if required:
+        raise ValueError(
+            f"{cls.__module__}.{cls.__qualname__} requires constructor "
+            f"argument(s) {required}, so a worker cannot rebuild this "
+            "model from its class name; submit a registered model name "
+            "(repro.spec.SearchSpec), a module-level builder callable, "
+            "or a model carrying a wire_builder tag"
+        )
+    probe = cls()
+    probe.load_state_dict(model.state_dict())  # key/shape drift fails here
+    if probe_input is not None:
+        probe.eval()
+        # compare in eval mode (a train-mode BN forward would mutate the
+        # submitted model's running statistics); restore the caller's
+        # mode afterwards
+        was_training = bool(getattr(model, "training", False))
+        if was_training:
+            model.eval()
+        try:
+            reference = model(probe_input)
+        finally:
+            if was_training:
+                model.train()
+        if not np.array_equal(probe(probe_input), reference):
+            raise ValueError(
+                f"{cls.__module__}.{cls.__qualname__}() + load_state_dict "
+                "does not reproduce this instance (a constructor argument "
+                "the state dict cannot restore?); submit a registered "
+                "model name, a module-level builder callable, or a model "
+                "carrying a wire_builder tag"
+            )
+    return {"model_class": encode_callable(cls)}
+
+
+# -- calibration statistics ----------------------------------------------
+def encode_stats(stats: LayerStats) -> dict:
+    """:class:`~repro.quant.LayerStats` → plain JSON (names, counts,
+    log-centres — floats survive JSON exactly via shortest-repr)."""
+    return {
+        "names": list(stats.names),
+        "param_counts": [int(n) for n in stats.param_counts],
+        "weight_log_centers": [float(c) for c in stats.weight_log_centers],
+        "act_log_centers": [float(c) for c in stats.act_log_centers],
+    }
+
+
+def decode_stats(payload: dict) -> LayerStats:
+    """Inverse of :func:`encode_stats`."""
+    return LayerStats(
+        names=list(payload["names"]),
+        param_counts=[int(n) for n in payload["param_counts"]],
+        weight_log_centers=[float(c) for c in payload["weight_log_centers"]],
+        act_log_centers=[float(c) for c in payload["act_log_centers"]],
+    )
+
+
+# -- whole jobs ----------------------------------------------------------
+def encode_job(spec: EvaluatorSpec, search: SearchSpec | None = None) -> dict:
+    """One pool job → plain-JSON wire payload.
+
+    ``search`` (when the job was submitted declaratively and is
+    serializable) selects the compact ``"search"`` payload; otherwise
+    the live objects in ``spec`` are encoded field by field.
+    """
+    stats = None if spec.stats is None else encode_stats(spec.stats)
+    if search is not None and search.serializable:
+        return {
+            "version": WIRE_VERSION,
+            "kind": "search",
+            "search": search.to_dict(),
+            "stats": stats,
+        }
+    if spec.builder is not None:
+        model = {"builder": encode_callable(spec.builder)}
+        state = spec.state
+    else:
+        model = _encode_model_instance(spec.model, spec.images[:1])
+        # the builder/class rebuilds the architecture; the state dict
+        # restores every parameter and buffer bit for bit
+        # (load_state_dict demands an exact key/shape match, so an
+        # architecture the rebuild cannot reproduce fails loudly in
+        # the worker)
+        state = spec.model.state_dict()
+    return {
+        "version": WIRE_VERSION,
+        "kind": "evaluator",
+        "images": encode_array(spec.images),
+        "model": model,
+        "state": None if state is None else encode_state(state),
+        "config": None if spec.config is None else spec.config.to_dict(),
+        "objective": spec.objective,
+        "act_mode": spec.act_mode,
+        "stats": stats,
+    }
+
+
+def decode_job(payload: dict) -> EvaluatorSpec:
+    """Wire payload → a fresh :class:`~repro.parallel.EvaluatorSpec`.
+
+    The worker-side inverse of :func:`encode_job`; everything is
+    reconstructed from names and encoded arrays, no pickles involved.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"wire payload must be a dict, got {type(payload).__name__}"
+        )
+    version = payload.get("version")
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"unsupported wire payload version {version!r} "
+            f"(supported: {WIRE_VERSION})"
+        )
+    kind = payload.get("kind")
+    stats = (
+        None if payload.get("stats") is None
+        else decode_stats(payload["stats"])
+    )
+    if kind == "search":
+        search = SearchSpec.from_dict(payload["search"])
+        return EvaluatorSpec(
+            images=search.build_calib(),
+            model=search.build_model(),
+            config=search.fitness,
+            objective=(
+                None
+                if search.objective == _DEFAULT_OBJECTIVE
+                else search.objective
+            ),
+            act_mode=search.act_sf_mode,
+            stats=stats,
+        )
+    if kind == "evaluator":
+        model = payload["model"]
+        if "builder" in model:
+            builder = decode_callable(model["builder"])
+        else:
+            builder = decode_callable(model["model_class"])
+        return EvaluatorSpec(
+            images=decode_array(payload["images"]),
+            builder=builder,
+            state=(
+                None
+                if payload.get("state") is None
+                else decode_state(payload["state"])
+            ),
+            config=(
+                None
+                if payload.get("config") is None
+                else config_from_dict(FitnessConfig, payload["config"])
+            ),
+            objective=payload.get("objective"),
+            act_mode=payload.get("act_mode"),
+            stats=stats,
+        )
+    raise ValueError(f"unknown wire payload kind {kind!r}")

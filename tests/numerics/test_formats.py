@@ -175,6 +175,41 @@ class TestRegistry:
         with pytest.raises(ValueError):
             make_format("bogus:1")
 
+    @pytest.mark.parametrize("spec", [
+        "lp:8",          # truncated: lp takes 3..4 args
+        "lp:8,2",
+        "posit:",        # empty args
+        "posit:8",
+        "posit:8,1,9",   # too many
+        "int:8",
+        "fp:8",
+        "lns:8",
+        "afloat:8,4",
+        "flint:",
+    ])
+    def test_make_format_malformed_arity_names_spec(self, spec):
+        """Truncated/overlong arg lists raise ValueError naming the full
+        spec string and the expected signature — never IndexError."""
+        with pytest.raises(ValueError) as exc_info:
+            make_format(spec)
+        message = str(exc_info.value)
+        assert repr(spec) in message
+        assert "takes" in message
+
+    @pytest.mark.parametrize("spec", [
+        "lp:a,2,3",
+        "posit:8,x",
+        "int:8,notafloat",
+    ])
+    def test_make_format_unparsable_numbers_name_spec(self, spec):
+        with pytest.raises(ValueError) as exc_info:
+            make_format(spec)
+        assert repr(spec) in str(exc_info.value)
+
+    def test_make_format_unknown_kind_lists_known(self):
+        with pytest.raises(ValueError, match="known kinds.*posit"):
+            make_format("warp:8")
+
     def test_calibrated_families_all_work(self):
         x = np.random.default_rng(0).normal(0, 0.05, 500)
         for fam in FORMAT_FAMILIES:

@@ -62,6 +62,24 @@ class FailingBNCNN(nn.Module):
         return self.head(self.pool(self.bn(self.conv(x))))
 
 
+class NegatingMLP(nn.Module):
+    """Behavior-affecting but shape-preserving constructor argument:
+    ``NegatingMLP(negate=True)`` has the same state dict as the default
+    instance yet computes a different function.  The wire codec must
+    refuse to ship such an instance by class name (the worker's
+    zero-arg rebuild could not reproduce it)."""
+
+    def __init__(self, negate: bool = False):
+        super().__init__()
+        self.negate = negate
+        self.pool = nn.GlobalAvgPool()
+        self.fc = nn.Linear(3, 4)
+
+    def forward(self, x):
+        out = self.fc(self.pool(x))
+        return -out if self.negate else out
+
+
 def build_serve_cnn() -> nn.Module:
     return ServeBNCNN()
 

@@ -1,0 +1,268 @@
+"""The serve pool's JSON wire protocol.
+
+Acceptance criterion from the SearchSpec redesign: the pool protocol
+carries no pickled evaluator objects — workers reconstruct evaluators
+from JSON-serializable payloads.  Asserted here by round-tripping the
+actual wire payloads through ``json.dumps``/``loads`` and running the
+reconstructed replicas against the originals, bitwise.
+"""
+
+import json
+import queue
+
+import numpy as np
+import pytest
+
+from repro.parallel import EvaluatorSpec, ExecutorConfig
+from repro.quant import FitnessConfig, collect_layer_stats, lpq_quantize
+from repro.serve import SearchScheduler
+from repro.serve.pool import SharedProcessPool, encode_pool_wires, make_shared_pool
+from repro.spec import CalibSpec, SearchSpec
+from repro.spec.wire import (
+    WIRE_VERSION,
+    decode_callable,
+    decode_job,
+    decode_stats,
+    encode_callable,
+    encode_job,
+    encode_stats,
+)
+
+from .conftest import SEARCH
+from .servemodels import ServeBNCNN, build_serve_cnn
+
+SPEC = SearchSpec(
+    model="tiny:resnet", calib=CalibSpec(batch=4, seed=3), config=SEARCH
+)
+
+
+def json_roundtrip(payload):
+    text = json.dumps(payload)  # must not raise: plain JSON only
+    return json.loads(text)
+
+
+class TestCallableWire:
+    def test_roundtrip_function_and_class(self):
+        for obj in (build_serve_cnn, ServeBNCNN):
+            assert decode_callable(json_roundtrip(encode_callable(obj))) is obj
+
+    def test_lambda_rejected_with_guidance(self):
+        with pytest.raises(ValueError, match="registry"):
+            encode_callable(lambda: None)
+
+    def test_local_class_rejected(self):
+        class Local:
+            pass
+
+        with pytest.raises(ValueError, match="cannot be named"):
+            encode_callable(Local)
+
+
+class TestJobWire:
+    def test_search_payload_roundtrips_and_rebuilds(self, serve_setup):
+        _, _, images = serve_setup
+        stats = collect_layer_stats(SPEC.build_model(), SPEC.build_calib())
+        espec = EvaluatorSpec(
+            images=SPEC.build_calib(), model=SPEC.build_model(), stats=stats
+        )
+        payload = json_roundtrip(encode_job(espec, SPEC))
+        assert payload["kind"] == "search" and payload["version"] == WIRE_VERSION
+        rebuilt = decode_job(payload)
+        ref = lpq_quantize(spec=SPEC)
+        assert rebuilt.build().evaluate(ref.solution) == ref.fitness
+
+    def test_evaluator_payload_live_model_roundtrips(self, serve_setup):
+        cnn, _, images = serve_setup
+        stats = collect_layer_stats(cnn, images)
+        espec = EvaluatorSpec(
+            images=images, model=cnn, stats=stats,
+            config=FitnessConfig(lam=0.15),
+        )
+        payload = json_roundtrip(encode_job(espec))
+        assert payload["kind"] == "evaluator"
+        rebuilt = decode_job(payload)
+        # the architecture travels by class name, the weights as encoded
+        # arrays; the rebuilt replica must score candidates bitwise-equal
+        solution = lpq_quantize(
+            cnn, images, config=SEARCH, fitness_config=FitnessConfig(lam=0.15)
+        ).solution
+        assert rebuilt.build().evaluate(solution) == espec.build(
+            copy_model=True
+        ).evaluate(solution)
+
+    def test_wire_builder_tagged_instance_ships_by_builder_ref(self):
+        """Zoo/bench instances carry a ``wire_builder`` tag, so live
+        trained models (whose classes need constructor args) still
+        cross the process-pool wire — architecture by builder name,
+        weights as the live state dict."""
+        from repro.spec import registry
+
+        model = registry.resolve("model", "bench:resnet")()
+        assert model.wire_builder == (
+            "repro.perf.bench", "bench_resnet"
+        )
+        images = SPEC.build_calib()
+        stats = collect_layer_stats(model, images)
+        espec = EvaluatorSpec(images=images, model=model, stats=stats)
+        payload = json_roundtrip(encode_job(espec))
+        assert "builder" in payload["model"]
+        rebuilt = decode_job(payload)
+        solution = lpq_quantize(model, images, config=SEARCH).solution
+        assert rebuilt.build().evaluate(solution) == espec.build(
+            copy_model=True
+        ).evaluate(solution)
+
+    def test_shape_preserving_ctor_divergence_rejected(self):
+        """A zero-arg-constructible class whose instance was built with
+        a behavior-affecting (but shape-preserving) constructor argument
+        must be rejected at encode time — the probe rebuild catches the
+        functional divergence a worker would otherwise score silently."""
+        from .servemodels import NegatingMLP
+
+        model = NegatingMLP(negate=True)
+        model.eval()
+        images = np.random.default_rng(0).normal(
+            size=(2, 3, 4, 4)
+        ).astype(np.float32)
+        espec = EvaluatorSpec(images=images, model=model)
+        with pytest.raises(ValueError, match="does not reproduce"):
+            encode_job(espec)
+        # a train-mode model must not dodge the probe (the comparison
+        # switches to eval and restores the caller's mode)
+        trainmode = NegatingMLP(negate=True)
+        assert trainmode.training
+        with pytest.raises(ValueError, match="does not reproduce"):
+            encode_job(EvaluatorSpec(images=images, model=trainmode))
+        assert trainmode.training
+        # the default-constructed twin encodes fine
+        ok = NegatingMLP()
+        ok.eval()
+        payload = json_roundtrip(
+            encode_job(EvaluatorSpec(images=images, model=ok))
+        )
+        assert "model_class" in payload["model"]
+
+    def test_ctor_arg_class_rejected_at_encode_time(self):
+        """An untagged instance whose class needs constructor arguments
+        must fail in the submitting process with guidance — not as a
+        worker-side TypeError."""
+        from repro.models import resnet18_mini
+
+        model = resnet18_mini()  # ResNet requires block/layers/widths
+        model.eval()
+        espec = EvaluatorSpec(
+            images=np.zeros((1, 3, 8, 8), dtype=np.float32), model=model
+        )
+        with pytest.raises(ValueError, match="constructor argument"):
+            encode_job(espec)
+
+    def test_stats_roundtrip_exact(self, serve_setup):
+        cnn, _, images = serve_setup
+        stats = collect_layer_stats(cnn, images)
+        back = decode_stats(json_roundtrip(encode_stats(stats)))
+        assert back.names == stats.names
+        assert back.param_counts == stats.param_counts
+        assert back.weight_log_centers == stats.weight_log_centers
+        assert back.act_log_centers == stats.act_log_centers
+
+    def test_bad_payloads_raise(self):
+        with pytest.raises(ValueError, match="version"):
+            decode_job({"kind": "search"})
+        with pytest.raises(ValueError, match="kind"):
+            decode_job({"version": WIRE_VERSION, "kind": "sorcery"})
+        with pytest.raises(ValueError, match="dict"):
+            decode_job([1])
+
+
+class TestPoolProtocolIsJson:
+    def test_process_pool_wires_survive_json(self, serve_setup):
+        """The exact payload handed to process workers is plain JSON."""
+        cnn, _, images = serve_setup
+        scheduler = SearchScheduler(
+            executor=ExecutorConfig("process", workers=2)
+        )
+        scheduler.submit("live", cnn, images, config=SEARCH)
+        scheduler.submit("declarative", spec=SPEC)
+        jobs = {
+            name: st.spec for name, st in scheduler._jobs.items()
+        }
+        wires = encode_pool_wires(
+            jobs,
+            {"declarative": scheduler._jobs["declarative"].search},
+        )
+        assert json_roundtrip(wires) == wires
+        assert wires["declarative"]["kind"] == "search"
+        assert wires["live"]["kind"] == "evaluator"
+
+    def test_shared_process_pool_exposes_json_wires(self, serve_setup):
+        cnn, _, images = serve_setup
+        stats = collect_layer_stats(cnn, images)
+        espec = EvaluatorSpec(images=images, model=cnn, stats=stats)
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        pool = make_shared_pool(
+            {"job": espec}, ExecutorConfig("process", workers=1), results
+        )
+        try:
+            assert isinstance(pool, SharedProcessPool)
+            assert json_roundtrip(pool.wires) == pool.wires
+        finally:
+            pool.close()
+
+    def test_unnameable_job_fails_with_job_name(self, serve_setup):
+        _, _, images = serve_setup
+
+        class Unnameable(ServeBNCNN):
+            pass
+
+        model = Unnameable()
+        model.eval()
+        stats = collect_layer_stats(model, images)
+        espec = EvaluatorSpec(images=images, model=model, stats=stats)
+        with pytest.raises(ValueError, match="'doomed'"):
+            encode_pool_wires({"doomed": espec})
+
+
+class TestSpecSubmissionEndToEnd:
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", None),
+        ("thread", 2),
+        ("process", 2),
+    ])
+    def test_spec_job_bitwise_equals_standalone(self, backend, workers):
+        ref = lpq_quantize(spec=SPEC)
+        executor = (
+            None if backend == "serial"
+            else ExecutorConfig(backend, workers=workers)
+        )
+        scheduler = SearchScheduler(executor=executor)
+        handle = scheduler.submit("tiny", spec=SPEC)
+        results = scheduler.run()
+        assert handle.done
+        got = results["tiny"]
+        assert got.solution == ref.solution
+        assert got.fitness == ref.fitness
+        assert got.history.best_fitness == ref.history.best_fitness
+        assert got.act_params == ref.act_params
+
+    def test_submit_spec_conflicts_raise(self, serve_setup):
+        cnn, _, images = serve_setup
+        scheduler = SearchScheduler()
+        with pytest.raises(ValueError, match="conflicting"):
+            scheduler.submit("bad", cnn, spec=SPEC)
+        with pytest.raises(TypeError, match="SearchSpec"):
+            scheduler.submit("bad", spec={"model": "tiny:resnet"})
+
+    def test_lpq_quantize_many_spec_fleet_conflicts(self):
+        from repro.serve import lpq_quantize_many
+
+        with pytest.raises(ValueError, match="conflicting"):
+            lpq_quantize_many([SPEC], calib_images=np.zeros((1, 3, 8, 8)))
+
+    def test_lpq_quantize_many_rejects_mixed_fleet(self, serve_setup):
+        cnn, _, images = serve_setup
+        from repro.serve import lpq_quantize_many
+
+        with pytest.raises(ValueError, match="cannot mix"):
+            lpq_quantize_many([SPEC, cnn], images)
+        with pytest.raises(ValueError, match="cannot mix"):
+            lpq_quantize_many({"a": SPEC, "b": cnn}, images)
