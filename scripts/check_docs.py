@@ -40,8 +40,11 @@ DOCTEST_MODULES = (
     "repro.parallel.executor",  # ExecutorConfig
     "repro.serve.scheduler",  # SearchScheduler
     "repro.serve.api",  # lpq_quantize_many
+    "repro.serve.remote",  # remote worker fleet round trip
     "repro.spec.registry",  # register/resolve/names
-    "repro.spec.spec",  # SearchSpec round trip
+    "repro.spec.spec",  # SearchSpec round trip + digest
+    "repro.spec.sweep",  # expand_sweep
+    "repro.spec.wire",  # frame codec
     "repro.numerics.registry",  # make_format
 )
 

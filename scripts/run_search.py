@@ -1,22 +1,33 @@
 #!/usr/bin/env python
-"""Run one declarative LPQ search from a JSON spec file.
+"""Run declarative LPQ searches from JSON spec or sweep files.
 
 The spec file is a serialized :class:`repro.spec.SearchSpec` — model by
 registry name, calibration batch as a ``(batch, seed, source)``
 descriptor, search/fitness configs, objective, executor, seed — so the
 whole experiment is reproducible from the one file (committed examples
-live under ``examples/specs/``).
+live under ``examples/specs/``).  A sweep file is one base spec × a
+parameter grid (:mod:`repro.spec.sweep`), expanded into a named fleet
+and run on one shared pool via :func:`repro.serve.lpq_quantize_many`.
 
 Usage::
 
     PYTHONPATH=src python scripts/run_search.py --spec examples/specs/tiny_resnet.json
     PYTHONPATH=src python scripts/run_search.py --spec my_search.json \
         --backend process --workers 4 --out result.json
+    PYTHONPATH=src python scripts/run_search.py --spec my_search.json \
+        --backend remote --addresses 127.0.0.1:7301,127.0.0.1:7302
+    PYTHONPATH=src python scripts/run_search.py --sweep examples/specs/tiny_sweep.json
+    PYTHONPATH=src python scripts/run_search.py --spec my_search.json \
+        --cache-dir .search-cache   # replays an identical spec's result
 
-``--backend``/``--workers`` override the spec's executor (handy for
-running a committed spec serially in CI); ``--out`` writes a JSON
-record of the spec and the result.  Exits non-zero on a failed search
-or a non-finite fitness — the CI spec leg relies on this.
+``--backend``/``--workers``/``--addresses``/``--token`` override the
+spec's executor (handy for running a committed spec serially in CI, or
+against a live worker fleet); ``--out`` writes a JSON record of the
+spec(s) and result(s).  ``--cache-dir`` keys stored results by
+:meth:`SearchSpec.digest` — executor changes don't change the digest
+because no backend can move a bit, so a cached serial result satisfies
+a remote re-run of the same spec.  Exits non-zero on a failed search or
+a non-finite fitness — the CI spec legs rely on this.
 """
 
 from __future__ import annotations
@@ -31,23 +42,104 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.parallel import ExecutorConfig  # noqa: E402
+from repro.parallel import ExecutorConfig, parse_address_list  # noqa: E402
 from repro.quant import lpq_quantize  # noqa: E402
-from repro.spec import SearchSpec, registry  # noqa: E402
+from repro.serve import lpq_quantize_many  # noqa: E402
+from repro.spec import SearchSpec, load_sweep, registry  # noqa: E402
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--spec", type=Path, required=True,
-                        help="path to a SearchSpec JSON file")
-    parser.add_argument("--backend", default=None,
-                        help="override the spec's executor backend")
-    parser.add_argument("--workers", type=int, default=None,
-                        help="override the spec's executor worker count")
-    parser.add_argument("--out", type=Path, default=None,
-                        help="write a JSON record of spec + result")
-    args = parser.parse_args(argv)
+def _override_executor(spec: SearchSpec, args) -> SearchSpec:
+    """Apply the CLI's executor overrides; the spec's other executor
+    fields stay in force.  Addresses/token are dropped when the final
+    backend is not remote (they only apply there)."""
+    if not (args.backend or args.workers is not None or args.addresses
+            or args.token):
+        return spec
+    base = spec.executor or ExecutorConfig()
+    backend = args.backend or base.backend
+    addresses = None
+    token = None
+    if backend == "remote":
+        if args.addresses:
+            addresses = parse_address_list(args.addresses)
+        else:
+            addresses = base.addresses
+        token = args.token if args.token is not None else base.token
+    executor = ExecutorConfig(
+        backend=backend,
+        workers=args.workers if args.workers is not None else base.workers,
+        start_method=base.start_method,
+        addresses=addresses,
+        token=token,
+    )
+    return dataclasses.replace(spec, executor=executor)
 
+
+def _result_record(spec: SearchSpec, result, wall: float | None) -> dict:
+    payload = spec.to_dict()
+    if payload.get("executor") and payload["executor"].get("token"):
+        # the worker auth token is a shared secret; records and cache
+        # files get committed and uploaded as CI artifacts
+        payload["executor"]["token"] = None
+    return {
+        "spec": payload,
+        "digest": spec.digest(),
+        "wall_s": wall,
+        "fitness": result.fitness,
+        "mean_weight_bits": result.mean_weight_bits,
+        "mean_act_bits": result.mean_act_bits,
+        "model_size_mb": result.model_size_mb(),
+        "evaluations": result.evaluations,
+        "solution": [
+            [p.n, p.es, p.rs, p.sf] for p in result.solution.layer_params
+        ],
+    }
+
+
+def _print_record(record: dict, cached: bool = False) -> None:
+    wall = record.get("wall_s")
+    walltext = f" in {wall:.2f}s" if wall is not None else ""
+    suffix = "  [cache replay]" if cached else ""
+    print(f"result: {len(record['solution'])} layers{walltext} "
+          f"({record['evaluations']} fitness evaluations){suffix}")
+    print(f"  fitness:          {record['fitness']:.6f}")
+    print(f"  mean weight bits: {record['mean_weight_bits']:.2f}")
+    print(f"  mean act bits:    {record['mean_act_bits']:.2f}")
+    print(f"  model size:       {record['model_size_mb']:.4f} MB")
+
+
+def _cache_path(cache_dir: Path | None, spec: SearchSpec) -> Path | None:
+    if cache_dir is None:
+        return None
+    return cache_dir / f"{spec.digest()}.json"
+
+
+def _cache_load(path: Path | None) -> dict | None:
+    if path is None or not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"run_search: ignoring unreadable cache entry {path}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _cache_store(path: Path | None, record: dict) -> None:
+    if path is None:
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def _describe(name: str, spec: SearchSpec) -> None:
+    executor = spec.executor.backend if spec.executor else "serial"
+    print(f"  [{name}] model={spec.model}  calib={spec.calib.batch}@seed"
+          f"{spec.calib.seed}  objective={spec.objective}  "
+          f"executor={executor}  seed={spec.search_config().seed}")
+
+
+def _run_single(args) -> int:
     try:
         spec = SearchSpec.load(args.spec)
     except (OSError, ValueError) as exc:
@@ -58,61 +150,120 @@ def main(argv: list[str] | None = None) -> int:
         print(f"run_search: spec {args.spec} must name a registered "
               "model and a calib descriptor", file=sys.stderr)
         return 2
-    if args.backend is not None or args.workers is not None:
-        # override only what was asked for; the spec's other executor
-        # fields (workers, start_method) stay in force
-        base = spec.executor or ExecutorConfig()
-        executor = ExecutorConfig(
-            backend=args.backend or base.backend,
-            workers=args.workers if args.workers is not None else base.workers,
-            start_method=base.start_method,
-        )
-        spec = dataclasses.replace(spec, executor=executor)
-
-    executor = spec.executor.backend if spec.executor else "serial"
+    spec = _override_executor(spec, args)
     print(f"spec: {args.spec}")
-    print(f"  model={spec.model}  calib={spec.calib.batch}@seed"
-          f"{spec.calib.seed}  objective={spec.objective}  "
-          f"executor={executor}  seed={spec.search_config().seed}")
+    _describe(spec.job_name("search"), spec)
     print(f"  registered models: {len(registry.names('model'))}  "
           f"objectives: {len(registry.names('objective'))}")
 
-    start = time.perf_counter()
-    result = lpq_quantize(spec=spec)
-    wall = time.perf_counter() - start
-
-    fp_mb = sum(result.stats.param_counts) * 4 / 1e6
-    print(f"result: {len(result.solution)} layers in {wall:.2f}s "
-          f"({result.evaluations} fitness evaluations)")
-    print(f"  fitness:          {result.fitness:.6f}")
-    print(f"  mean weight bits: {result.mean_weight_bits:.2f}")
-    print(f"  mean act bits:    {result.mean_act_bits:.2f}")
-    print(f"  model size:       {result.model_size_mb():.4f} MB "
-          f"(FP32 {fp_mb:.4f} MB)")
+    cache_path = _cache_path(args.cache_dir, spec)
+    record = _cache_load(cache_path)
+    cached = record is not None
+    if not cached:
+        start = time.perf_counter()
+        result = lpq_quantize(spec=spec)
+        record = _result_record(spec, result, time.perf_counter() - start)
+        _cache_store(cache_path, record)
+    _print_record(record, cached=cached)
 
     if args.out is not None:
-        record = {
-            "spec": spec.to_dict(),
-            "wall_s": wall,
-            "fitness": result.fitness,
-            "mean_weight_bits": result.mean_weight_bits,
-            "mean_act_bits": result.mean_act_bits,
-            "model_size_mb": result.model_size_mb(),
-            "evaluations": result.evaluations,
-            "solution": [
-                [p.n, p.es, p.rs, p.sf]
-                for p in result.solution.layer_params
-            ],
-        }
         args.out.write_text(json.dumps(record, indent=2, sort_keys=True)
                             + "\n")
         print(f"record written to {args.out}")
-
-    if not math.isfinite(result.fitness):
-        print(f"run_search: non-finite fitness {result.fitness!r}",
+    if not math.isfinite(record["fitness"]):
+        print(f"run_search: non-finite fitness {record['fitness']!r}",
               file=sys.stderr)
         return 1
     return 0
+
+
+def _run_sweep(args) -> int:
+    try:
+        specs = load_sweep(args.sweep)
+    except (OSError, ValueError) as exc:
+        print(f"run_search: cannot load sweep {args.sweep}: {exc}",
+              file=sys.stderr)
+        return 2
+    specs = {name: _override_executor(spec, args)
+             for name, spec in specs.items()}
+    print(f"sweep: {args.sweep} ({len(specs)} jobs)")
+    for name, spec in specs.items():
+        _describe(name, spec)
+
+    records: dict[str, dict] = {}
+    replayed: set[str] = set()
+    to_run: dict[str, SearchSpec] = {}
+    for name, spec in specs.items():
+        record = _cache_load(_cache_path(args.cache_dir, spec))
+        if record is not None:
+            records[name] = record
+            replayed.add(name)
+        else:
+            to_run[name] = spec
+    wall = 0.0
+    if to_run:
+        start = time.perf_counter()
+        results = lpq_quantize_many(to_run)
+        wall = time.perf_counter() - start
+        for name, result in results.items():
+            record = _result_record(to_run[name], result, None)
+            records[name] = record
+            _cache_store(_cache_path(args.cache_dir, to_run[name]), record)
+    print(f"ran {len(to_run)} job(s) in {wall:.2f}s on one shared pool, "
+          f"replayed {len(replayed)} from cache")
+    for name in specs:
+        print(f"[{name}]")
+        _print_record(records[name], cached=name in replayed)
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(
+            {"sweep": str(args.sweep), "jobs": records},
+            indent=2, sort_keys=True,
+        ) + "\n")
+        print(f"record written to {args.out}")
+    bad = [name for name, rec in records.items()
+           if not math.isfinite(rec["fitness"])]
+    if bad:
+        print(f"run_search: non-finite fitness in job(s) {bad}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--spec", type=Path,
+                        help="path to a SearchSpec JSON file")
+    source.add_argument("--sweep", type=Path,
+                        help="path to a sweep JSON file (one base spec "
+                             "x a parameter grid)")
+    parser.add_argument("--backend", default=None,
+                        help="override the executor backend "
+                             "(serial/thread/process/remote)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="override the executor worker count")
+    parser.add_argument("--addresses", default=None,
+                        help="comma-separated host:port worker addresses "
+                             "(remote backend)")
+    parser.add_argument("--token", default=None,
+                        help="worker auth token (remote backend)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="replay identical specs from this result "
+                             "cache (keyed by SearchSpec.digest())")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write a JSON record of spec(s) + result(s)")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.sweep is not None:
+            return _run_sweep(args)
+        return _run_single(args)
+    except (ValueError, ConnectionError) as exc:
+        # bad executor overrides (remote without addresses) and
+        # unreachable/refusing workers land here, with context
+        print(f"run_search: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

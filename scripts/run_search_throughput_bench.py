@@ -28,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.parallel import BACKENDS  # noqa: E402
+from repro.parallel import BACKENDS, parse_address_list  # noqa: E402
 from repro.perf import run_search_throughput_bench  # noqa: E402
 from repro.perf.bench import BENCH_MODELS, write_bench_record  # noqa: E402
 
@@ -47,7 +47,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="executor backend(s); repeatable "
                              "(default: serial and process)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="executor worker count (default: all CPUs)")
+                        help="executor worker count (default: all CPUs; "
+                             "for --backend remote without --addresses, "
+                             "the local fleet size, default 2)")
+    parser.add_argument("--addresses", default=None,
+                        help="comma-separated host:port workers for the "
+                             "remote backend (default: start a local "
+                             "in-process fleet)")
     parser.add_argument("--no-objective", action="store_true",
                         help="skip the OutputObjectiveEvaluator section")
     parser.add_argument("--no-multi-job", action="store_true",
@@ -60,6 +66,7 @@ def main(argv: list[str] | None = None) -> int:
 
     models = tuple(args.models or ("resnet", "vit", "swin"))
     backends = tuple(args.backends or ("serial", "process"))
+    addresses = parse_address_list(args.addresses) if args.addresses else None
     record = run_search_throughput_bench(
         calib=args.calib,
         seed=args.seed,
@@ -68,6 +75,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         include_objective=not args.no_objective,
         include_multi_job=not args.no_multi_job,
+        addresses=addresses,
     )
     path = write_bench_record(record, args.out)
 

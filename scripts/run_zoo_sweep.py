@@ -37,7 +37,11 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.data import make_dataset  # noqa: E402
-from repro.parallel import BACKENDS, ExecutorConfig  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    BACKENDS,
+    ExecutorConfig,
+    parse_address_list,
+)
 from repro.quant import LPQConfig, bn_recalibrated, quantized  # noqa: E402
 from repro.serve import SearchScheduler  # noqa: E402
 from repro.spec import CalibSpec, SearchSpec, resolve_model  # noqa: E402
@@ -71,6 +75,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--suite", choices=("zoo", "bench"), default="zoo")
     parser.add_argument("--backend", choices=BACKENDS, default="process")
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--addresses", default=None,
+                        help="comma-separated host:port workers "
+                             "(remote backend)")
+    parser.add_argument("--token", default=None,
+                        help="worker auth token (remote backend)")
     parser.add_argument("--calib", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--effort", choices=("fast", "paper"),
@@ -93,7 +102,11 @@ def main(argv: list[str] | None = None) -> int:
     config = search_config(args.effort, args.seed)
     specs = sweep_specs(args.suite, names, calib_spec, config)
     calib = calib_spec.build()
-    executor = ExecutorConfig(backend=args.backend, workers=args.workers)
+    addresses = parse_address_list(args.addresses) if args.addresses else None
+    executor = ExecutorConfig(
+        backend=args.backend, workers=args.workers,
+        addresses=addresses, token=args.token,
+    )
     scheduler = SearchScheduler(executor=executor)
     for spec in specs:
         # submit resolves each zoo ref, training + caching checkpoints

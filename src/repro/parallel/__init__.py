@@ -9,9 +9,11 @@ batch.  This package fans population slices out across worker replicas:
 * :class:`PopulationEvaluator` — the batched evaluator the GA engine
   talks to: memo-dedupes candidates, fans the rest out, returns results
   in submission order;
-* :class:`ExecutorConfig` + ``serial`` / ``thread`` / ``process``
-  executors — interchangeable backends with deterministic ordering and
-  perf-snapshot merging (worker cache hit-rates stay truthful).
+* :class:`ExecutorConfig` + ``serial`` / ``thread`` / ``process`` /
+  ``remote`` executors — interchangeable backends with deterministic
+  ordering and perf-snapshot merging (worker cache hit-rates stay
+  truthful).  The remote backend fans out to TCP workers
+  (:mod:`repro.serve.remote`) addressed by ``host:port``.
 
 The hard guarantee mirrors the incremental engine's: every backend
 produces bitwise-identical fitness values and search trajectories.
@@ -33,6 +35,8 @@ from .executor import (
     SerialExecutor,
     ThreadExecutor,
     make_executor,
+    parse_address,
+    parse_address_list,
 )
 
 __all__ = [
@@ -45,4 +49,6 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "make_executor",
+    "parse_address",
+    "parse_address_list",
 ]

@@ -13,6 +13,11 @@ Three interchangeable backends score batches of candidates:
   build a replica from the pickled :class:`EvaluatorSpec` at startup.
   True parallelism; candidates and scalar results are the only per-task
   traffic.
+* ``remote`` — TCP workers (:mod:`repro.serve.remote`) addressed by
+  ``ExecutorConfig(backend="remote", addresses=["host:port", ...])``.
+  Jobs cross the socket as plain-JSON wire payloads
+  (:mod:`repro.spec.wire`), so the workers may live on other hosts;
+  start them with ``scripts/run_worker.py``.
 
 All backends return results in submission order.  Worker replicas record
 into private :class:`~repro.perf.PerfRegistry` instances and ship one
@@ -40,13 +45,45 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "parse_address",
+    "parse_address_list",
 ]
 
 #: the built-in backends; the executor registry
 #: (``repro.spec.registry``) is the source of truth for validation and
 #: dispatch, so registered extension backends are accepted everywhere
 #: an ``ExecutorConfig`` is
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "remote")
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; raises ``ValueError`` with
+    the offending string on anything else."""
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"worker address {address!r} must look like 'host:port'"
+        )
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ValueError(
+            f"worker address {address!r} has a non-integer port"
+        ) from None
+    if not 0 < port_num < 65536:
+        raise ValueError(f"worker address {address!r} port out of range")
+    return host, port_num
+
+
+def parse_address_list(text: str) -> tuple[str, ...]:
+    """Comma-separated ``host:port`` list → validated address tuple
+    (the shape every CLI ``--addresses`` flag takes)."""
+    addresses = tuple(a.strip() for a in text.split(",") if a.strip())
+    if not addresses:
+        raise ValueError(f"no worker addresses in {text!r}")
+    for address in addresses:
+        parse_address(address)
+    return addresses
 
 
 @dataclass(frozen=True)
@@ -57,6 +94,11 @@ class ExecutorConfig:
     overrides the multiprocessing start method for the process backend
     (``None`` = platform default; "spawn" exercises the fully-pickled
     path that a distributed deployment would use).
+
+    The ``remote`` backend instead takes ``addresses`` — ``host:port``
+    strings of running ``scripts/run_worker.py`` workers — plus an
+    optional shared-secret ``token`` the workers were started with;
+    ``workers`` is implied by the fleet size.
 
     The same config drives single-search executors
     (:func:`repro.quant.lpq_quantize`'s ``executor`` knob) and the
@@ -71,15 +113,25 @@ class ExecutorConfig:
     2
     >>> ExecutorConfig().resolved_workers() >= 1  # None = all CPUs
     True
+    >>> remote = ExecutorConfig("remote",
+    ...                         addresses=["127.0.0.1:7301", "127.0.0.1:7302"])
+    >>> remote.addresses, remote.resolved_workers()
+    (('127.0.0.1:7301', '127.0.0.1:7302'), 2)
+    >>> ExecutorConfig("remote")
+    Traceback (most recent call last):
+        ...
+    ValueError: remote backend requires addresses=['host:port', ...] of running workers (scripts/run_worker.py)
     >>> ExecutorConfig("gpu")
     Traceback (most recent call last):
         ...
-    ValueError: unknown backend 'gpu'; choose from ('serial', 'thread', 'process')
+    ValueError: unknown backend 'gpu'; choose from ('serial', 'thread', 'process', 'remote')
     """
 
     backend: str = "serial"
     workers: int | None = None
     start_method: str | None = None
+    addresses: tuple[str, ...] | None = None
+    token: str | None = None
 
     def __post_init__(self) -> None:
         backends = spec_registry.registry("executor")
@@ -90,8 +142,27 @@ class ExecutorConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.addresses is not None:
+            # normalize to a tuple so configs built with a list still
+            # hash/compare/serialize like their from_dict twins
+            object.__setattr__(self, "addresses", tuple(self.addresses))
+            for address in self.addresses:
+                parse_address(address)
+        if self.backend == "remote":
+            if not self.addresses:
+                raise ValueError(
+                    "remote backend requires addresses=['host:port', ...] "
+                    "of running workers (scripts/run_worker.py)"
+                )
+        elif self.addresses is not None or self.token is not None:
+            raise ValueError(
+                f"addresses/token only apply to the remote backend, not "
+                f"{self.backend!r}"
+            )
 
     def resolved_workers(self) -> int:
+        if self.backend == "remote":
+            return len(self.addresses)
         if self.workers is not None:
             return self.workers
         return max(os.cpu_count() or 1, 1)
@@ -288,3 +359,14 @@ spec_registry.register(
         start_method=config.start_method,
     ),
 )
+
+
+def _make_remote_executor(spec, config, perf):
+    # deferred import: the transport layer builds on repro.serve, which
+    # builds on this module
+    from ..serve.remote import RemoteExecutor
+
+    return RemoteExecutor(spec, config, perf)
+
+
+spec_registry.register("executor", "remote", _make_remote_executor)

@@ -8,8 +8,10 @@ analogue) the *same* genetic search runs several ways:
 * ``fast`` — the PR-1 incremental engine (fitness memo, quantized-weight
   + activation-quant caches, fused recalibration, prefix-reuse forwards);
 * one section per executor backend (``serial`` / ``thread`` /
-  ``process``) — the incremental engine fanned out across worker
-  replicas by :class:`repro.parallel.PopulationEvaluator`.
+  ``process`` / ``remote``) — the incremental engine fanned out across
+  worker replicas by :class:`repro.parallel.PopulationEvaluator`; the
+  remote section measures the full socket transport against a
+  localhost worker fleet (or ``addresses`` of an external one).
 
 Every variant must produce a bitwise-identical search trajectory;
 ``identical`` flags in the emitted record assert the correctness bar of
@@ -36,6 +38,7 @@ across PRs.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import platform
@@ -237,6 +240,32 @@ def _run_search(
     return rec
 
 
+@contextlib.contextmanager
+def _executor_context(
+    backend: str, workers: int | None, addresses=None
+):
+    """The leg's :class:`~repro.parallel.ExecutorConfig`.
+
+    For ``backend="remote"`` with no addresses given, an in-process
+    localhost worker fleet (:func:`repro.serve.remote.local_worker_fleet`,
+    ``workers`` servers, default 2) lives for the duration of the leg —
+    so ``--backend remote`` benches the full socket transport with no
+    external setup, and a real multi-host fleet is one ``--addresses``
+    flag away.
+    """
+    from ..parallel import ExecutorConfig
+
+    if backend != "remote":
+        yield ExecutorConfig(backend=backend, workers=workers)
+    elif addresses:
+        yield ExecutorConfig("remote", addresses=addresses)
+    else:
+        from ..serve.remote import local_worker_fleet
+
+        with local_worker_fleet(workers or 2) as fleet:
+            yield ExecutorConfig("remote", addresses=fleet)
+
+
 def _run_search_backend(
     model_name: str,
     backend: str,
@@ -244,9 +273,10 @@ def _run_search_backend(
     calib: int,
     config: LPQConfig,
     seed: int,
+    addresses=None,
 ) -> dict:
     """One full search through a parallel population executor."""
-    from ..parallel import EvaluatorSpec, ExecutorConfig, PopulationEvaluator
+    from ..parallel import EvaluatorSpec, PopulationEvaluator
 
     model, images, stats = _prepare(model_name, calib, seed)
     reset_perf()
@@ -257,9 +287,9 @@ def _run_search_backend(
         config=FitnessConfig(fast=True),
         stats=stats,
     )
-    with PopulationEvaluator(
-        spec, ExecutorConfig(backend=backend, workers=workers)
-    ) as evaluator:
+    with _executor_context(
+        backend, workers, addresses
+    ) as executor, PopulationEvaluator(spec, executor) as evaluator:
         engine = LPQEngine(evaluator, stats.weight_log_centers, config)
         rec = _measurements(engine.run, evaluator)
         rec["history"] = list(engine.history.best_fitness)
@@ -296,6 +326,7 @@ def _multi_job_section(
     calib: int,
     config: LPQConfig,
     seed: int,
+    addresses=None,
 ) -> dict:
     """Same jobs run back-to-back (one pool each) vs multiplexed on one
     shared pool by the :class:`repro.serve.SearchScheduler`.
@@ -304,7 +335,7 @@ def _multi_job_section(
     that is what running a fleet actually costs; per-job trajectories
     must stay bitwise-identical either way.
     """
-    from ..parallel import EvaluatorSpec, ExecutorConfig, PopulationEvaluator
+    from ..parallel import EvaluatorSpec, PopulationEvaluator
     from ..serve import SearchScheduler
 
     jobs = _multi_job_plan(model_names, config)
@@ -323,9 +354,9 @@ def _multi_job_section(
             config=FitnessConfig(fast=True),
             stats=stats,
         )
-        with PopulationEvaluator(
-            spec, ExecutorConfig(backend=backend, workers=workers)
-        ) as evaluator:
+        with _executor_context(
+            backend, workers, addresses
+        ) as executor, PopulationEvaluator(spec, executor) as evaluator:
             engine = LPQEngine(evaluator, stats.weight_log_centers, job_config)
             solution, fitness = engine.run()
             evaluations = evaluator.evaluations
@@ -347,8 +378,11 @@ def _multi_job_section(
     ]
     reset_perf()
     start = time.perf_counter()
+    stack = contextlib.ExitStack()
     scheduler = SearchScheduler(
-        executor=ExecutorConfig(backend=backend, workers=workers)
+        executor=stack.enter_context(
+            _executor_context(backend, workers, addresses)
+        )
     )
     for job_name, model_name, job_config, (model, images, stats) in prepared:
         scheduler.submit(
@@ -360,7 +394,10 @@ def _multi_job_section(
             fitness_config=FitnessConfig(fast=True),
             stats=stats,
         )
-    results = scheduler.run()
+    try:
+        results = scheduler.run()
+    finally:
+        stack.close()  # remote leg: stop the local worker fleet
     scheduler_wall = time.perf_counter() - start
 
     identical = True
@@ -413,6 +450,7 @@ def _model_section(
     seed: int,
     backends: tuple[str, ...],
     workers: int | None,
+    addresses=None,
 ) -> dict:
     reference = _run_search(model_name, False, calib, config, seed)
     fast = _run_search(model_name, True, calib, config, seed)
@@ -430,7 +468,7 @@ def _model_section(
     }
     for backend in backends:
         rec = _run_search_backend(
-            model_name, backend, workers, calib, config, seed
+            model_name, backend, workers, calib, config, seed, addresses
         )
         rec["identical"] = (
             rec["best_fitness"] == fast["best_fitness"]
@@ -457,8 +495,14 @@ def run_search_throughput_bench(
     objective: str = "mse",
     include_objective: bool = True,
     include_multi_job: bool = True,
+    addresses=None,
 ) -> dict:
     """Benchmark record: per-model reference/fast/backend search runs.
+
+    ``backends`` may include ``"remote"``: with no ``addresses`` the
+    remote legs run against an in-process localhost worker fleet
+    (``workers`` servers), measuring the full socket transport;
+    ``addresses`` points them at an external fleet instead.
 
     ``workers=None`` lets the executor use every CPU.  The returned
     record keeps the PR-1 top-level ``reference``/``fast``/``speedup``/
@@ -495,7 +539,7 @@ def run_search_throughput_bench(
     }
     for model_name in models:
         record["models"][model_name] = _model_section(
-            model_name, calib, config, seed, backends, workers
+            model_name, calib, config, seed, backends, workers, addresses
         )
     # worker counts each executor *actually* used (SerialExecutor is
     # always 1 regardless of --workers); identical across models
@@ -531,7 +575,7 @@ def run_search_throughput_bench(
             (b for b in backends if b != "serial"), backends[0]
         )
         record["multi_job"] = _multi_job_section(
-            models, multi_backend, workers, calib, config, seed
+            models, multi_backend, workers, calib, config, seed, addresses
         )
     # legacy top-level mirror of the first model's serial comparison
     first = record["models"][models[0]]

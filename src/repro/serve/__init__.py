@@ -17,15 +17,21 @@ searches share that machinery:
   (the paper's Table 1 / Fig. 5 zoo sweeps), returning a
   ``{name: LPQResult}`` map.  Accepts live models or a fleet of
   :class:`~repro.spec.SearchSpec` values.
-* :mod:`repro.serve.pool` — the shared multi-job executor backends.
-  The process pool's job payloads are plain JSON
-  (:mod:`repro.spec.wire`), never pickled evaluator objects, so the
-  same payloads could cross a socket to a remote pool.
+* :mod:`repro.serve.pool` — the shared multi-job executor backends
+  behind one transport-agnostic :class:`WorkerPool` protocol
+  (``submit``/``start``/``close``/``workers``/``healthy``).  The
+  process pool's job payloads are plain JSON (:mod:`repro.spec.wire`),
+  never pickled evaluator objects.
+* :mod:`repro.serve.remote` — the same payloads across TCP sockets:
+  standalone :class:`~repro.serve.remote.WorkerServer` workers
+  (``scripts/run_worker.py``) and the
+  :class:`~repro.serve.remote.SharedRemotePool` client with token
+  handshake, heartbeat liveness, and dead-worker requeue.
 
 The layer's invariant matches the rest of the stack: scheduling is
 never allowed to move a bit.  Every per-job result is bitwise-identical
 to a standalone :func:`repro.quant.lpq_quantize` run with the same
-seed, on every backend at any worker count.
+seed, on every backend at any worker count — one host or many.
 """
 
 from .pool import (
@@ -33,6 +39,7 @@ from .pool import (
     SharedProcessPool,
     SharedSerialPool,
     SharedThreadPool,
+    WorkerPool,
     make_shared_pool,
 )
 from .scheduler import SearchHandle, SearchScheduler
@@ -43,8 +50,22 @@ __all__ = [
     "SearchHandle",
     "SearchScheduler",
     "SharedProcessPool",
+    "SharedRemotePool",
     "SharedSerialPool",
     "SharedThreadPool",
+    "WorkerPool",
+    "WorkerServer",
     "lpq_quantize_many",
     "make_shared_pool",
 ]
+
+
+def __getattr__(name: str):
+    # lazy: the transport layer pulls in sockets/threads only when used
+    if name in ("SharedRemotePool", "WorkerServer"):
+        from . import remote
+
+        value = getattr(remote, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

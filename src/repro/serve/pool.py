@@ -10,20 +10,34 @@ each worker lazily builds (and keeps) one replica *per job* it has seen
 search back to back, each against that job's own model copy, caches,
 and private perf registry.
 
-Three backends mirror :mod:`repro.parallel.executor`:
+**The WorkerPool protocol.**  Every pool implements the same small,
+transport-agnostic API (:class:`WorkerPool`): ``submit(job, seq, chunk,
+solutions)`` hands one tagged chunk to the pool, results arrive on the
+caller-supplied queue as :class:`ChunkResult` messages, and
+``start``/``close``/``workers``/``healthy`` manage the pool's
+lifecycle.  The scheduler codes against this protocol only, so a
+backend living across a socket is interchangeable with one living in a
+thread.  Backends register in the ``shared_pool`` component registry
+(:mod:`repro.spec.registry`) under the same names
+:class:`~repro.parallel.ExecutorConfig` validates against:
 
-* :class:`SharedSerialPool` — one in-process replica per job; submit
-  evaluates synchronously.  The zero-overhead baseline.
-* :class:`SharedThreadPool` — N worker slots handed out through a
-  queue; each slot holds a ``job → replica`` map built on first use
-  (``copy_model=True``: slots mutate their models independently).
-* :class:`SharedProcessPool` — a :class:`multiprocessing.pool.Pool`
-  whose workers receive the full ``job → wire payload`` map at init and
-  build replicas lazily per job on first task.  The payloads are plain
-  JSON dicts (:func:`repro.spec.wire.encode_job`) — no pickled
-  evaluator objects cross the pool boundary, so the same payloads could
-  cross a socket to a remote pool.  Only ``(job, candidates)`` and
-  ``(fitness, perf-delta)`` cross per task.
+* ``serial`` — :class:`SharedSerialPool`: one in-process replica per
+  job; submit evaluates synchronously.  The zero-overhead baseline.
+* ``thread`` — :class:`SharedThreadPool`: N worker slots handed out
+  through a queue; each slot holds a ``job → replica`` map built on
+  first use (``copy_model=True``: slots mutate their models
+  independently).
+* ``process`` — :class:`SharedProcessPool`: a
+  :class:`multiprocessing.pool.Pool` whose workers receive the full
+  ``job → wire payload`` map at init and build replicas lazily per job
+  on first task.  The payloads are plain JSON dicts
+  (:func:`repro.spec.wire.encode_job`) — no pickled evaluator objects
+  cross the pool boundary.  Only ``(job, candidates)`` and ``(fitness,
+  perf-delta)`` cross per task.
+* ``remote`` — :class:`repro.serve.remote.SharedRemotePool`: the same
+  wire payloads framed over TCP sockets to standalone workers
+  (``scripts/run_worker.py``), with token handshake, heartbeat
+  liveness, and dead-worker requeue.
 
 All pools are *asynchronous at the submit boundary*: results arrive on
 a caller-supplied queue as :class:`ChunkResult` messages tagged with
@@ -36,6 +50,7 @@ alive and keeps serving other jobs' tasks.
 
 from __future__ import annotations
 
+import abc
 import multiprocessing
 import queue
 import time
@@ -45,9 +60,11 @@ from dataclasses import dataclass
 
 from ..parallel import EvaluatorSpec, ExecutorConfig
 from ..perf import PerfRegistry, diff_snapshots
+from ..spec import registry as spec_registry
 
 __all__ = [
     "ChunkResult",
+    "WorkerPool",
     "SharedSerialPool",
     "SharedThreadPool",
     "SharedProcessPool",
@@ -77,6 +94,55 @@ class ChunkResult:
     error: str | None = None
 
 
+class WorkerPool(abc.ABC):
+    """The transport-agnostic multi-job executor protocol.
+
+    A pool is constructed around its job table and a caller-supplied
+    result queue, brought up with :meth:`start`, fed tagged chunks
+    through :meth:`submit`, and torn down with :meth:`close`.  Exactly
+    one :class:`ChunkResult` must eventually reach the result queue per
+    submitted chunk — on success, worker failure, or transport failure
+    alike — which is the property that lets the scheduler count
+    outstanding chunks instead of tracking workers.
+
+    ``workers`` is the pool's current parallelism (the scheduler's
+    chunker keeps at least that many chunks in flight); ``healthy()``
+    reports whether the pool can still make progress (an in-process
+    pool always can; a remote pool with every worker dead cannot).
+    """
+
+    #: current worker parallelism (dynamic for remote pools)
+    workers: int = 1
+
+    def start(self) -> "WorkerPool":
+        """Bring the pool up (connect transports, spawn workers).
+
+        In-process pools are live after construction, so the default is
+        a no-op; :func:`make_shared_pool` always calls it, and callers
+        constructing pools directly should too.
+        """
+        return self
+
+    @abc.abstractmethod
+    def submit(self, job: str, seq: int, chunk: int, solutions) -> None:
+        """Hand one tagged candidate chunk to the pool (non-blocking for
+        asynchronous backends)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Tear the pool down; idempotent."""
+
+    def healthy(self) -> bool:
+        """Whether the pool can still evaluate submitted chunks."""
+        return True
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def _evaluate_with_entry(entry, solutions):
     """Score a chunk on one job-replica entry; returns (fits, delta)."""
     replica, registry, last_snap = entry
@@ -93,7 +159,7 @@ def _build_entry(spec: EvaluatorSpec, copy_model: bool):
     return (replica, registry, [registry.snapshot()])
 
 
-class SharedSerialPool:
+class SharedSerialPool(WorkerPool):
     """In-process multi-job pool; ``submit`` evaluates synchronously and
     enqueues the result before returning."""
 
@@ -129,7 +195,7 @@ class SharedSerialPool:
         pass
 
 
-class SharedThreadPool:
+class SharedThreadPool(WorkerPool):
     """Thread-pool multi-job evaluation over per-slot replica maps.
 
     Worker slots are handed out through a queue so each ``job →
@@ -224,7 +290,7 @@ def _evaluate_shared_chunk(job: str, solutions):
         )
 
 
-class SharedProcessPool:
+class SharedProcessPool(WorkerPool):
     """Process-pool multi-job evaluation; results arrive via the pool's
     async callbacks, which enqueue :class:`ChunkResult` messages.
 
@@ -311,22 +377,46 @@ def make_shared_pool(
     config: ExecutorConfig,
     results: queue.SimpleQueue,
     search_specs: dict | None = None,
-):
-    """Build the shared pool selected by ``config`` (same
+) -> WorkerPool:
+    """Build and start the shared pool selected by ``config`` (same
     :class:`~repro.parallel.ExecutorConfig` as single-job executors).
 
     The serial and thread pools share this process's memory and use the
-    live specs directly; the process pool serializes — its jobs travel
-    as the plain-JSON wire payloads of :func:`encode_pool_wires`.
+    live specs directly; the process and remote pools serialize — their
+    jobs travel as the plain-JSON wire payloads of
+    :func:`encode_pool_wires`.  Backends dispatch through the
+    ``shared_pool`` registry (:mod:`repro.spec.registry`), so a
+    registered extension backend — a factory ``(specs, config, results,
+    search_specs) -> WorkerPool`` — slots in next to the built-in four.
     """
-    if config.backend == "serial":
-        return SharedSerialPool(specs, results)
-    workers = config.resolved_workers()
-    if config.backend == "thread":
-        return SharedThreadPool(specs, workers, results)
-    return SharedProcessPool(
+    factory = spec_registry.resolve("shared_pool", config.backend)
+    return factory(specs, config, results, search_specs).start()
+
+
+# -- the built-in in-process backends ------------------------------------
+# (the remote backend registers from repro.serve.remote, the second
+# bootstrap module of the shared_pool registry family)
+spec_registry.register(
+    "shared_pool",
+    "serial",
+    lambda specs, config, results, search_specs: SharedSerialPool(
+        specs, results
+    ),
+)
+spec_registry.register(
+    "shared_pool",
+    "thread",
+    lambda specs, config, results, search_specs: SharedThreadPool(
+        specs, config.resolved_workers(), results
+    ),
+)
+spec_registry.register(
+    "shared_pool",
+    "process",
+    lambda specs, config, results, search_specs: SharedProcessPool(
         encode_pool_wires(specs, search_specs),
-        workers,
+        config.resolved_workers(),
         results,
         start_method=config.start_method,
-    )
+    ),
+)

@@ -1,0 +1,797 @@
+"""Socket transport for the WorkerPool protocol: remote LPQ workers.
+
+This module takes the one step ROADMAP left open after PR 4: jobs
+already cross the pool boundary as plain-JSON wire payloads
+(:func:`repro.spec.wire.encode_job`), so here those payloads cross a
+TCP socket instead of a process-pool pipe.  Three pieces:
+
+* :class:`WorkerServer` — a long-lived standalone worker: accepts
+  client connections, verifies the token handshake, registers job
+  payloads, and evaluates candidate chunks against lazily-built
+  replicas (exactly the :class:`~repro.serve.SharedProcessPool` worker
+  loop, behind a socket).  ``scripts/run_worker.py`` is its CLI.
+* :class:`SharedRemotePool` — the client side of the
+  :class:`~repro.serve.WorkerPool` protocol: connects to a fleet of
+  workers, streams :class:`~repro.serve.ChunkResult` messages back to
+  the scheduler's queue as they complete, heartbeats every connection,
+  and requeues the in-flight chunks of a dead worker onto the
+  survivors (evaluation is deterministic and side-effect-free, so a
+  re-run chunk returns bit-identical fitness values).
+* :class:`RemoteExecutor` — the single-search adapter that makes
+  ``ExecutorConfig(backend="remote", addresses=[...])`` work through
+  :func:`repro.quant.lpq_quantize` unchanged.
+
+Framing is the length-prefixed JSON of :mod:`repro.spec.wire`
+(:func:`~repro.spec.wire.frame_message` / ``read_frame``); every
+message schema is built by that module's ``*_message`` constructors, so
+client and worker cannot drift apart.  The transport inherits the
+stack-wide invariant: moving a chunk to another host cannot move a bit
+(``tests/serve/test_remote.py`` asserts remote ≡ serial bitwise, fleet
+kills included).
+
+A complete round trip on one machine (``local_worker_fleet`` starts
+in-process servers; production workers run ``scripts/run_worker.py``):
+
+>>> import numpy as np
+>>> from repro.parallel import ExecutorConfig
+>>> from repro.quant import LPQConfig, lpq_quantize
+>>> from repro.serve.remote import local_worker_fleet
+>>> from repro.spec import CalibSpec, SearchSpec
+>>> spec = SearchSpec(model="tiny:mlp", calib=CalibSpec(batch=4),
+...                   config=LPQConfig(population=3, passes=1, cycles=1,
+...                                    diversity_parents=2,
+...                                    hw_widths=(4, 8), seed=5))
+>>> serial = lpq_quantize(spec=spec)
+>>> with local_worker_fleet(2) as addresses:
+...     remote = lpq_quantize(spec=SearchSpec.from_dict(
+...         {**spec.to_dict(),
+...          "executor": {"backend": "remote", "addresses": addresses}}))
+>>> remote.solution == serial.solution and remote.fitness == serial.fitness
+True
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hmac
+import itertools
+import queue
+import socket
+import threading
+import time
+import traceback
+
+from ..parallel import EvaluatorSpec, ExecutorConfig, parse_address
+from ..spec import registry as spec_registry
+from ..spec.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    decode_job,
+    decode_solution,
+    error_message,
+    frame_message,
+    hello_message,
+    job_message,
+    read_frame,
+    result_message,
+    task_message,
+    welcome_message,
+)
+from .pool import (
+    ChunkResult,
+    WorkerPool,
+    _build_entry,
+    _evaluate_with_entry,
+    encode_pool_wires,
+)
+
+__all__ = [
+    "WorkerServer",
+    "SharedRemotePool",
+    "RemoteExecutor",
+    "local_worker_fleet",
+]
+
+#: default client heartbeat interval (seconds between pings)
+HEARTBEAT_S = 2.0
+
+#: handshake must complete within this many seconds on both ends — a
+#: client talking to a wrong port, or a port-scanner talking to a
+#: worker, times out cleanly instead of hanging either side
+HANDSHAKE_TIMEOUT_S = 10.0
+
+
+def _send_frame(sock: socket.socket, lock: threading.Lock,
+                message: dict) -> None:
+    """Frame and send one message; serialized per socket so concurrent
+    senders (submitter, heartbeat) cannot interleave bytes."""
+    data = frame_message(message)
+    with lock:
+        sock.sendall(data)
+
+
+# -- the worker (server side) --------------------------------------------
+class _WorkerSession(threading.Thread):
+    """One accepted client connection on a :class:`WorkerServer`.
+
+    The reader thread (this thread) stays responsive — it answers pings
+    and enqueues tasks — while a dedicated evaluator thread works
+    through the task queue, so liveness checks succeed even mid-chunk.
+    Job replicas are session-scoped: two clients registering the same
+    job name cannot collide.
+    """
+
+    def __init__(self, server: "WorkerServer", sock: socket.socket,
+                 peer) -> None:
+        super().__init__(daemon=True, name=f"repro-worker-{peer}")
+        self.server = server
+        self.sock = sock
+        self.peer = peer
+        self._send_lock = threading.Lock()
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._wires: dict[str, dict] = {}
+        self._entries: dict[str, tuple] = {}
+        self._closed = False
+        #: test hook (:meth:`WorkerServer.silence`): swallow every
+        #: frame, answer nothing — a hung worker as the client sees it
+        self.muted = False
+
+    # -- plumbing --------------------------------------------------------
+    def _send(self, message: dict) -> None:
+        _send_frame(self.sock, self._send_lock, message)
+
+    def close(self) -> None:
+        self._closed = True
+        with contextlib.suppress(OSError):
+            self.sock.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self.sock.close()
+
+    # -- handshake + message loop ----------------------------------------
+    def run(self) -> None:
+        try:
+            self.sock.settimeout(HANDSHAKE_TIMEOUT_S)
+            rfile = self.sock.makefile("rb")
+            if not self._handshake(rfile):
+                return
+            self.sock.settimeout(None)
+            evaluator = threading.Thread(
+                target=self._evaluate_loop, daemon=True,
+                name=f"{self.name}-eval",
+            )
+            evaluator.start()
+            try:
+                self._read_loop(rfile)
+            finally:
+                self._tasks.put(None)  # unblock the evaluator thread
+        except (OSError, ValueError):
+            pass  # connection died or stream corrupt: session over
+        finally:
+            self.close()
+            self.server._session_done(self)
+
+    def _handshake(self, rfile) -> bool:
+        message = read_frame(rfile, self.server.max_frame)
+        if message is None or message.get("type") != "hello":
+            self._send(error_message("expected hello frame"))
+            return False
+        if message.get("version") != WIRE_VERSION:
+            self._send(error_message(
+                f"unsupported wire version {message.get('version')!r} "
+                f"(worker speaks {WIRE_VERSION})"
+            ))
+            return False
+        if not self.server._token_ok(message.get("token")):
+            self.server.auth_failures += 1
+            self._send(error_message("bad auth token"))
+            self.server._log(f"refused {self.peer}: bad auth token")
+            return False
+        self._send(welcome_message(capacity=1))
+        self.server._log(f"accepted {self.peer}")
+        return True
+
+    def _read_loop(self, rfile) -> None:
+        while not self._closed:
+            message = read_frame(rfile, self.server.max_frame)
+            if message is None:
+                return  # clean EOF: client went away
+            if self.muted:
+                continue  # hung-host simulation: read, never react
+            kind = message.get("type")
+            if kind == "job":
+                self._wires[message["job"]] = message["payload"]
+            elif kind == "task":
+                self.server._task_received()
+                self._tasks.put(message)
+            elif kind == "ping":
+                self._send({"type": "pong", "t": message.get("t")})
+            elif kind == "bye":
+                return
+            else:
+                self._send(error_message(f"unknown frame type {kind!r}"))
+                return
+
+    # -- evaluation ------------------------------------------------------
+    def _evaluate_loop(self) -> None:
+        while True:
+            message = self._tasks.get()
+            if message is None or self._closed:
+                return
+            self.server._task_started()
+            result = self._evaluate(message)
+            if self.muted:
+                continue  # hung-host simulation: compute, never reply
+            try:
+                self._send(result)
+            except (OSError, ValueError):
+                return  # client gone; the pool requeues this chunk
+
+    def _evaluate(self, message: dict) -> dict:
+        task, job = message["task"], message["job"]
+        seq, chunk = message["seq"], message["chunk"]
+        start = time.perf_counter()
+        try:
+            entry = self._entries.get(job)
+            if entry is None:
+                wire = self._wires.get(job)
+                if wire is None:
+                    raise RuntimeError(
+                        f"job {job!r} was never registered on this worker"
+                    )
+                entry = _build_entry(decode_job(wire), copy_model=False)
+                self._entries[job] = entry
+            solutions = [decode_solution(rows)
+                         for rows in message["solutions"]]
+            fits, delta = _evaluate_with_entry(entry, solutions)
+            return result_message(
+                task, job, seq, chunk, fits, delta,
+                time.perf_counter() - start,
+            )
+        except Exception:
+            return result_message(
+                task, job, seq, chunk, None, None,
+                time.perf_counter() - start, error=traceback.format_exc(),
+            )
+
+
+class WorkerServer:
+    """A standalone LPQ evaluation worker behind a TCP socket.
+
+    Long-lived: serves any number of client connections (sequentially
+    or concurrently), each with its own session-scoped job replicas.
+    ``port=0`` binds an ephemeral port — read it back from
+    :attr:`address`.  ``token`` (optional) is a shared secret every
+    client must echo in its hello frame; mismatches are refused before
+    any payload is decoded.
+
+    Production workers run ``scripts/run_worker.py``; tests and
+    single-host fleets may embed the server in-process via
+    :func:`local_worker_fleet`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: str | None = None,
+        max_frame: int = MAX_FRAME_BYTES,
+        verbose: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        self.max_frame = max_frame
+        self.verbose = verbose
+        self.auth_failures = 0
+        #: tasks accepted off the socket / begun evaluating (test hooks)
+        self.tasks_received = 0
+        self.tasks_started = 0
+        self.task_started_event = threading.Event()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._sessions: set[_WorkerSession] = set()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "WorkerServer":
+        listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"repro-worker-accept-{self.port}",
+        )
+        self._accept_thread.start()
+        self._log(f"listening on {self.address}")
+        return self
+
+    @property
+    def address(self) -> str:
+        """``host:port`` as clients should dial it."""
+        return f"{self.host}:{self.port}"
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            session = _WorkerSession(self, sock, peer)
+            with self._lock:
+                if self._closed:
+                    session.close()
+                    return
+                self._sessions.add(session)
+            session.start()
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close every session."""
+        self._closed = True
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        with self._lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            session.close()
+        for session in sessions:
+            session.join(timeout=5)
+
+    def kill(self) -> None:
+        """Abrupt death (tests): drop every socket with no goodbye.
+        Clients observe an EOF/reset, the loud half of worker death;
+        for the quiet half — a hung host that stops responding without
+        closing anything — see :meth:`silence`."""
+        self.stop()
+
+    def silence(self) -> None:
+        """Go silent without closing anything (tests): every session
+        keeps its socket open but stops answering pings and sending
+        results, as a hung or network-partitioned worker host would.
+        Only the client's liveness timeout can detect this state."""
+        with self._lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            session.muted = True
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (the ``run_worker.py`` main loop)."""
+        while not self._closed:
+            time.sleep(0.2)
+
+    def __enter__(self) -> "WorkerServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- session callbacks ----------------------------------------------
+    def _token_ok(self, token) -> bool:
+        if self.token is None:
+            return True
+        return isinstance(token, str) and hmac.compare_digest(
+            token, self.token
+        )
+
+    def _task_received(self) -> None:
+        with self._lock:
+            self.tasks_received += 1
+
+    def _task_started(self) -> None:
+        with self._lock:
+            self.tasks_started += 1
+        self.task_started_event.set()
+
+    def _session_done(self, session: _WorkerSession) -> None:
+        with self._lock:
+            self._sessions.discard(session)
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[worker {self.port}] {message}", flush=True)
+
+
+@contextlib.contextmanager
+def local_worker_fleet(count: int, token: str | None = None,
+                       verbose: bool = False):
+    """Start ``count`` in-process :class:`WorkerServer`\\ s on ephemeral
+    localhost ports; yields their ``host:port`` addresses.
+
+    The servers run real sockets — everything except process isolation
+    matches a multi-host fleet — which is what the tests, doctests, and
+    ``run_search_throughput_bench.py --backend remote`` use.
+    """
+    servers = [
+        WorkerServer(token=token, verbose=verbose).start()
+        for _ in range(count)
+    ]
+    try:
+        yield [server.address for server in servers]
+    finally:
+        for server in servers:
+            server.stop()
+
+
+# -- the pool (client side) ----------------------------------------------
+class _RemoteWorker:
+    """Client-side state for one worker connection."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.sock: socket.socket | None = None
+        self.send_lock = threading.Lock()
+        self.reader: threading.Thread | None = None
+        self.alive = False
+        self.capacity = 1
+        self.pending: set[int] = set()  # task ids in flight here
+        self.last_recv = time.monotonic()
+
+    def send(self, message: dict) -> None:
+        _send_frame(self.sock, self.send_lock, message)
+
+    def drop(self) -> None:
+        self.alive = False
+        if self.sock is not None:
+            with contextlib.suppress(OSError):
+                self.sock.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                self.sock.close()
+
+
+class _Task:
+    """One submitted chunk, tracked until exactly one result returns."""
+
+    __slots__ = ("task", "job", "seq", "chunk", "solutions")
+
+    def __init__(self, task: int, job: str, seq: int, chunk: int,
+                 solutions) -> None:
+        self.task = task
+        self.job = job
+        self.seq = seq
+        self.chunk = chunk
+        self.solutions = solutions
+
+
+class SharedRemotePool(WorkerPool):
+    """Socket-backed :class:`~repro.serve.WorkerPool`: a fleet of
+    :class:`WorkerServer` workers behind one submit queue.
+
+    On :meth:`start` the pool dials every address, performs the
+    token/version handshake, and registers the full ``job → wire
+    payload`` table on each worker (workers build replicas lazily on
+    their first task per job, exactly like the shared process pool).
+    Chunks go to the live worker with the fewest in-flight tasks, and
+    results stream back to the caller's queue the moment each worker
+    finishes — completion order never matters because every
+    :class:`~repro.serve.ChunkResult` carries its ``(job, seq, chunk)``
+    tag.
+
+    **Liveness.**  A heartbeat thread pings every worker; a worker
+    whose socket errors, EOFs, or goes silent past the liveness timeout
+    is declared dead, and every chunk in flight on it is requeued onto
+    the survivors (deterministic evaluation makes the re-run
+    bit-identical; task-id dedupe makes redelivery impossible).  When
+    the last worker dies, outstanding chunks resolve to error results
+    instead — the scheduler fails those jobs cleanly rather than
+    blocking forever.
+    """
+
+    def __init__(
+        self,
+        wires: dict[str, dict],
+        addresses,
+        results: queue.SimpleQueue,
+        token: str | None = None,
+        connect_timeout: float = HANDSHAKE_TIMEOUT_S,
+        heartbeat_s: float = HEARTBEAT_S,
+        liveness_timeout_s: float | None = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("SharedRemotePool requires at least one address")
+        self.wires = dict(wires)
+        self.addresses = [str(a) for a in addresses]
+        self.token = token
+        self.connect_timeout = connect_timeout
+        self.heartbeat_s = heartbeat_s
+        # a worker that has sent nothing — results, pongs, anything —
+        # for this long is declared dead even though its socket never
+        # errored (hung host, dropped network); generous by default
+        # because the worker's reader answers pings even mid-chunk
+        self.liveness_timeout = (
+            liveness_timeout_s
+            if liveness_timeout_s is not None
+            else max(10.0, heartbeat_s * 5)
+        )
+        self._results = results
+        self._workers: list[_RemoteWorker] = []
+        self._pending: dict[int, _Task] = {}
+        self._task_ids = itertools.count()
+        self._lock = threading.Lock()
+        self._heartbeat: threading.Thread | None = None
+        self._closed = False
+
+    # -- WorkerPool surface ----------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Live worker capacity (minimum 1 so chunk-count arithmetic in
+        the scheduler stays well-defined while the fleet collapses)."""
+        with self._lock:
+            live = sum(w.capacity for w in self._workers if w.alive)
+        return max(1, live)
+
+    def healthy(self) -> bool:
+        with self._lock:
+            return any(w.alive for w in self._workers)
+
+    def start(self) -> "SharedRemotePool":
+        try:
+            for address in self.addresses:
+                self._workers.append(self._connect(address))
+        except Exception:
+            # a partial fleet must not leak: drop every connection made
+            # so far (their reader threads exit on the closed sockets)
+            for worker in self._workers:
+                worker.drop()
+            raise
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, daemon=True,
+            name="repro-remote-heartbeat",
+        )
+        self._heartbeat.start()
+        return self
+
+    def submit(self, job: str, seq: int, chunk: int, solutions) -> None:
+        entry = _Task(next(self._task_ids), job, seq, chunk, list(solutions))
+        with self._lock:
+            self._pending[entry.task] = entry
+        self._dispatch(entry)
+
+    def close(self) -> None:
+        self._closed = True
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
+            if worker.alive:
+                with contextlib.suppress(OSError, ValueError):
+                    worker.send({"type": "bye"})
+            worker.drop()
+        for worker in workers:
+            if worker.reader is not None:
+                worker.reader.join(timeout=5)
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=self.heartbeat_s + 5)
+
+    # -- connection management -------------------------------------------
+    def _connect(self, address: str) -> _RemoteWorker:
+        host, port = parse_address(address)
+        worker = _RemoteWorker(address)
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise ConnectionError(
+                f"cannot reach worker {address}: {exc}"
+            ) from exc
+        worker.sock = sock
+        # one buffered reader for the connection's whole life: the
+        # handshake reply and every later frame come off the same
+        # buffer, so no read-ahead byte can be stranded
+        rfile = sock.makefile("rb")
+        try:
+            worker.send(hello_message(self.token))
+            reply = read_frame(rfile)
+        except (OSError, ValueError) as exc:
+            worker.drop()
+            raise ConnectionError(
+                f"handshake with worker {address} failed: {exc}"
+            ) from exc
+        if reply is None or reply.get("type") != "welcome":
+            detail = (reply or {}).get("error", "connection closed")
+            worker.drop()
+            raise ConnectionError(
+                f"worker {address} refused the handshake: {detail}"
+            )
+        sock.settimeout(None)
+        worker.capacity = max(1, int(reply.get("capacity", 1)))
+        worker.alive = True
+        worker.last_recv = time.monotonic()
+        # the full job table rides every connection so any worker can
+        # pick up any job's chunks (that is what makes requeue possible)
+        for job, payload in self.wires.items():
+            worker.send(job_message(job, payload))
+        worker.reader = threading.Thread(
+            target=self._read_loop, args=(worker, rfile), daemon=True,
+            name=f"repro-remote-read-{address}",
+        )
+        worker.reader.start()
+        return worker
+
+    def _read_loop(self, worker: _RemoteWorker, rfile) -> None:
+        try:
+            while worker.alive:
+                message = read_frame(rfile)
+                if message is None:
+                    break
+                worker.last_recv = time.monotonic()
+                kind = message.get("type")
+                if kind == "result":
+                    self._handle_result(worker, message)
+                elif kind == "error":
+                    break  # worker declared the connection unusable
+                # pong and anything else: the timestamp update above is
+                # all the liveness machinery needs
+        except (OSError, ValueError):
+            pass
+        self._worker_died(worker)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._closed:
+            time.sleep(self.heartbeat_s)
+            now = time.monotonic()
+            with self._lock:
+                workers = [w for w in self._workers if w.alive]
+            for worker in workers:
+                if now - worker.last_recv > self.liveness_timeout:
+                    self._worker_died(worker)
+                    continue
+                try:
+                    worker.send({"type": "ping", "t": int(now * 1000)})
+                except (OSError, ValueError):
+                    self._worker_died(worker)
+
+    # -- dispatch / results ----------------------------------------------
+    def _pick_worker(self) -> _RemoteWorker | None:
+        with self._lock:
+            live = [w for w in self._workers if w.alive]
+            if not live:
+                return None
+            return min(live, key=lambda w: len(w.pending) / w.capacity)
+
+    def _dispatch(self, entry: _Task) -> None:
+        """Send one tracked task to some live worker, failing over until
+        it is accepted or no workers remain."""
+        while True:
+            worker = self._pick_worker()
+            if worker is None:
+                self._fail_task(entry, "no live remote workers remain")
+                return
+            with self._lock:
+                # re-check under the lock: _worker_died may have swept
+                # this worker's pending set since _pick_worker — adding
+                # to it now would strand the task (never requeued, so
+                # the scheduler would wait on its ChunkResult forever)
+                if not worker.alive:
+                    continue
+                worker.pending.add(entry.task)
+            try:
+                worker.send(task_message(
+                    entry.task, entry.job, entry.seq, entry.chunk,
+                    entry.solutions,
+                ))
+                return
+            except (OSError, ValueError):
+                with self._lock:
+                    worker.pending.discard(entry.task)
+                self._worker_died(worker)
+
+    def _handle_result(self, worker: _RemoteWorker, message: dict) -> None:
+        with self._lock:
+            task = message.get("task")
+            # always unburden the delivering worker — a duplicate
+            # delivery after a requeue must not leave a stale id
+            # inflating its load forever
+            worker.pending.discard(task)
+            entry = self._pending.pop(task, None)
+        if entry is None:
+            return  # duplicate delivery after a requeue: drop
+        self._results.put(ChunkResult(
+            job=message["job"],
+            seq=message["seq"],
+            chunk=message["chunk"],
+            fits=message.get("fits"),
+            perf_delta=message.get("perf_delta"),
+            elapsed=float(message.get("elapsed", 0.0)),
+            error=message.get("error"),
+        ))
+
+    def _fail_task(self, entry: _Task, reason: str) -> None:
+        with self._lock:
+            still_pending = self._pending.pop(entry.task, None) is not None
+        if still_pending:
+            self._results.put(ChunkResult(
+                entry.job, entry.seq, entry.chunk, None, None, 0.0,
+                error=f"remote pool: {reason}",
+            ))
+
+    def _worker_died(self, worker: _RemoteWorker) -> None:
+        with self._lock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            orphans = [
+                self._pending[task]
+                for task in sorted(worker.pending)
+                if task in self._pending
+            ]
+            worker.pending.clear()
+        worker.drop()
+        if self._closed:
+            return
+        for entry in orphans:
+            self._dispatch(entry)
+
+
+# -- single-search adapter ------------------------------------------------
+class RemoteExecutor:
+    """Remote backend for single-search executors
+    (:func:`repro.parallel.make_executor`).
+
+    Adapts one :class:`~repro.parallel.EvaluatorSpec` onto a
+    :class:`SharedRemotePool` with a single job: ``evaluate_batch``
+    submits one chunk per candidate (matching the process backend's
+    ``chunksize=1`` dispatch), reassembles results by chunk tag, and
+    merges worker perf deltas in submission order — so
+    ``lpq_quantize(..., executor=ExecutorConfig("remote",
+    addresses=[...]))`` is bitwise-identical to the serial backend.
+    """
+
+    _JOB = "job0"
+
+    def __init__(self, spec: EvaluatorSpec, config: ExecutorConfig,
+                 perf) -> None:
+        self.perf = perf
+        self._results: queue.SimpleQueue = queue.SimpleQueue()
+        self._pool = SharedRemotePool(
+            encode_pool_wires({self._JOB: spec}),
+            config.addresses,
+            self._results,
+            token=config.token,
+        ).start()
+        self._seq = itertools.count()
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    def evaluate_batch(self, solutions) -> list[float]:
+        solutions = list(solutions)
+        seq = next(self._seq)
+        for idx, solution in enumerate(solutions):
+            self._pool.submit(self._JOB, seq, idx, [solution])
+        chunks: dict[int, ChunkResult] = {}
+        while len(chunks) < len(solutions):
+            result = self._results.get()
+            if result.seq != seq:
+                continue  # stale result of a batch that already raised
+            chunks[result.chunk] = result
+        fits = []
+        for idx in range(len(solutions)):
+            result = chunks[idx]
+            if result.error is not None:
+                raise RuntimeError(
+                    f"remote evaluation failed:\n{result.error}"
+                )
+            self.perf.merge_snapshot(result.perf_delta)
+            fits.extend(result.fits)
+        return fits
+
+    def close(self) -> None:
+        self._pool.close()
+
+
+# the socket transport is the fourth shared-pool backend; the serial /
+# thread / process factories live in repro.serve.pool
+spec_registry.register(
+    "shared_pool",
+    "remote",
+    lambda specs, config, results, search_specs: SharedRemotePool(
+        encode_pool_wires(specs, search_specs),
+        config.addresses,
+        results,
+        token=config.token,
+    ),
+)

@@ -30,6 +30,9 @@ _LAZY = {
     "CalibSpec": "spec",
     "SearchSpec": "spec",
     "SPEC_VERSION": "spec",
+    "SWEEP_VERSION": "sweep",
+    "expand_sweep": "sweep",
+    "load_sweep": "sweep",
     "reject_spec_conflicts": "spec",
     "resolve_calib": "spec",
     "resolve_model": "spec",

@@ -20,7 +20,7 @@ import order:
 
 >>> from repro.spec import registry
 >>> registry.names("executor")
-('serial', 'thread', 'process')
+('serial', 'thread', 'process', 'remote')
 >>> registry.resolve("objective", "mse")
 'MSE'
 >>> _ = registry.register("model", "my-model", lambda: None, replace=True)
@@ -156,6 +156,10 @@ REGISTRIES: dict[str, Registry] = {
         "format_parser", bootstrap=("repro.numerics.registry",)
     ),
     "executor": Registry("executor", bootstrap=("repro.parallel.executor",)),
+    "shared_pool": Registry(
+        "shared_pool",
+        bootstrap=("repro.serve.pool", "repro.serve.remote"),
+    ),
     "model": Registry(
         "model",
         bootstrap=(

@@ -35,6 +35,7 @@ ValueError: unsupported SearchSpec version 99 (supported: 1)
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -262,6 +263,38 @@ class SearchSpec:
                 ExecutorConfig, data["executor"]
             )
         return cls(**data)
+
+    def digest(self) -> str:
+        """Stable content hash of the search this spec describes.
+
+        SHA-256 over the canonical JSON of :meth:`to_dict`, minus the
+        two fields that cannot move a bit: ``executor`` (every backend
+        produces the identical trajectory — the stack-wide invariant)
+        and ``name`` (a job label).  Two specs with equal digests
+        therefore produce bitwise-identical results, which is what lets
+        ``scripts/run_search.py --cache-dir`` replay a stored result
+        instead of re-running the search.
+
+        >>> from repro.spec import CalibSpec, SearchSpec
+        >>> from repro.parallel import ExecutorConfig
+        >>> a = SearchSpec(model="tiny:mlp", calib=CalibSpec(batch=4))
+        >>> b = SearchSpec(model="tiny:mlp", calib=CalibSpec(batch=4),
+        ...                name="other-label",
+        ...                executor=ExecutorConfig("thread", workers=2))
+        >>> a.digest() == b.digest()  # same search, same digest
+        True
+        >>> a.digest() == SearchSpec(model="tiny:mlp",
+        ...                          calib=CalibSpec(batch=8)).digest()
+        False
+        >>> len(a.digest())
+        64
+        """
+        payload = self.to_dict()
+        del payload["executor"]
+        del payload["name"]
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,156 @@
+"""Sweep files: one base spec × a parameter grid → a named spec fleet.
+
+A sweep file is a JSON document describing the classic experiment
+pattern the ROADMAP called for — "one spec × a parameter grid":
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "name": "width-study",
+      "base": { ... a serialized SearchSpec ... },
+      "grid": {
+        "seed": [3, 4],
+        "config.population": [4, 8]
+      }
+    }
+
+``grid`` maps dotted field paths *into the base spec's dict form* to
+value lists; :func:`expand_sweep` takes the Cartesian product (keys in
+file order, values in list order — fully deterministic) and returns one
+named :class:`~repro.spec.SearchSpec` per combination.  Each job's name
+is the sweep name plus its coordinate (``width-study-seed3-population4``
+…), so results stay attributable, and every expanded spec is validated
+by the usual :meth:`~repro.spec.SearchSpec.from_dict` — a typo'd path
+or value fails the whole sweep up front, before any search runs.
+
+``scripts/run_search.py --sweep grid.json`` is the CLI front end: it
+expands the file and runs the fleet through one shared pool via
+:func:`repro.serve.lpq_quantize_many` (the committed example lives at
+``examples/specs/tiny_sweep.json``).
+
+>>> from repro.spec.sweep import expand_sweep
+>>> specs = expand_sweep({
+...     "version": 1,
+...     "name": "demo",
+...     "base": {"model": "tiny:mlp", "calib": {"batch": 4}},
+...     "grid": {"seed": [1, 2], "config.population": [3]},
+... })
+>>> sorted(specs)
+['demo-seed1-population3', 'demo-seed2-population3']
+>>> specs["demo-seed2-population3"].seed
+2
+>>> specs["demo-seed1-population3"].config.population
+3
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+from pathlib import Path
+
+from .spec import SearchSpec
+
+__all__ = ["SWEEP_VERSION", "expand_sweep", "load_sweep"]
+
+#: wire-format version stamped into every sweep file
+SWEEP_VERSION = 1
+
+
+def _set_path(data: dict, path: str, value) -> None:
+    """Set ``data[a][b][c] = value`` for path ``"a.b.c"``, creating
+    intermediate dicts where the base spec left a field ``None`` or
+    absent (e.g. sweeping ``fitness.fast`` over a spec with no explicit
+    fitness section)."""
+    parts = path.split(".")
+    node = data
+    for part in parts[:-1]:
+        child = node.get(part)
+        if not isinstance(child, dict):
+            child = {}
+            node[part] = child
+        node = child
+    node[parts[-1]] = value
+
+
+def _coordinate(path: str, value) -> str:
+    """One name component per grid axis: final path segment + value."""
+    leaf = path.split(".")[-1]
+    if isinstance(value, (list, tuple)):
+        text = "x".join(str(v) for v in value)
+    else:
+        text = str(value)
+    return f"{leaf}{text.replace(' ', '')}"
+
+
+def expand_sweep(payload: dict) -> dict[str, SearchSpec]:
+    """Expand a sweep document into ``{job name: SearchSpec}``.
+
+    Deterministic: grid keys in document order, values in list order,
+    Cartesian product in :func:`itertools.product` order.  Raises
+    ``ValueError`` on a malformed document, an unknown spec field (via
+    :meth:`SearchSpec.from_dict`), or colliding job names.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"sweep payload must be a dict, got {type(payload).__name__}"
+        )
+    version = payload.get("version", SWEEP_VERSION)
+    if version != SWEEP_VERSION:
+        raise ValueError(
+            f"unsupported sweep version {version!r} "
+            f"(supported: {SWEEP_VERSION})"
+        )
+    unknown = sorted(set(payload) - {"version", "name", "base", "grid"})
+    if unknown:
+        raise ValueError(
+            f"unknown sweep field(s) {unknown}; known fields: "
+            "['base', 'grid', 'name', 'version']"
+        )
+    base = payload.get("base")
+    if not isinstance(base, dict):
+        raise ValueError("sweep 'base' must be a serialized SearchSpec dict")
+    grid = payload.get("grid")
+    if not isinstance(grid, dict) or not grid:
+        raise ValueError(
+            "sweep 'grid' must map dotted spec paths to non-empty "
+            "value lists"
+        )
+    for path, values in grid.items():
+        if not isinstance(values, list) or not values:
+            raise ValueError(
+                f"sweep grid axis {path!r} must be a non-empty list"
+            )
+    prefix = payload.get("name") or base.get("name") or "sweep"
+    paths = list(grid)
+    specs: dict[str, SearchSpec] = {}
+    for combo in itertools.product(*(grid[path] for path in paths)):
+        data = copy.deepcopy(base)
+        for path, value in zip(paths, combo):
+            _set_path(data, path, value)
+        name = "-".join(
+            [prefix] + [_coordinate(p, v) for p, v in zip(paths, combo)]
+        )
+        data["name"] = name
+        if name in specs:
+            raise ValueError(
+                f"sweep produces duplicate job name {name!r}; vary the "
+                "grid axes or the sweep name"
+            )
+        try:
+            specs[name] = SearchSpec.from_dict(data)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"sweep point {name!r} is invalid: {exc}") from exc
+    return specs
+
+
+def load_sweep(path) -> dict[str, SearchSpec]:
+    """Read and expand a sweep file written as the module docstring
+    describes; returns ``{job name: SearchSpec}``."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"sweep file {path} is not valid JSON: {exc}") from exc
+    return expand_sweep(payload)

@@ -31,17 +31,37 @@ Instances that satisfy neither (a closure-defined class, a class whose
 constructor needs arguments) are rejected at encode time, in the
 submitting process, with a message pointing at the registry/builder
 alternatives.
+
+**Framing.**  The remote transport (:mod:`repro.serve.remote`) carries
+these payloads over TCP as *frames*: a 4-byte big-endian length prefix
+followed by that many bytes of UTF-8 JSON.  :func:`frame_message` and
+:class:`FrameDecoder` are the pure encode/decode pair (the decoder is
+incremental, so arbitrary TCP segmentation cannot split a message), and
+:func:`read_frame` / :func:`write_frame` apply them to a stream.  The
+handshake and task messages themselves are built by the ``*_message``
+constructors below, so both ends of the socket agree on one schema:
+
+>>> decoder = FrameDecoder()
+>>> decoder.feed(frame_message({"type": "ping", "t": 1}))
+[{'type': 'ping', 't': 1}]
+>>> payload = frame_message({"type": "pong", "t": 2})
+>>> [msg for b in payload for msg in decoder.feed(bytes([b]))]
+[{'type': 'pong', 't': 2}]
 """
 
 from __future__ import annotations
 
 import importlib
 import inspect
+import json
+import struct
 
 import numpy as np
 
+from ..numerics import LPParams
 from ..parallel.evaluator import EvaluatorSpec
 from ..quant.engine import FitnessConfig
+from ..quant.params import QuantSolution
 from ..quant.quantizer import LayerStats
 from .serde import (
     config_from_dict,
@@ -54,16 +74,207 @@ from .spec import _DEFAULT_OBJECTIVE, SearchSpec
 
 __all__ = [
     "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "frame_message",
+    "read_frame",
+    "write_frame",
     "encode_callable",
     "decode_callable",
     "encode_stats",
     "decode_stats",
+    "encode_solution",
+    "decode_solution",
     "encode_job",
     "decode_job",
+    "hello_message",
+    "welcome_message",
+    "error_message",
+    "job_message",
+    "task_message",
+    "result_message",
 ]
 
-#: wire-format version stamped into every job payload
+#: wire-format version stamped into every job payload and handshake
 WIRE_VERSION = 1
+
+#: refuse frames larger than this (a corrupt length prefix must not
+#: make a worker allocate gigabytes); large models override per call
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_FRAME_HEADER = struct.Struct(">I")
+
+
+# -- framing -------------------------------------------------------------
+def frame_message(message: dict, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """One JSON message → one length-prefixed frame (bytes)."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_bytes:
+        raise ValueError(
+            f"frame of {len(body)} bytes exceeds the {max_bytes}-byte limit"
+        )
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental inverse of :func:`frame_message`.
+
+    Feed it byte chunks in any segmentation (TCP guarantees order, not
+    boundaries); it returns every completely received message, keeping
+    partial frames buffered.  A length prefix above ``max_bytes`` or a
+    body that is not a JSON object raises ``ValueError`` — the caller
+    drops the connection rather than resynchronize a corrupt stream.
+    """
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buffer.extend(data)
+        messages = []
+        while True:
+            if len(self._buffer) < _FRAME_HEADER.size:
+                return messages
+            (length,) = _FRAME_HEADER.unpack_from(self._buffer)
+            if length > self.max_bytes:
+                raise ValueError(
+                    f"frame length {length} exceeds the "
+                    f"{self.max_bytes}-byte limit"
+                )
+            end = _FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                return messages
+            body = bytes(self._buffer[_FRAME_HEADER.size:end])
+            del self._buffer[:end]
+            message = json.loads(body.decode("utf-8"))
+            if not isinstance(message, dict):
+                raise ValueError(
+                    f"frame body must be a JSON object, got "
+                    f"{type(message).__name__}"
+                )
+            messages.append(message)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+
+def write_frame(stream, message: dict,
+                max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Frame ``message`` onto a binary stream (socket ``makefile``)."""
+    stream.write(frame_message(message, max_bytes))
+    stream.flush()
+
+
+def read_frame(stream, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read exactly one frame from a binary stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    ``ValueError`` on a truncated frame, an oversized length prefix, or
+    a non-object body (the stream is unrecoverable in every case).
+    """
+    header = stream.read(_FRAME_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _FRAME_HEADER.size:
+        raise ValueError("truncated frame header")
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > max_bytes:
+        raise ValueError(
+            f"frame length {length} exceeds the {max_bytes}-byte limit"
+        )
+    body = stream.read(length)
+    if len(body) < length:
+        raise ValueError("truncated frame body")
+    message = json.loads(body.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# -- protocol messages ---------------------------------------------------
+def hello_message(token: str | None = None) -> dict:
+    """Client → worker handshake opener (version + auth token)."""
+    return {"type": "hello", "version": WIRE_VERSION, "token": token}
+
+
+def welcome_message(capacity: int = 1) -> dict:
+    """Worker → client handshake acceptance (advertised capacity)."""
+    return {
+        "type": "welcome",
+        "version": WIRE_VERSION,
+        "capacity": int(capacity),
+    }
+
+
+def error_message(error: str) -> dict:
+    """Either direction: a fatal, connection-scoped error."""
+    return {"type": "error", "error": str(error)}
+
+
+def job_message(job: str, payload: dict) -> dict:
+    """Client → worker job registration (an :func:`encode_job` payload)."""
+    return {"type": "job", "job": job, "payload": payload}
+
+
+def task_message(task: int, job: str, seq: int, chunk: int,
+                 solutions) -> dict:
+    """Client → worker chunk submission (solutions wire-encoded)."""
+    return {
+        "type": "task",
+        "task": int(task),
+        "job": job,
+        "seq": int(seq),
+        "chunk": int(chunk),
+        "solutions": [encode_solution(sol) for sol in solutions],
+    }
+
+
+def result_message(task: int, job: str, seq: int, chunk: int, fits,
+                   perf_delta, elapsed: float,
+                   error: str | None = None) -> dict:
+    """Worker → client chunk outcome (mirrors
+    :class:`repro.serve.ChunkResult` field for field)."""
+    return {
+        "type": "result",
+        "task": int(task),
+        "job": job,
+        "seq": int(seq),
+        "chunk": int(chunk),
+        "fits": fits,
+        "perf_delta": perf_delta,
+        "elapsed": float(elapsed),
+        "error": error,
+    }
+
+
+# -- candidate solutions -------------------------------------------------
+def encode_solution(solution: QuantSolution) -> list:
+    """:class:`~repro.quant.QuantSolution` → ``[[n, es, rs, sf], ...]``.
+
+    Ints are JSON-exact and the float scale factor survives via
+    shortest-repr, so the round trip is bitwise-faithful — remote
+    workers score exactly the candidate the engine generated.
+    """
+    return [
+        [int(p.n), int(p.es), int(p.rs), float(p.sf)]
+        for p in solution.layer_params
+    ]
+
+
+def decode_solution(rows) -> QuantSolution:
+    """Inverse of :func:`encode_solution` (no clamping: the rows are an
+    already-valid solution, not a mutated Δ vector)."""
+    return QuantSolution(
+        tuple(
+            LPParams(n=int(n), es=int(es), rs=int(rs), sf=float(sf))
+            for n, es, rs, sf in rows
+        )
+    )
 
 
 # -- callables by name ---------------------------------------------------

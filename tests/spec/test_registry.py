@@ -70,7 +70,14 @@ class TestModuleLevelApi:
             registry.registry("nope")
 
     def test_builtin_executors(self):
-        assert registry.names("executor") == ("serial", "thread", "process")
+        assert registry.names("executor") == (
+            "serial", "thread", "process", "remote"
+        )
+
+    def test_builtin_shared_pools(self):
+        assert registry.names("shared_pool") == (
+            "serial", "thread", "process", "remote"
+        )
 
     def test_builtin_objectives_bootstrap_on_lookup(self):
         assert "global_local_contrastive" in registry.names("objective")
