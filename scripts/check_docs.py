@@ -45,7 +45,9 @@ DOCTEST_MODULES = (
     "repro.spec.spec",  # SearchSpec round trip + digest
     "repro.spec.sweep",  # expand_sweep
     "repro.spec.wire",  # frame codec
+    "repro.spec.blob",  # content-addressed blob store
     "repro.numerics.registry",  # make_format
+    "repro.numerics.logposit",  # lp_quantize_many
 )
 
 #: markdown files whose file.py:symbol references are link-checked

@@ -14,7 +14,10 @@ caches, fused BN recalibration, prefix-reuse forwards), and the parallel
 population executors (``repro.parallel``) on the same search, asserting
 the trajectories stay bitwise identical.  The ``multi_job`` section
 additionally compares two jobs run back-to-back against the
-``repro.serve`` shared-pool scheduler.  The emitted file is the repo's
+``repro.serve`` shared-pool scheduler, and the ``transport`` section
+re-runs each backend cold then warm against one fleet — the warm run
+must show ``blob.hits > 0`` and a lower ``transport.bytes_sent`` while
+staying bitwise identical.  The emitted file is the repo's
 perf-trajectory artifact: commit a refreshed copy whenever a PR moves
 the numbers.
 """
@@ -59,6 +62,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-multi-job", action="store_true",
                         help="skip the shared-pool multi-job scheduler "
                              "section")
+    parser.add_argument("--no-transport", action="store_true",
+                        help="skip the cold-vs-warm-fleet transport "
+                             "section")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default: repo root "
                              "BENCH_search_throughput.json)")
@@ -75,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         include_objective=not args.no_objective,
         include_multi_job=not args.no_multi_job,
+        include_transport=not args.no_transport,
         addresses=addresses,
     )
     path = write_bench_record(record, args.out)
@@ -121,8 +128,31 @@ def main(argv: list[str] | None = None) -> int:
               f"speedup {multi['speedup']:.2f}x  "
               f"identical: {multi['identical']}")
         ok = ok and multi["identical"]
+    transport = record.get("transport")
+    if transport is not None:
+        for backend, sec in transport.items():
+            cold, warm = sec["cold"], sec["warm"]
+            print(f"[transport: {backend} on {sec['model']}]")
+            print(f"  cold: sent {cold['bytes_sent']}B  "
+                  f"saved {cold['bytes_saved']}B  "
+                  f"blob hits/misses {cold['blob']['hits']}/"
+                  f"{cold['blob']['misses']}")
+            print(f"  warm: sent {warm['bytes_sent']}B  "
+                  f"saved {warm['bytes_saved']}B  "
+                  f"blob hits/misses {warm['blob']['hits']}/"
+                  f"{warm['blob']['misses']}  "
+                  f"({sec['warm_bytes_ratio']:.3f}x cold bytes)  "
+                  f"identical: {sec['identical']}")
+            ok = ok and sec["identical"]
     print(f"record written to {path}")
     first = record["models"][models[0]]
+    evictions = {
+        run: first[run]["cache_evictions"]
+        for run in ("reference", "fast")
+        if first[run].get("cache_evictions")
+    }
+    if evictions:
+        print(f"cache evictions: {json.dumps(evictions, sort_keys=True)}")
     print(json.dumps(first["fast"]["perf"]["caches"], indent=2,
                      sort_keys=True))
     return 0 if ok else 1

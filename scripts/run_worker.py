@@ -45,6 +45,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--token", default=None,
                         help="shared auth token clients must present "
                              "(default: $REPRO_WORKER_TOKEN, else none)")
+    parser.add_argument("--blob-cache", default=None, metavar="DIR",
+                        help="directory for the content-addressed blob "
+                             "cache; blobs persist on disk so a restarted "
+                             "worker rehydrates tensors without refetching")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-connection log lines")
     args = parser.parse_args(argv)
@@ -54,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
         token = os.environ.get("REPRO_WORKER_TOKEN") or None
     server = WorkerServer(
         host=args.host, port=args.port, token=token,
-        verbose=not args.quiet,
+        verbose=not args.quiet, blob_cache=args.blob_cache,
     ).start()
     print(f"worker listening on {server.address}", flush=True)
     try:

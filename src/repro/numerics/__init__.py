@@ -16,7 +16,14 @@ from .base import (
 from .flint import FlintFormat
 from .intquant import IntFormat
 from .lns import LNSFormat
-from .logposit import LogPositFormat, LPParams, lp_decode, lp_encode, lp_quantize
+from .logposit import (
+    LogPositFormat,
+    LPParams,
+    lp_decode,
+    lp_encode,
+    lp_quantize,
+    lp_quantize_many,
+)
 from .minifloat import MiniFloatFormat
 from .posit import PositFormat, posit_decode, posit_encode
 from .registry import (
@@ -43,6 +50,7 @@ __all__ = [
     "lp_decode",
     "lp_encode",
     "lp_quantize",
+    "lp_quantize_many",
     "make_format",
     "posit_decode",
     "posit_encode",

@@ -32,14 +32,20 @@ the decoder (paper Fig. 3 feeds ``sf`` into the regime constructor).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from functools import lru_cache
 
 import numpy as np
 
 from .base import BitLevelFormat
-from .posit import PositTable, _decode_core
+from .posit import PositTable, _decode_core, _registered_table
 
-__all__ = ["LPParams", "LogPositFormat", "lp_decode", "lp_encode", "lp_quantize"]
+__all__ = [
+    "LPParams",
+    "LogPositFormat",
+    "lp_decode",
+    "lp_encode",
+    "lp_quantize",
+    "lp_quantize_many",
+]
 
 #: Search-space bounds used by LPQ (paper Section 4, Step 1).
 N_MIN, N_MAX = 2, 8
@@ -122,13 +128,17 @@ def lp_decode(pattern: np.ndarray, params: LPParams) -> np.ndarray:
     return out
 
 
-@lru_cache(maxsize=1024)
 def _lp_positive_table(n: int, es: int, rs: int) -> PositTable:
-    """Cached :class:`PositTable` of an LP format's sf=0 positive half."""
-    base = LPParams(n=n, es=es, rs=rs, sf=0.0)
-    patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)
-    values = lp_decode(patterns, base)
-    return PositTable.build(values, patterns)
+    """Registry-cached :class:`PositTable` of an LP format's sf=0
+    positive half (process-wide, shared across evaluator replicas)."""
+
+    def build() -> PositTable:
+        base = LPParams(n=n, es=es, rs=rs, sf=0.0)
+        patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)
+        values = lp_decode(patterns, base)
+        return PositTable.build(values, patterns)
+
+    return _registered_table(("lp", n, es, rs), build)
 
 
 def lp_encode(x: np.ndarray, params: LPParams) -> np.ndarray:
@@ -169,6 +179,65 @@ def lp_quantize(x: np.ndarray, params: LPParams) -> np.ndarray:
     out = np.where(x < 0, -out, out)
     out[np.isnan(x)] = np.nan
     return out
+
+
+def lp_quantize_many(
+    tensors: list[np.ndarray], params_list: list[LPParams]
+) -> list[np.ndarray]:
+    """Quantize many ``(tensor, params)`` pairs with shared LUT passes.
+
+    Pairs whose clamped ⟨n, es, rs⟩ share an sf=0 table are grouped and
+    projected through **one** ``searchsorted`` over their concatenated
+    magnitudes; ``sf`` only rescales each segment by the scalars
+    ``2^sf`` / ``2^-sf`` before/after the shared pass.  Because
+    :meth:`PositTable.project` is elementwise and the scalings are
+    per-segment, every output is bitwise identical to calling
+    :func:`lp_quantize` pair by pair — the fast path changes wall
+    clock, never bits.
+
+    >>> import numpy as np
+    >>> a, b = np.array([0.3, -1.7]), np.array([[2.5]])
+    >>> p = LPParams(n=6, es=1, rs=3, sf=0.25)
+    >>> outs = lp_quantize_many([a, b], [p, p])
+    >>> all(np.array_equal(o, lp_quantize(x, p), equal_nan=True)
+    ...     for o, x in zip(outs, [a, b]))
+    True
+    """
+    if len(tensors) != len(params_list):
+        raise ValueError(
+            f"got {len(tensors)} tensors for {len(params_list)} params"
+        )
+    results: list[np.ndarray | None] = [None] * len(tensors)
+    groups: dict[tuple[int, int, int], list[int]] = {}
+    for idx, params in enumerate(params_list):
+        p = params.clamped()
+        groups.setdefault((p.n, p.es_eff, p.rs_eff), []).append(idx)
+    for (n, es, rs), idxs in groups.items():
+        if len(idxs) == 1:
+            i = idxs[0]
+            results[i] = lp_quantize(tensors[i], params_list[i])
+            continue
+        table = _lp_positive_table(n, es, rs)
+        xs = [np.asarray(tensors[i], dtype=np.float64) for i in idxs]
+        scaled = np.concatenate(
+            [(np.abs(x) * np.exp2(params_list[i].sf)).ravel()
+             for x, i in zip(xs, idxs)]
+        )
+        flat = np.zeros(scaled.shape, dtype=np.float64)
+        pos = scaled > 0  # excludes zeros and NaNs
+        flat[pos] = table.values[table.project(scaled[pos])]
+        offset = 0
+        for x, i in zip(xs, idxs):
+            seg = flat[offset:offset + x.size].reshape(x.shape)
+            offset += x.size
+            # zeros stay exactly 0.0 under the scalar multiply, so
+            # applying 2^-sf to the whole segment matches lp_quantize
+            # applying it to the positive lookups only
+            out = seg * np.exp2(-params_list[i].sf)
+            out = np.where(x < 0, -out, out)
+            out[np.isnan(x)] = np.nan
+            results[i] = out
+    return results  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)

@@ -18,8 +18,7 @@ the format through a cached value table (posits up to 16 bits have at most
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import NamedTuple
+from typing import Callable, NamedTuple
 
 import numpy as np
 
@@ -120,12 +119,41 @@ class PositTable(NamedTuple):
         return np.searchsorted(self.midpoints, np.log2(clipped), side="left")
 
 
-@lru_cache(maxsize=256)
+#: Process-wide LUT registry shared by every evaluator replica in this
+#: process: format params → built :class:`PositTable`.  One worker running
+#: many replicas (thread pool, shared process pool serving several jobs)
+#: builds each table exactly once; reuse shows up as hits on the
+#: ``numerics.lut_cache`` stats of the ambient perf registry.
+_LUT_REGISTRY: dict[tuple, PositTable] = {}
+
+
+def _lut_stats():
+    from ..perf import get_perf  # deferred: numerics must import standalone
+
+    return get_perf().cache("numerics.lut_cache")
+
+
+def _registered_table(key: tuple, build: Callable[[], PositTable]) -> PositTable:
+    """Look ``key`` up in the process-wide LUT registry, building (and
+    counting a miss) only on first use anywhere in the process."""
+    table = _LUT_REGISTRY.get(key)
+    if table is not None:
+        _lut_stats().hit()
+        return table
+    _lut_stats().miss()
+    table = _LUT_REGISTRY[key] = build()
+    return table
+
+
 def _positive_table(n: int, es: int, max_regime: int) -> PositTable:
-    """Cached :class:`PositTable` for a posit-style format."""
-    patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)  # positive codes
-    values = _decode_core(patterns, n, es, max_regime)
-    return PositTable.build(values, patterns)
+    """Registry-cached :class:`PositTable` for a posit-style format."""
+
+    def build() -> PositTable:
+        patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)  # positive codes
+        values = _decode_core(patterns, n, es, max_regime)
+        return PositTable.build(values, patterns)
+
+    return _registered_table(("posit", n, es, max_regime), build)
 
 
 def posit_encode(x: np.ndarray, n: int, es: int) -> np.ndarray:

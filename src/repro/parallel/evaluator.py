@@ -120,13 +120,23 @@ class EvaluatorReplica:
         self.stats = stats
         self.act_mode = act_mode
 
+    def _act_params(self, solution: QuantSolution):
+        if self.act_mode is None:
+            return None
+        return derive_activation_params(
+            solution, self.stats, mode=self.act_mode
+        )
+
     def evaluate(self, solution: QuantSolution) -> float:
-        acts = None
-        if self.act_mode is not None:
-            acts = derive_activation_params(
-                solution, self.stats, mode=self.act_mode
-            )
-        return self.evaluator(solution, acts)
+        return self.evaluator(solution, self._act_params(solution))
+
+    def evaluate_many(self, solutions) -> list[float]:
+        """Score a batch through the evaluator's vectorized batch path
+        (stacked weight-cache prefill + the usual incremental per-
+        candidate pass — bitwise identical to :meth:`evaluate` calls)."""
+        solutions = list(solutions)
+        acts_list = [self._act_params(sol) for sol in solutions]
+        return self.evaluator.evaluate_many(solutions, acts_list)
 
 
 class PopulationEvaluator:

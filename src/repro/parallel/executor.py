@@ -192,7 +192,7 @@ class SerialExecutor:
         self.workers = 1
 
     def evaluate_batch(self, solutions) -> list[float]:
-        return [self.replica.evaluate(sol) for sol in solutions]
+        return self.replica.evaluate_many(solutions)
 
     def close(self) -> None:
         pass
@@ -223,7 +223,7 @@ class ThreadExecutor:
         slot = self._replicas.get()
         replica, registry, last_snap = slot
         try:
-            fitness = replica.evaluate(solution)
+            fitness = replica.evaluate_many([solution])[0]
             snap = registry.snapshot()
             delta = diff_snapshots(snap, last_snap[0])
             last_snap[0] = snap
@@ -248,14 +248,16 @@ class ThreadExecutor:
 
 # -- process backend ----------------------------------------------------
 # Worker state lives in module globals: multiprocessing initializes each
-# worker once with the pickled spec, then tasks only carry candidates.
+# worker once with the pickled spec (or its wire payload + blob transport
+# table), then tasks only carry candidates.
 _WORKER_REPLICA: EvaluatorReplica | None = None
 _WORKER_PERF: PerfRegistry | None = None
 _WORKER_SNAP: dict | None = None
 _WORKER_INIT_ERROR: str | None = None
 
 
-def _init_worker(spec: EvaluatorSpec) -> None:
+def _init_worker(spec: EvaluatorSpec | None, wire: dict | None = None,
+                 blob_table: dict | None = None) -> None:
     global _WORKER_REPLICA, _WORKER_PERF, _WORKER_SNAP, _WORKER_INIT_ERROR
     # the initializer must never raise: multiprocessing.Pool responds to
     # an initializer exception by silently respawning the worker forever,
@@ -263,6 +265,14 @@ def _init_worker(spec: EvaluatorSpec) -> None:
     # first task report it instead.
     try:
         _WORKER_PERF = PerfRegistry()
+        if wire is not None:
+            from ..spec.blob import attach_transport_table
+            from ..spec.wire import decode_job
+
+            blobs = (
+                attach_transport_table(blob_table) if blob_table else None
+            )
+            spec = decode_job(wire, blobs=blobs)
         # a fresh process owns its (inherited or unpickled) spec outright
         # — no copy needed even when the spec carries a model instance
         _WORKER_REPLICA = spec.build(perf=_WORKER_PERF, copy_model=False)
@@ -282,7 +292,7 @@ def _evaluate_in_worker(solution):
             "evaluator replica failed to initialize in worker:\n"
             f"{_WORKER_INIT_ERROR or 'worker not initialized'}"
         )
-    fitness = _WORKER_REPLICA.evaluate(solution)
+    fitness = _WORKER_REPLICA.evaluate_many([solution])[0]
     snap = _WORKER_PERF.snapshot()
     delta = diff_snapshots(snap, _WORKER_SNAP)
     _WORKER_SNAP = snap
@@ -290,7 +300,16 @@ def _evaluate_in_worker(solution):
 
 
 class ProcessExecutor:
-    """Process-pool evaluation; workers rebuild replicas from the spec."""
+    """Process-pool evaluation; workers rebuild replicas from the spec.
+
+    Wire-encodable specs ship as a content-addressed wire payload: the
+    calibration batch and state dict go into the process-global
+    :class:`~repro.spec.blob.BlobStore` and cross the pool boundary as
+    shared-memory segments (zero-copy) or, where shm is unavailable, as
+    a once-per-worker inline blob table.  Specs the wire codec rejects
+    (unimportable models, probe mismatches) fall back to the original
+    pickled-spec path, byte-identical to before.
+    """
 
     def __init__(
         self,
@@ -301,13 +320,30 @@ class ProcessExecutor:
     ) -> None:
         self.workers = workers
         self.perf = perf
+        initargs = (spec,)
+        self._blob_table = None
+        try:
+            from ..spec.blob import (
+                account_transport,
+                blob_transport_table,
+                get_blob_store,
+            )
+            from ..spec.wire import encode_job
+
+            store = get_blob_store()
+            wire = encode_job(spec, blobs=store)
+            self._blob_table = blob_transport_table(store)
+            initargs = (None, wire, self._blob_table)
+            account_transport(perf, wire, self._blob_table, workers)
+        except ValueError:
+            pass  # not wire-encodable: pickle the spec as before
         ctx = (
             multiprocessing.get_context(start_method)
             if start_method
             else multiprocessing.get_context()
         )
         self._pool = ctx.Pool(
-            processes=workers, initializer=_init_worker, initargs=(spec,)
+            processes=workers, initializer=_init_worker, initargs=initargs
         )
 
     def evaluate_batch(self, solutions) -> list[float]:

@@ -48,6 +48,7 @@ from pathlib import Path
 from .. import nn
 from ..data import calibration_batch
 from ..spec import registry as spec_registry
+from ..spec.blob import reset_blob_store
 from ..models.swin import SwinTransformer
 from ..models.vit import VisionTransformer
 from ..quant import (
@@ -193,6 +194,7 @@ def _measurements(engine_run, evaluator) -> dict:
     start = time.perf_counter()
     solution, fitness = engine_run()
     wall = time.perf_counter() - start
+    snapshot = get_perf().snapshot()
     return {
         "wall_s": wall,
         "evaluations": evaluator.evaluations,
@@ -200,7 +202,28 @@ def _measurements(engine_run, evaluator) -> dict:
         "evals_per_s": evaluator.evaluations / wall if wall > 0 else 0.0,
         "best_fitness": fitness,
         "mean_bits": solution.mean_weight_bits(),
-        "perf": get_perf().snapshot(),
+        "cache_evictions": {
+            name: stats["evictions"]
+            for name, stats in snapshot["caches"].items()
+            if stats["evictions"]
+        },
+        "perf": snapshot,
+    }
+
+
+def _transport_counters(snapshot: dict) -> dict:
+    """The transport/blob view of one perf snapshot: bytes the run
+    actually shipped, bytes content addressing displaced, and the
+    client-side blob dedupe stats (a *hit* is an array that never went
+    on the wire again)."""
+    counters = snapshot.get("counters", {})
+    blob = snapshot.get("caches", {}).get(
+        "blob", {"hits": 0, "misses": 0, "evictions": 0}
+    )
+    return {
+        "bytes_sent": counters.get("transport.bytes_sent", 0),
+        "bytes_saved": counters.get("transport.bytes_saved", 0),
+        "blob": {"hits": blob["hits"], "misses": blob["misses"]},
     }
 
 
@@ -274,12 +297,24 @@ def _run_search_backend(
     config: LPQConfig,
     seed: int,
     addresses=None,
+    executor_config=None,
+    reset_blobs: bool = True,
 ) -> dict:
-    """One full search through a parallel population executor."""
+    """One full search through a parallel population executor.
+
+    ``executor_config`` reuses a live :class:`~repro.parallel.
+    ExecutorConfig` (e.g. one pointed at a still-running worker fleet)
+    instead of opening a fresh one — the warm leg of the transport
+    comparison.  ``reset_blobs=False`` likewise keeps the process-global
+    :class:`~repro.spec.blob.BlobStore` so content addressing answers
+    from cache; the default resets it for an honest cold measurement.
+    """
     from ..parallel import EvaluatorSpec, PopulationEvaluator
 
     model, images, stats = _prepare(model_name, calib, seed)
     reset_perf()
+    if reset_blobs:
+        reset_blob_store()
     spec = EvaluatorSpec(
         images=images,
         builder=BENCH_MODELS[model_name],
@@ -287,13 +322,18 @@ def _run_search_backend(
         config=FitnessConfig(fast=True),
         stats=stats,
     )
-    with _executor_context(
-        backend, workers, addresses
-    ) as executor, PopulationEvaluator(spec, executor) as evaluator:
+    with contextlib.ExitStack() as stack:
+        executor = executor_config
+        if executor is None:
+            executor = stack.enter_context(
+                _executor_context(backend, workers, addresses)
+            )
+        evaluator = stack.enter_context(PopulationEvaluator(spec, executor))
         engine = LPQEngine(evaluator, stats.weight_log_centers, config)
         rec = _measurements(engine.run, evaluator)
         rec["history"] = list(engine.history.best_fitness)
         rec["workers"] = evaluator.workers
+    rec["transport"] = _transport_counters(rec["perf"])
     return rec
 
 
@@ -443,6 +483,60 @@ def _multi_job_section(
     }
 
 
+def _transport_section(
+    model_name: str,
+    backends: tuple[str, ...],
+    workers: int | None,
+    calib: int,
+    config: LPQConfig,
+    seed: int,
+    fast: dict,
+    addresses=None,
+) -> dict:
+    """Cold vs warm-fleet transport comparison, one entry per backend.
+
+    Each backend runs the same search twice against ONE executor context
+    (for ``remote`` that means one long-lived worker fleet).  The cold
+    run starts from an empty :class:`~repro.spec.blob.BlobStore`; the
+    warm run keeps it, so every tensor the search needs is already
+    content-addressed — published shared-memory segments are reused and
+    remote workers answer ``{"blob": ...}`` refs from their own caches
+    instead of being sent the bytes again.  The warm run must show
+    ``blob.hits > 0``, a *lower* ``transport.bytes_sent``, and a search
+    trajectory still bitwise-identical to the serial ``fast`` run.
+    """
+    section: dict = {}
+    for backend in backends:
+        runs: dict = {}
+        with _executor_context(backend, workers, addresses) as executor:
+            for phase, reset in (("cold", True), ("warm", False)):
+                rec = _run_search_backend(
+                    model_name, backend, workers, calib, config, seed,
+                    executor_config=executor, reset_blobs=reset,
+                )
+                runs[phase] = {
+                    **rec["transport"],
+                    "wall_s": rec["wall_s"],
+                    "identical": (
+                        rec["best_fitness"] == fast["best_fitness"]
+                        and rec["history"] == fast["history"]
+                    ),
+                }
+        cold, warm = runs["cold"], runs["warm"]
+        section[backend] = {
+            "model": model_name,
+            "cold": cold,
+            "warm": warm,
+            "warm_bytes_ratio": (
+                warm["bytes_sent"] / cold["bytes_sent"]
+                if cold["bytes_sent"]
+                else 0.0
+            ),
+            "identical": cold["identical"] and warm["identical"],
+        }
+    return section
+
+
 def _model_section(
     model_name: str,
     calib: int,
@@ -451,6 +545,7 @@ def _model_section(
     backends: tuple[str, ...],
     workers: int | None,
     addresses=None,
+    include_transport: bool = False,
 ) -> dict:
     reference = _run_search(model_name, False, calib, config, seed)
     fast = _run_search(model_name, True, calib, config, seed)
@@ -481,6 +576,11 @@ def _model_section(
         )
         _strip_history(rec)
         section["backends"][backend] = rec
+    if include_transport:
+        section["transport"] = _transport_section(
+            model_name, backends, workers, calib, config, seed, fast,
+            addresses,
+        )
     _strip_history(reference, fast)
     return section
 
@@ -495,6 +595,7 @@ def run_search_throughput_bench(
     objective: str = "mse",
     include_objective: bool = True,
     include_multi_job: bool = True,
+    include_transport: bool = True,
     addresses=None,
 ) -> dict:
     """Benchmark record: per-model reference/fast/backend search runs.
@@ -515,6 +616,12 @@ def run_search_throughput_bench(
     first non-serial backend (pool startup amortisation plus batch
     interleaving should put the shared-pool aggregate throughput above
     back-to-back; trajectories must stay bitwise-identical).
+
+    ``include_transport`` adds the top-level ``transport`` section: per
+    backend, the same search run cold (empty blob store, fresh fleet
+    caches) and then warm against the *same* fleet — the warm run must
+    report ``blob.hits > 0``, a reduced ``transport.bytes_sent``, and
+    ``identical: true`` (see :func:`_transport_section`).
     """
     config = config or bench_config(seed)
     record: dict = {
@@ -539,8 +646,11 @@ def run_search_throughput_bench(
     }
     for model_name in models:
         record["models"][model_name] = _model_section(
-            model_name, calib, config, seed, backends, workers, addresses
+            model_name, calib, config, seed, backends, workers, addresses,
+            include_transport=include_transport and model_name == models[0],
         )
+    if include_transport:
+        record["transport"] = record["models"][models[0]].pop("transport")
     # worker counts each executor *actually* used (SerialExecutor is
     # always 1 regardless of --workers); identical across models
     first_backends = record["models"][models[0]]["backends"]

@@ -221,15 +221,58 @@ class IncrementalEvaluator:
     def evaluate_many(self, solutions, act_params_list=None) -> list[float]:
         """Evaluate a batch of candidates, results in submission order.
 
-        The base implementation is a serial loop; a
-        :class:`repro.parallel.PopulationEvaluator` fans the batch out
-        across executor workers instead.
+        Candidates not already memoized get their quantized weights
+        prefilled through :meth:`prefill_weights` first — one stacked
+        LUT pass per shared format instead of per-layer-per-candidate
+        calls — then each candidate runs the usual (bitwise-identical)
+        incremental path against a warm cache.  A
+        :class:`repro.parallel.PopulationEvaluator` additionally fans
+        the batch out across executor workers.
         """
+        solutions = list(solutions)
         if act_params_list is None:
             act_params_list = [None] * len(solutions)
+        self.prefill_weights(
+            sol
+            for sol, acts in zip(solutions, act_params_list)
+            if not self.is_memoized(sol, acts)
+        )
         return [
             self(sol, acts) for sol, acts in zip(solutions, act_params_list)
         ]
+
+    def is_memoized(self, solution: QuantSolution, act_params=None) -> bool:
+        """True when ``__call__`` would serve this candidate from the
+        fitness memo (no stats side effects — pure lookup)."""
+        if not self.fast:
+            return False
+        key = (solution, None if act_params is None else tuple(act_params))
+        return key in self._memo
+
+    def prefill_weights(self, solutions) -> int:
+        """Warm the quantized-weight cache for a batch of candidates.
+
+        All missing ``(layer, params)`` pairs across the batch are
+        computed in one :meth:`WeightQuantCache.prefill` call, which
+        groups them by clamped LP format and runs a single shared LUT
+        ``searchsorted`` per group (``lp_quantize_many``).  Returns the
+        number of cache entries computed; the
+        ``population.prefill_entries`` counter tracks the same number.
+        """
+        if not self.fast:
+            return 0
+        pairs = [
+            (layer, solution[i])
+            for solution in solutions
+            if len(solution) == len(self._layers)
+            for i, (_, layer) in enumerate(self._layers)
+        ]
+        if not pairs:
+            return 0
+        computed = self._weight_cache.prefill(pairs)
+        if computed:
+            self.perf.counter("population.prefill_entries").inc(computed)
+        return computed
 
     def reset_caches(self) -> None:
         """Invalidate all caches (required after mutating model weights)."""

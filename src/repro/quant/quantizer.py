@@ -17,7 +17,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from ..nn import Module, quantizable_layers, record_activations
-from ..numerics import LPParams, lp_quantize, tensor_log_center
+from ..numerics import LPParams, lp_quantize, lp_quantize_many, tensor_log_center
 from .params import QuantSolution, clamp_lp_params
 
 __all__ = [
@@ -79,6 +79,46 @@ class WeightQuantCache:
             if self.stats is not None:
                 self.stats.evict()
         return wq
+
+    def prefill(self, pairs) -> int:
+        """Batch-compute missing entries with one stacked LUT pass.
+
+        ``pairs`` is an iterable of ``(layer, params)``; pairs already
+        cached (or duplicated within the batch) are skipped, the rest go
+        through :func:`repro.numerics.lp_quantize_many` — pairs sharing
+        a clamped format run one shared ``searchsorted`` over their
+        concatenated weights, bitwise identical to the per-pair path.
+        Each computed entry counts as a *miss* (it is the same compute a
+        later :meth:`quantized_weight` miss would have done); the later
+        lookups then count as hits.  Returns the number of entries
+        computed.
+        """
+        missing: list[tuple[Module, LPParams]] = []
+        seen: set[tuple[int, LPParams]] = set()
+        for layer, params in pairs:
+            key = (id(layer), params)
+            if key in self._data or key in seen:
+                continue
+            seen.add(key)
+            missing.append((layer, params))
+        if not missing:
+            return 0
+        quantized = lp_quantize_many(
+            [layer.weight.data for layer, _ in missing],
+            [params for _, params in missing],
+        )
+        for (layer, params), wq in zip(missing, quantized):
+            if self.stats is not None:
+                self.stats.miss()
+            self._data[(id(layer), params)] = (
+                layer,
+                wq.astype(layer.weight.data.dtype),
+            )
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                if self.stats is not None:
+                    self.stats.evict()
+        return len(missing)
 
     def clear(self) -> None:
         self._data.clear()

@@ -146,7 +146,7 @@ class WorkerPool(abc.ABC):
 def _evaluate_with_entry(entry, solutions):
     """Score a chunk on one job-replica entry; returns (fits, delta)."""
     replica, registry, last_snap = entry
-    fits = [replica.evaluate(sol) for sol in solutions]
+    fits = replica.evaluate_many(solutions)
     snap = registry.snapshot()
     delta = diff_snapshots(snap, last_snap[0])
     last_snap[0] = snap
@@ -257,16 +257,28 @@ class SharedThreadPool(WorkerPool):
 # survives and keeps serving other jobs.
 _SHARED_WIRES: dict[str, dict] | None = None
 _SHARED_STATE: dict[str, tuple] | None = None
+_SHARED_BLOBS = None
+_SHARED_BLOBS_ERROR: str | None = None
 
 
-def _init_shared_worker(wires: dict[str, dict]) -> None:
-    global _SHARED_WIRES, _SHARED_STATE
-    # plain assignments: nothing here can raise, so the PR-2 concern of
-    # a raising initializer respawning workers forever does not apply —
-    # payload decoding and replica construction are deferred to the
-    # first task per job
+def _init_shared_worker(wires: dict[str, dict],
+                        blob_table: dict | None = None) -> None:
+    global _SHARED_WIRES, _SHARED_STATE, _SHARED_BLOBS, _SHARED_BLOBS_ERROR
+    # plain assignments first: a raising initializer would respawn
+    # workers forever, so payload decoding and replica construction are
+    # deferred to the first task per job, and a blob-table attach
+    # failure is parked for the task to report
     _SHARED_WIRES = wires
     _SHARED_STATE = {}
+    _SHARED_BLOBS = None
+    _SHARED_BLOBS_ERROR = None
+    if blob_table:
+        try:
+            from ..spec.blob import attach_transport_table
+
+            _SHARED_BLOBS = attach_transport_table(blob_table)
+        except Exception:
+            _SHARED_BLOBS_ERROR = traceback.format_exc()
 
 
 def _evaluate_shared_chunk(job: str, solutions):
@@ -274,13 +286,20 @@ def _evaluate_shared_chunk(job: str, solutions):
     try:
         if _SHARED_STATE is None or _SHARED_WIRES is None:
             raise RuntimeError("shared pool worker not initialized")
+        if _SHARED_BLOBS_ERROR is not None:
+            raise RuntimeError(
+                "shared pool worker could not attach its blob table:\n"
+                f"{_SHARED_BLOBS_ERROR}"
+            )
         entry = _SHARED_STATE.get(job)
         if entry is None:
             from ..spec.wire import decode_job
 
             # the worker owns everything it decodes from the wire
-            entry = _build_entry(decode_job(_SHARED_WIRES[job]),
-                                 copy_model=False)
+            entry = _build_entry(
+                decode_job(_SHARED_WIRES[job], blobs=_SHARED_BLOBS),
+                copy_model=False,
+            )
             _SHARED_STATE[job] = entry
         fits, delta = _evaluate_with_entry(entry, solutions)
         return fits, delta, time.perf_counter() - start, None
@@ -298,6 +317,14 @@ class SharedProcessPool(WorkerPool):
     :func:`repro.spec.wire.encode_job`; they are the *only* job state
     handed to workers (``self.wires`` is kept for inspection — the
     protocol tests round-trip it through ``json.dumps``/``loads``).
+
+    ``blobs`` (the :class:`~repro.spec.blob.BlobStore` the wires were
+    encoded against) switches on zero-copy transport: the store is
+    published as a shared-memory transport table that every worker
+    attaches at init, so content-addressed ``{"blob": ...}`` refs in
+    the wires resolve against the exporter's physical pages instead of
+    per-worker base64 copies.  ``transport.bytes_sent`` /
+    ``transport.bytes_saved`` record the shipped and displaced volume.
     """
 
     def __init__(
@@ -306,10 +333,18 @@ class SharedProcessPool(WorkerPool):
         workers: int,
         results: queue.SimpleQueue,
         start_method: str | None = None,
+        blobs=None,
     ) -> None:
         self.workers = workers
         self.wires = dict(wires)
         self._results = results
+        blob_table = None
+        if blobs is not None:
+            from ..perf import get_perf
+            from ..spec.blob import account_transport, blob_transport_table
+
+            blob_table = blob_transport_table(blobs)
+            account_transport(get_perf(), self.wires, blob_table, workers)
         ctx = (
             multiprocessing.get_context(start_method)
             if start_method
@@ -318,7 +353,7 @@ class SharedProcessPool(WorkerPool):
         self._pool = ctx.Pool(
             processes=workers,
             initializer=_init_shared_worker,
-            initargs=(self.wires,),
+            initargs=(self.wires, blob_table),
         )
 
     def submit(self, job: str, seq: int, chunk: int, solutions) -> None:
@@ -350,13 +385,16 @@ class SharedProcessPool(WorkerPool):
 def encode_pool_wires(
     specs: dict[str, EvaluatorSpec],
     search_specs: dict | None = None,
+    blobs=None,
 ) -> dict[str, dict]:
     """Encode every job for the wire (:func:`repro.spec.wire.encode_job`).
 
     ``search_specs`` optionally maps job names to the declarative
     :class:`~repro.spec.SearchSpec` they were submitted as, which
-    selects the compact registry-reference payload.  A job that cannot
-    be named on the wire raises ``ValueError`` identifying it.
+    selects the compact registry-reference payload.  ``blobs`` (a
+    :class:`~repro.spec.blob.BlobStore`) makes array payloads
+    content-addressed refs into that store.  A job that cannot be named
+    on the wire raises ``ValueError`` identifying it.
     """
     from ..spec.wire import encode_job
 
@@ -364,7 +402,8 @@ def encode_pool_wires(
     wires = {}
     for name, spec in specs.items():
         try:
-            wires[name] = encode_job(spec, search_specs.get(name))
+            wires[name] = encode_job(spec, search_specs.get(name),
+                                     blobs=blobs)
         except ValueError as exc:
             raise ValueError(
                 f"job {name!r} cannot cross the process-pool wire: {exc}"
@@ -410,13 +449,19 @@ spec_registry.register(
         specs, config.resolved_workers(), results
     ),
 )
-spec_registry.register(
-    "shared_pool",
-    "process",
-    lambda specs, config, results, search_specs: SharedProcessPool(
-        encode_pool_wires(specs, search_specs),
+def _make_shared_process_pool(specs, config, results, search_specs):
+    from ..spec.blob import get_blob_store
+
+    # encode against the process-global store: re-submitted jobs dedupe
+    # their tensors (blob hits) and reuse already-exported shm segments
+    blobs = get_blob_store()
+    return SharedProcessPool(
+        encode_pool_wires(specs, search_specs, blobs=blobs),
         config.resolved_workers(),
         results,
         start_method=config.start_method,
-    ),
-)
+        blobs=blobs,
+    )
+
+
+spec_registry.register("shared_pool", "process", _make_shared_process_pool)

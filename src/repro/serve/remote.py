@@ -63,9 +63,13 @@ import traceback
 
 from ..parallel import EvaluatorSpec, ExecutorConfig, parse_address
 from ..spec import registry as spec_registry
+from ..spec.blob import BlobStore, get_blob_store
 from ..spec.wire import (
     MAX_FRAME_BYTES,
     WIRE_VERSION,
+    blob_get_message,
+    blob_put_message,
+    collect_blob_refs,
     decode_job,
     decode_solution,
     error_message,
@@ -100,6 +104,10 @@ HEARTBEAT_S = 2.0
 #: worker, times out cleanly instead of hanging either side
 HANDSHAKE_TIMEOUT_S = 10.0
 
+#: a worker evaluating a task blocks at most this long for a missing
+#: blob to arrive from the client before failing that task
+BLOB_FETCH_TIMEOUT_S = 30.0
+
 
 def _send_frame(sock: socket.socket, lock: threading.Lock,
                 message: dict) -> None:
@@ -131,6 +139,10 @@ class _WorkerSession(threading.Thread):
         self._tasks: queue.SimpleQueue = queue.SimpleQueue()
         self._wires: dict[str, dict] = {}
         self._entries: dict[str, tuple] = {}
+        self._blob_lock = threading.Lock()
+        #: digest → set by the reader thread when its blob_put arrives;
+        #: the evaluator thread waits on these for fetch-on-miss
+        self._blob_events: dict[str, threading.Event] = {}
         self._closed = False
         #: test hook (:meth:`WorkerServer.silence`): swallow every
         #: frame, answer nothing — a hung worker as the client sees it
@@ -200,6 +212,9 @@ class _WorkerSession(threading.Thread):
             kind = message.get("type")
             if kind == "job":
                 self._wires[message["job"]] = message["payload"]
+                self._request_job_blobs(message["payload"])
+            elif kind == "blob_put":
+                self._receive_blob(message)
             elif kind == "task":
                 self.server._task_received()
                 self._tasks.put(message)
@@ -210,6 +225,48 @@ class _WorkerSession(threading.Thread):
             else:
                 self._send(error_message(f"unknown frame type {kind!r}"))
                 return
+
+    # -- blob transport --------------------------------------------------
+    def _blob_event(self, digest: str) -> threading.Event:
+        with self._blob_lock:
+            return self._blob_events.setdefault(digest, threading.Event())
+
+    def _request_job_blobs(self, payload: dict) -> None:
+        """Diff a registered job's blob refs against the server store and
+        ask the client for what is missing, acking what is already cached
+        (warm-fleet acks are how the client counts ``bytes_saved``)."""
+        refs = collect_blob_refs(payload)
+        if not refs:
+            return
+        missing = self.server.blobs.missing(refs)
+        cached = sorted(set(refs) - set(missing))
+        self._send(blob_get_message(missing, cached))
+
+    def _receive_blob(self, message: dict) -> None:
+        from ..spec.serde import decode_array
+
+        self.server.blobs.put(decode_array(message["payload"]))
+        # wake any fetch waiting on the *claimed* digest; the waiter
+        # re-checks the store, so a corrupt payload fails loudly there
+        self._blob_event(message["digest"]).set()
+
+    def _fetch_blob(self, digest: str):
+        """Fetch-on-miss hook for :func:`repro.spec.wire.decode_job`:
+        ask the client for one blob and block (evaluator thread only)
+        until the reader thread has stored it."""
+        with self._blob_lock:
+            event = self._blob_events.get(digest)
+            if event is None or event.is_set():
+                # a set event is stale (its blob has since left the
+                # store, e.g. after a cache drop): wait on a fresh one
+                event = threading.Event()
+                self._blob_events[digest] = event
+        self._send(blob_get_message([digest]))
+        if not event.wait(timeout=BLOB_FETCH_TIMEOUT_S):
+            raise RuntimeError(
+                f"timed out waiting for blob {digest!r} from the client"
+            )
+        return self.server.blobs.get(digest)
 
     # -- evaluation ------------------------------------------------------
     def _evaluate_loop(self) -> None:
@@ -238,7 +295,11 @@ class _WorkerSession(threading.Thread):
                     raise RuntimeError(
                         f"job {job!r} was never registered on this worker"
                     )
-                entry = _build_entry(decode_job(wire), copy_model=False)
+                entry = _build_entry(
+                    decode_job(wire, blobs=self.server.blobs,
+                               fetch=self._fetch_blob),
+                    copy_model=False,
+                )
                 self._entries[job] = entry
             solutions = [decode_solution(rows)
                          for rows in message["solutions"]]
@@ -264,6 +325,13 @@ class WorkerServer:
     client must echo in its hello frame; mismatches are refused before
     any payload is decoded.
 
+    The worker keeps a *server-level* :class:`~repro.spec.blob.BlobStore`
+    (:attr:`blobs`): content-addressed tensors survive across client
+    sessions, so a warm fleet acks re-registered blob refs instead of
+    re-fetching them.  ``blob_cache`` optionally backs the store with a
+    memory-mapped on-disk cache directory — a restarted worker rehydrates
+    its blobs from disk with zero network traffic.
+
     Production workers run ``scripts/run_worker.py``; tests and
     single-host fleets may embed the server in-process via
     :func:`local_worker_fleet`.
@@ -276,12 +344,14 @@ class WorkerServer:
         token: str | None = None,
         max_frame: int = MAX_FRAME_BYTES,
         verbose: bool = False,
+        blob_cache=None,
     ) -> None:
         self.host = host
         self.port = port
         self.token = token
         self.max_frame = max_frame
         self.verbose = verbose
+        self.blobs = BlobStore(cache_dir=blob_cache)
         self.auth_failures = 0
         #: tasks accepted off the socket / begun evaluating (test hooks)
         self.tasks_received = 0
@@ -346,6 +416,17 @@ class WorkerServer:
         for the quiet half — a hung host that stops responding without
         closing anything — see :meth:`silence`."""
         self.stop()
+
+    def drop_caches(self) -> None:
+        """Forget every cached blob and decoded job replica, as a
+        restarted worker (without an on-disk blob cache) would have:
+        the next task on any live session rebuilds its replica through
+        the ``blob_get`` fetch-on-miss frames."""
+        self.blobs.clear()
+        with self._lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            session._entries.clear()
 
     def silence(self) -> None:
         """Go silent without closing anything (tests): every session
@@ -419,7 +500,7 @@ def local_worker_fleet(count: int, token: str | None = None,
 class _RemoteWorker:
     """Client-side state for one worker connection."""
 
-    def __init__(self, address: str) -> None:
+    def __init__(self, address: str, sent_counter=None) -> None:
         self.address = address
         self.sock: socket.socket | None = None
         self.send_lock = threading.Lock()
@@ -428,9 +509,15 @@ class _RemoteWorker:
         self.capacity = 1
         self.pending: set[int] = set()  # task ids in flight here
         self.last_recv = time.monotonic()
+        #: pool-supplied ``transport.bytes_sent`` counter (optional)
+        self.sent_counter = sent_counter
 
     def send(self, message: dict) -> None:
-        _send_frame(self.sock, self.send_lock, message)
+        data = frame_message(message)
+        if self.sent_counter is not None:
+            self.sent_counter.inc(len(data))
+        with self.send_lock:
+            self.sock.sendall(data)
 
     def drop(self) -> None:
         self.alive = False
@@ -488,12 +575,23 @@ class SharedRemotePool(WorkerPool):
         connect_timeout: float = HANDSHAKE_TIMEOUT_S,
         heartbeat_s: float = HEARTBEAT_S,
         liveness_timeout_s: float | None = None,
+        blobs: BlobStore | None = None,
+        perf=None,
     ) -> None:
         if not addresses:
             raise ValueError("SharedRemotePool requires at least one address")
         self.wires = dict(wires)
         self.addresses = [str(a) for a in addresses]
         self.token = token
+        #: the store the wires were encoded against; answers blob_get
+        self._blobs = blobs
+        #: digest → the encoded ref payload it appears as in the wires
+        self._blob_refs = collect_blob_refs(self.wires)
+        if perf is None:
+            from ..perf import get_perf
+
+            perf = get_perf()
+        self.perf = perf
         self.connect_timeout = connect_timeout
         self.heartbeat_s = heartbeat_s
         # a worker that has sent nothing — results, pongs, anything —
@@ -567,7 +665,9 @@ class SharedRemotePool(WorkerPool):
     # -- connection management -------------------------------------------
     def _connect(self, address: str) -> _RemoteWorker:
         host, port = parse_address(address)
-        worker = _RemoteWorker(address)
+        worker = _RemoteWorker(
+            address, sent_counter=self.perf.counter("transport.bytes_sent")
+        )
         try:
             sock = socket.create_connection(
                 (host, port), timeout=self.connect_timeout
@@ -620,6 +720,8 @@ class SharedRemotePool(WorkerPool):
                 kind = message.get("type")
                 if kind == "result":
                     self._handle_result(worker, message)
+                elif kind == "blob_get":
+                    self._handle_blob_get(worker, message)
                 elif kind == "error":
                     break  # worker declared the connection unusable
                 # pong and anything else: the timestamp update above is
@@ -642,6 +744,29 @@ class SharedRemotePool(WorkerPool):
                     worker.send({"type": "ping", "t": int(now * 1000)})
                 except (OSError, ValueError):
                     self._worker_died(worker)
+
+    # -- blob transport --------------------------------------------------
+    def _handle_blob_get(self, worker: _RemoteWorker, message: dict) -> None:
+        """Answer a worker's blob diff: push every missing blob inline
+        (``blob_put``) and credit the acked-cached ones — base64 bytes a
+        warm worker cache kept off the wire — to ``bytes_saved``."""
+        from ..spec.serde import encode_array, inline_nbytes
+
+        for digest in message.get("digests", ()):
+            if self._blobs is None or digest not in self._blob_refs:
+                continue  # unknown ref: the worker's fetch fails loudly
+            try:
+                array = self._blobs.get(digest)
+            except KeyError:
+                continue
+            worker.send(blob_put_message(digest, encode_array(array)))
+        saved = sum(
+            inline_nbytes(self._blob_refs[digest])
+            for digest in message.get("cached", ())
+            if digest in self._blob_refs
+        )
+        if saved:
+            self.perf.counter("transport.bytes_saved").inc(saved)
 
     # -- dispatch / results ----------------------------------------------
     def _pick_worker(self) -> _RemoteWorker | None:
@@ -745,11 +870,17 @@ class RemoteExecutor:
                  perf) -> None:
         self.perf = perf
         self._results: queue.SimpleQueue = queue.SimpleQueue()
+        # encode against the process-global blob store: a spec
+        # re-submitted to a warm fleet dedupes its tensors (blob hits
+        # client-side, cached acks worker-side)
+        blobs = get_blob_store()
         self._pool = SharedRemotePool(
-            encode_pool_wires({self._JOB: spec}),
+            encode_pool_wires({self._JOB: spec}, blobs=blobs),
             config.addresses,
             self._results,
             token=config.token,
+            blobs=blobs,
+            perf=perf,
         ).start()
         self._seq = itertools.count()
 
@@ -785,13 +916,15 @@ class RemoteExecutor:
 
 # the socket transport is the fourth shared-pool backend; the serial /
 # thread / process factories live in repro.serve.pool
-spec_registry.register(
-    "shared_pool",
-    "remote",
-    lambda specs, config, results, search_specs: SharedRemotePool(
-        encode_pool_wires(specs, search_specs),
+def _make_shared_remote_pool(specs, config, results, search_specs):
+    blobs = get_blob_store()
+    return SharedRemotePool(
+        encode_pool_wires(specs, search_specs, blobs=blobs),
         config.addresses,
         results,
         token=config.token,
-    ),
-)
+        blobs=blobs,
+    )
+
+
+spec_registry.register("shared_pool", "remote", _make_shared_remote_pool)

@@ -27,13 +27,17 @@ stack in, which keeps registration import-cycle-free.
 from . import registry  # dependency-free; safe to import eagerly
 
 _LAZY = {
+    "BlobStore": "blob",
     "CalibSpec": "spec",
     "SearchSpec": "spec",
     "SPEC_VERSION": "spec",
     "SWEEP_VERSION": "sweep",
+    "blob_digest": "blob",
     "expand_sweep": "sweep",
+    "get_blob_store": "blob",
     "load_sweep": "sweep",
     "reject_spec_conflicts": "spec",
+    "reset_blob_store": "blob",
     "resolve_calib": "spec",
     "resolve_model": "spec",
     "run_search": "spec",

@@ -34,6 +34,7 @@ __all__ = [
     "decode_array",
     "encode_state",
     "decode_state",
+    "inline_nbytes",
 ]
 
 
@@ -73,10 +74,27 @@ def config_from_dict(cls, data: dict):
     return cls(**kwargs)
 
 
-def encode_array(array: np.ndarray) -> dict:
-    """ndarray → JSON dict, bitwise-exact (little-endian raw bytes)."""
-    array = np.ascontiguousarray(array)
+def encode_array(array: np.ndarray, blobs=None) -> dict:
+    """ndarray → JSON dict, bitwise-exact (little-endian raw bytes).
+
+    With a :class:`repro.spec.blob.BlobStore` as ``blobs``, the bytes
+    stay in the store and the payload carries only a content-addressed
+    ``{"blob": "<digest>"}`` reference (plus dtype/shape, so receivers
+    can account for what the ref stands for without holding the blob).
+    Without a store the full base64 body is inlined — the default, and
+    the fallback transports use when no blob channel exists.
+    """
+    array = np.asarray(array)
+    if not array.flags["C_CONTIGUOUS"]:
+        array = np.ascontiguousarray(array)  # 0-d stays 0-d
     dtype = array.dtype.newbyteorder("<")
+    if blobs is not None:
+        return {
+            "__ndarray__": True,
+            "dtype": dtype.str,
+            "shape": list(array.shape),
+            "blob": blobs.put(array),
+        }
     return {
         "__ndarray__": True,
         "dtype": dtype.str,
@@ -86,20 +104,68 @@ def encode_array(array: np.ndarray) -> dict:
     }
 
 
-def decode_array(payload: dict) -> np.ndarray:
-    """Inverse of :func:`encode_array`."""
+def inline_nbytes(payload: dict) -> int:
+    """Base64 characters an encoded-array payload ships (or would ship,
+    for a blob reference) as its ``data`` field — the unit in which the
+    ``transport.bytes_saved`` counter measures dedupe wins."""
     if not isinstance(payload, dict) or not payload.get("__ndarray__"):
         raise ValueError("not an encoded ndarray payload")
+    if "data" in payload:
+        return len(payload["data"])
+    itemsize = np.dtype(payload["dtype"]).itemsize
+    raw = int(np.prod(payload["shape"], dtype=np.int64)) * itemsize
+    return 4 * ((raw + 2) // 3)  # base64 expansion of the raw bytes
+
+
+def decode_array(payload: dict, blobs=None, fetch=None) -> np.ndarray:
+    """Inverse of :func:`encode_array`.
+
+    Inline payloads decode to a fresh *writable* array (``np.frombuffer``
+    alone would return a read-only view of the base64 buffer; downstream
+    in-place ops like BN-statistics updates must not blow up on it).
+
+    Blob references resolve through ``blobs`` (a
+    :class:`repro.spec.blob.BlobStore`); a digest the store cannot serve
+    is handed to ``fetch(digest) -> np.ndarray`` — the transport's
+    fetch-on-miss hook — and raises ``ValueError`` when no channel can
+    produce it.  Resolved blobs are returned as the store's read-only
+    view: zero-copy, because every consumer on this path copies on
+    write (``load_state_dict``) or only reads (calibration batches).
+    """
+    if not isinstance(payload, dict) or not payload.get("__ndarray__"):
+        raise ValueError("not an encoded ndarray payload")
+    if "blob" in payload:
+        digest = payload["blob"]
+        if blobs is not None:
+            try:
+                return blobs.get(digest).reshape(payload["shape"])
+            except KeyError:
+                pass
+        if fetch is not None:
+            array = fetch(digest)
+            if blobs is not None:
+                blobs.put(array)
+            return np.asarray(array).reshape(payload["shape"])
+        raise ValueError(
+            f"payload references blob {digest!r} but no blob store or "
+            "fetch channel can resolve it"
+        )
     raw = base64.b64decode(payload["data"])
     array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
     return array.reshape(payload["shape"]).copy()
 
 
-def encode_state(state: dict) -> dict:
+def encode_state(state: dict, blobs=None) -> dict:
     """Model state dict (name → ndarray) → JSON dict."""
-    return {name: encode_array(value) for name, value in state.items()}
+    return {
+        name: encode_array(value, blobs=blobs)
+        for name, value in state.items()
+    }
 
 
-def decode_state(payload: dict) -> dict:
+def decode_state(payload: dict, blobs=None, fetch=None) -> dict:
     """Inverse of :func:`encode_state`."""
-    return {name: decode_array(value) for name, value in payload.items()}
+    return {
+        name: decode_array(value, blobs=blobs, fetch=fetch)
+        for name, value in payload.items()
+    }

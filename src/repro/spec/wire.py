@@ -87,12 +87,15 @@ __all__ = [
     "decode_solution",
     "encode_job",
     "decode_job",
+    "collect_blob_refs",
     "hello_message",
     "welcome_message",
     "error_message",
     "job_message",
     "task_message",
     "result_message",
+    "blob_get_message",
+    "blob_put_message",
 ]
 
 #: wire-format version stamped into every job payload and handshake
@@ -252,6 +255,28 @@ def result_message(task: int, job: str, seq: int, chunk: int, fits,
     }
 
 
+def blob_get_message(digests, cached=()) -> dict:
+    """Worker → client blob reconciliation (the ``BLOB_GET`` frame).
+
+    Sent once per registered job whose payload carries blob references:
+    ``digests`` lists the blobs the worker is missing and needs pushed,
+    ``cached`` the ones its store already holds — the acknowledgement
+    the client's ``transport.bytes_saved`` counter keys off.
+    """
+    return {
+        "type": "blob_get",
+        "digests": sorted(digests),
+        "cached": sorted(cached),
+    }
+
+
+def blob_put_message(digest: str, payload: dict) -> dict:
+    """Client → worker blob delivery (the ``BLOB_PUT`` frame): one
+    content digest plus the inline encoded array it names
+    (:func:`repro.spec.serde.encode_array`)."""
+    return {"type": "blob_put", "digest": str(digest), "payload": payload}
+
+
 # -- candidate solutions -------------------------------------------------
 def encode_solution(solution: QuantSolution) -> list:
     """:class:`~repro.quant.QuantSolution` → ``[[n, es, rs, sf], ...]``.
@@ -400,12 +425,21 @@ def decode_stats(payload: dict) -> LayerStats:
 
 
 # -- whole jobs ----------------------------------------------------------
-def encode_job(spec: EvaluatorSpec, search: SearchSpec | None = None) -> dict:
+def encode_job(spec: EvaluatorSpec, search: SearchSpec | None = None,
+               blobs=None) -> dict:
     """One pool job → plain-JSON wire payload.
 
     ``search`` (when the job was submitted declaratively and is
     serializable) selects the compact ``"search"`` payload; otherwise
     the live objects in ``spec`` are encoded field by field.
+
+    ``blobs`` (a :class:`repro.spec.blob.BlobStore`) switches the
+    calibration batch and state-dict arrays from inline base64 to
+    content-addressed ``{"blob": "<digest>"}`` references — transports
+    with a blob channel (shared-memory process pools, the remote
+    ``blob_get``/``blob_put`` frames) ship each distinct tensor once
+    per fleet instead of once per payload.  Without a store the payload
+    is fully self-contained, as before.
     """
     stats = None if spec.stats is None else encode_stats(spec.stats)
     if search is not None and search.serializable:
@@ -429,9 +463,9 @@ def encode_job(spec: EvaluatorSpec, search: SearchSpec | None = None) -> dict:
     return {
         "version": WIRE_VERSION,
         "kind": "evaluator",
-        "images": encode_array(spec.images),
+        "images": encode_array(spec.images, blobs=blobs),
         "model": model,
-        "state": None if state is None else encode_state(state),
+        "state": None if state is None else encode_state(state, blobs=blobs),
         "config": None if spec.config is None else spec.config.to_dict(),
         "objective": spec.objective,
         "act_mode": spec.act_mode,
@@ -439,11 +473,41 @@ def encode_job(spec: EvaluatorSpec, search: SearchSpec | None = None) -> dict:
     }
 
 
-def decode_job(payload: dict) -> EvaluatorSpec:
+def collect_blob_refs(payload) -> dict[str, dict]:
+    """Every ``{"blob": digest}`` array reference reachable in a wire
+    payload, as ``digest → encoded-array payload`` (first occurrence
+    wins; the dtype/shape metadata is identical for equal digests).
+
+    Transports use this to reconcile stores before the first task: the
+    worker diffs the refs against its cache and answers with one
+    ``blob_get`` frame, the client sizes its ``transport.bytes_saved``
+    win off the refs a warm worker already held.
+    """
+    refs: dict[str, dict] = {}
+
+    def walk(node) -> None:
+        if isinstance(node, dict):
+            if node.get("__ndarray__") and "blob" in node:
+                refs.setdefault(node["blob"], node)
+                return
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, list):
+            for value in node:
+                walk(value)
+
+    walk(payload)
+    return refs
+
+
+def decode_job(payload: dict, blobs=None, fetch=None) -> EvaluatorSpec:
     """Wire payload → a fresh :class:`~repro.parallel.EvaluatorSpec`.
 
     The worker-side inverse of :func:`encode_job`; everything is
     reconstructed from names and encoded arrays, no pickles involved.
+    ``blobs``/``fetch`` resolve content-addressed array references the
+    same way :func:`repro.spec.serde.decode_array` does; a payload with
+    no blob refs never needs either.
     """
     if not isinstance(payload, dict):
         raise ValueError(
@@ -481,12 +545,12 @@ def decode_job(payload: dict) -> EvaluatorSpec:
         else:
             builder = decode_callable(model["model_class"])
         return EvaluatorSpec(
-            images=decode_array(payload["images"]),
+            images=decode_array(payload["images"], blobs=blobs, fetch=fetch),
             builder=builder,
             state=(
                 None
                 if payload.get("state") is None
-                else decode_state(payload["state"])
+                else decode_state(payload["state"], blobs=blobs, fetch=fetch)
             ),
             config=(
                 None

@@ -260,3 +260,58 @@ class TestLPProperties:
         lo_po, hi_po = po.dynamic_range()
         assert hi_lp == pytest.approx(hi_po)
         assert lo_lp == pytest.approx(lo_po)
+
+
+class TestLPQuantizeMany:
+    """The population-vectorized path must equal pair-by-pair
+    quantization bitwise — grouping and stacking change wall clock,
+    never bits."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(lp_param_strategy(), min_size=1, max_size=6),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_bitwise_equals_single_pair_path(self, raw_params, seed):
+        from repro.numerics import lp_quantize_many
+
+        rng = np.random.default_rng(seed)
+        params, tensors = [], []
+        for i, (n, es, rs, sf) in enumerate(raw_params):
+            params.append(LPParams(n, es, rs, sf))
+            shape = [(3, 4), (2, 3, 2), (5,)][i % 3]
+            tensors.append(
+                rng.normal(0, 2.0 ** rng.integers(-4, 5), shape)
+            )
+        many = lp_quantize_many(tensors, params)
+        for got, x, p in zip(many, tensors, params):
+            ref = lp_quantize(x, p)
+            assert got.dtype == ref.dtype and got.shape == ref.shape
+            assert got.tobytes() == ref.tobytes()
+
+    def test_shared_format_group_handles_specials(self):
+        """NaN, ±0, negatives, and shared ⟨n,es,rs⟩ with different sf
+        all ride one stacked pass."""
+        from repro.numerics import lp_quantize_many
+
+        base = dict(n=6, es=1, rs=3)
+        params = [
+            LPParams(sf=0.0, **base),
+            LPParams(sf=2.5, **base),
+            LPParams(sf=-3.0, **base),
+        ]
+        x = np.array([np.nan, -0.0, 0.0, -1.5, 1e-8, 3e7], dtype=np.float64)
+        tensors = [x, x * 2, -x]
+        many = lp_quantize_many(tensors, params)
+        for got, t, p in zip(many, tensors, params):
+            ref = lp_quantize(t, p)
+            assert got.tobytes() == ref.tobytes()
+
+    def test_empty_and_single_groups(self):
+        from repro.numerics import lp_quantize_many
+
+        assert lp_quantize_many([], []) == []
+        x = np.arange(4, dtype=np.float64)
+        p = LPParams(5, 1, 2, 0.0)
+        (only,) = lp_quantize_many([x], [p])
+        assert only.tobytes() == lp_quantize(x, p).tobytes()

@@ -7,6 +7,8 @@ import pytest
 from repro.numerics import LPParams, lp_quantize
 from repro.quant import (
     ActQuantCache,
+    FitnessConfig,
+    FitnessEvaluator,
     QuantSolution,
     apply_quantization,
     clear_quantization,
@@ -28,6 +30,57 @@ class _FakeLayer:
 
 
 PARAMS = LPParams(n=6, es=1, rs=3, sf=0.5)
+
+
+class TestConfigurableCapacity:
+    """``FitnessConfig.{weight,act}_cache_entries`` size the evaluator's
+    LRU caches; evictions surface through the perf registry, which is
+    where the bench summary reads them from."""
+
+    def test_fitness_config_sets_cache_capacities(
+        self, tiny_model, calib_images
+    ):
+        stats = collect_layer_stats(tiny_model, calib_images)
+        evaluator = FitnessEvaluator(
+            tiny_model, calib_images, stats.param_counts,
+            FitnessConfig(
+                fast=True, act_cache_entries=3, weight_cache_entries=9
+            ),
+        )
+        assert evaluator._act_cache.max_entries == 3
+        assert evaluator._weight_cache.max_entries == 9
+
+    def test_tight_act_capacity_evicts_and_counts(
+        self, tiny_model, calib_images
+    ):
+        from repro.perf import PerfRegistry
+        from repro.quant import random_solution
+
+        stats = collect_layer_stats(tiny_model, calib_images)
+        perf = PerfRegistry()
+        evaluator = FitnessEvaluator(
+            tiny_model, calib_images, stats.param_counts,
+            FitnessConfig(fast=True, act_cache_entries=1), perf=perf,
+        )
+        rng = np.random.default_rng(5)
+        sol = random_solution(
+            rng, len(stats), stats.weight_log_centers, (2, 4, 8)
+        )
+        evaluator(sol, derive_activation_params(sol, stats))
+        assert perf.cache("quant.act_cache").evictions > 0
+
+    def test_capacities_round_trip_through_search_spec(self):
+        from repro.spec import CalibSpec, SearchSpec
+
+        spec = SearchSpec(
+            model="tiny:resnet", calib=CalibSpec(batch=4, seed=3),
+            fitness=FitnessConfig(
+                fast=True, act_cache_entries=5, weight_cache_entries=11
+            ),
+        )
+        again = SearchSpec.from_dict(spec.to_dict())
+        assert again.fitness.act_cache_entries == 5
+        assert again.fitness.weight_cache_entries == 11
 
 
 class TestBitwiseIdentity:

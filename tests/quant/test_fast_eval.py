@@ -283,3 +283,72 @@ class TestWeightQuantCache:
         for n in (2, 4, 8):
             cache.quantized_weight(layer, LPParams(n=n, es=0, rs=2))
         assert len(cache) == 2
+
+
+class TestPopulationVectorized:
+    """``evaluate_many`` (stacked-LUT weight prefill + serial replay)
+    must be bitwise-equal to calling the evaluator one candidate at a
+    time — the vectorized path changes wall clock, never fitness."""
+
+    def test_evaluate_many_equals_serial_loop(self, bn_setup):
+        model, images, stats = bn_setup
+        sols = _candidates(stats, count=6, seed=11)
+        acts = [derive_activation_params(s, stats) for s in sols]
+        one_by_one = FitnessEvaluator(
+            model, images, stats.param_counts, FitnessConfig(fast=True)
+        )
+        serial = [one_by_one(s, a) for s, a in zip(sols, acts)]
+        batched_eval = FitnessEvaluator(
+            model, images, stats.param_counts, FitnessConfig(fast=True)
+        )
+        assert batched_eval.evaluate_many(sols, acts) == serial
+        # second batch: all memoized, still identical
+        assert batched_eval.evaluate_many(sols, acts) == serial
+
+    def test_evaluate_many_matches_reference_path(self, bn_setup):
+        model, images, stats = bn_setup
+        sols = _candidates(stats, count=3, seed=4)
+        acts = [derive_activation_params(s, stats) for s in sols]
+        reference = FitnessEvaluator(
+            model, images, stats.param_counts, FitnessConfig(fast=False)
+        )
+        fast = FitnessEvaluator(
+            model, images, stats.param_counts, FitnessConfig(fast=True)
+        )
+        assert fast.evaluate_many(sols, acts) == [
+            reference(s, a) for s, a in zip(sols, acts)
+        ]
+
+    def test_prefill_counts_and_dedupes(self, bn_setup):
+        from repro.perf import PerfRegistry
+
+        model, images, stats = bn_setup
+        sols = _candidates(stats, count=4, seed=2)
+        perf = PerfRegistry()
+        evaluator = FitnessEvaluator(
+            model, images, stats.param_counts, FitnessConfig(fast=True),
+            perf=perf,
+        )
+        filled = evaluator.prefill_weights(sols)
+        assert filled > 0
+        assert perf.counter("population.prefill_entries").value == filled
+        assert evaluator.prefill_weights(sols) == 0  # warm: nothing to do
+
+    def test_lut_registry_serves_repeat_formats(self, bn_setup):
+        from repro.perf import get_perf, reset_perf
+
+        model, images, stats = bn_setup
+        sol = _candidates(stats, count=1, seed=8)[0]
+        evaluator = FitnessEvaluator(
+            model, images, stats.param_counts, FitnessConfig(fast=True)
+        )
+        evaluator(sol, derive_activation_params(sol, stats))  # build LUTs
+        reset_perf()
+        evaluator2 = FitnessEvaluator(
+            model, images, stats.param_counts, FitnessConfig(fast=True)
+        )
+        evaluator2(sol, derive_activation_params(sol, stats))
+        stats_cache = get_perf().cache("numerics.lut_cache")
+        # the process-wide registry answers every repeat format
+        assert stats_cache.hits > 0
+        assert stats_cache.misses == 0

@@ -262,6 +262,40 @@ class TestLiveness:
         assert results["tiny"].fitness == ref.fitness
         assert results["tiny"].history.best_fitness == ref.history.best_fitness
 
+    def test_killed_worker_blob_refetch_stays_identical(self, serve_setup):
+        """Kill one worker mid-search while the survivor drops its blob
+        and replica caches (what a restarted worker looks like): the
+        requeued chunks force the survivor to rebuild its replica
+        through the ``blob_get`` fetch-on-miss frames, and the search
+        still completes bitwise-equal to serial.  A *live* model job is
+        what makes this a blob test — its state dict and calibration
+        batch ride the wire as content-addressed refs (the declarative
+        ``SPEC`` ships no arrays at all)."""
+        cnn, _, images = serve_setup
+        ref = lpq_quantize(cnn, images, config=SEARCH)
+        w0, w1 = WorkerServer().start(), WorkerServer().start()
+        try:
+            def sabotage():
+                w0.task_started_event.wait(60)
+                w1.drop_caches()  # survivor must refetch lost blobs
+                w0.kill()
+
+            saboteur = threading.Thread(target=sabotage, daemon=True)
+            saboteur.start()
+            scheduler = SearchScheduler(
+                executor=_remote_executor([w0.address, w1.address])
+            )
+            scheduler.submit("live", cnn, images, config=SEARCH)
+            results = scheduler.run()
+            saboteur.join(timeout=60)
+            assert w0.tasks_started >= 1, "kill never triggered mid-search"
+        finally:
+            w0.stop()
+            w1.stop()
+        assert results["live"].solution == ref.solution
+        assert results["live"].fitness == ref.fitness
+        assert results["live"].history.best_fitness == ref.history.best_fitness
+
     def test_whole_fleet_dead_fails_job_not_hangs(self):
         """Killing every worker resolves outstanding chunks to error
         results: the job fails with context instead of blocking run()."""
