@@ -41,6 +41,8 @@ DOCTEST_MODULES = (
     "repro.serve.scheduler",  # SearchScheduler
     "repro.serve.api",  # lpq_quantize_many
     "repro.serve.remote",  # remote worker fleet round trip
+    "repro.serve.resilience",  # RetryPolicy backoff determinism
+    "repro.serve.chaos",  # FaultPlan round trip + committed plans
     "repro.spec.registry",  # register/resolve/names
     "repro.spec.spec",  # SearchSpec round trip + digest
     "repro.spec.sweep",  # expand_sweep

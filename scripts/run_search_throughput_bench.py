@@ -65,6 +65,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-transport", action="store_true",
                         help="skip the cold-vs-warm-fleet transport "
                              "section")
+    parser.add_argument("--chaos", default=None,
+                        help="comma-separated fault-plan names from "
+                             "repro.serve.chaos.COMMITTED_PLANS, or "
+                             "'all': adds the chaos section — the same "
+                             "search against a misbehaving fleet, "
+                             "asserting bitwise identity and the "
+                             "expected fault.* recovery counters")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default: repo root "
                              "BENCH_search_throughput.json)")
@@ -73,6 +80,20 @@ def main(argv: list[str] | None = None) -> int:
     models = tuple(args.models or ("resnet", "vit", "swin"))
     backends = tuple(args.backends or ("serial", "process"))
     addresses = parse_address_list(args.addresses) if args.addresses else None
+    chaos_plans: tuple[str, ...] = ()
+    if args.chaos:
+        from repro.serve.chaos import COMMITTED_PLANS
+
+        if args.chaos == "all":
+            chaos_plans = tuple(sorted(COMMITTED_PLANS))
+        else:
+            chaos_plans = tuple(args.chaos.split(","))
+            unknown = [p for p in chaos_plans if p not in COMMITTED_PLANS]
+            if unknown:
+                parser.error(
+                    f"unknown fault plan(s) {unknown}; choose from "
+                    f"{sorted(COMMITTED_PLANS)}"
+                )
     record = run_search_throughput_bench(
         calib=args.calib,
         seed=args.seed,
@@ -83,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         include_multi_job=not args.no_multi_job,
         include_transport=not args.no_transport,
         addresses=addresses,
+        chaos_plans=chaos_plans,
     )
     path = write_bench_record(record, args.out)
 
@@ -144,6 +166,17 @@ def main(argv: list[str] | None = None) -> int:
                   f"({sec['warm_bytes_ratio']:.3f}x cold bytes)  "
                   f"identical: {sec['identical']}")
             ok = ok and sec["identical"]
+    chaos = record.get("chaos")
+    if chaos is not None:
+        for plan, sec in chaos.items():
+            fired = {c: n for c, n in sec["fault"].items() if n}
+            print(f"[chaos: {plan} on {sec['model']} "
+                  f"({sec['workers']} workers)]")
+            print(f"  {sec['wall_s']:.2f}s  fault counters "
+                  f"{json.dumps(fired, sort_keys=True)}  "
+                  f"counters_ok: {sec['counters_ok']}  "
+                  f"identical: {sec['identical']}")
+            ok = ok and sec["identical"] and sec["counters_ok"]
     print(f"record written to {path}")
     first = record["models"][models[0]]
     evictions = {

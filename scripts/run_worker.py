@@ -21,12 +21,20 @@ environment variable (the flag wins).  The worker prints one
 ``worker listening on host:port`` line once it is accepting
 connections — CI and launch scripts key readiness off it — and then
 serves until interrupted.
+
+``SIGTERM`` (the fleet-manager stop signal) drains gracefully: the
+worker announces it is leaving so clients stop dispatching to it,
+finishes every chunk it already accepted, then exits — no chunk is
+lost, and the clients requeue anything that raced in after the
+announcement.  ``SIGINT``/Ctrl-C stops abruptly (clients requeue all
+in-flight chunks onto the rest of the fleet).
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 from pathlib import Path
 
@@ -61,6 +69,13 @@ def main(argv: list[str] | None = None) -> int:
         verbose=not args.quiet, blob_cache=args.blob_cache,
     ).start()
     print(f"worker listening on {server.address}", flush=True)
+
+    def _drain(signum, frame):
+        # SIGTERM = graceful retirement: finish in-flight, refuse new
+        print("worker draining (SIGTERM)", flush=True)
+        server.drain()
+
+    signal.signal(signal.SIGTERM, _drain)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

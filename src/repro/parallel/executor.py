@@ -98,7 +98,13 @@ class ExecutorConfig:
     The ``remote`` backend instead takes ``addresses`` — ``host:port``
     strings of running ``scripts/run_worker.py`` workers — plus an
     optional shared-secret ``token`` the workers were started with;
-    ``workers`` is implied by the fleet size.
+    ``workers`` is implied by the fleet size.  Two further remote-only
+    knobs shape failure handling: ``retry`` (a
+    :class:`repro.serve.resilience.RetryPolicy` or its dict form —
+    requeue budgets, deterministic backoff, deadlines, heartbeat
+    overrides) and ``on_fleet_death`` (``"fail"`` keeps the fail-fast
+    default; ``"local"`` degrades gracefully by evaluating remaining
+    chunks on an in-process fallback evaluator, bitwise-identically).
 
     The same config drives single-search executors
     (:func:`repro.quant.lpq_quantize`'s ``executor`` knob) and the
@@ -125,6 +131,12 @@ class ExecutorConfig:
     Traceback (most recent call last):
         ...
     ValueError: unknown backend 'gpu'; choose from ('serial', 'thread', 'process', 'remote')
+    >>> cfg = ExecutorConfig("remote", addresses=["127.0.0.1:7301"],
+    ...                      retry={"max_attempts": 2}, on_fleet_death="local")
+    >>> cfg.retry.max_attempts, cfg.on_fleet_death
+    (2, 'local')
+    >>> ExecutorConfig.from_dict(cfg.to_dict()) == cfg  # spec-JSON safe
+    True
     """
 
     backend: str = "serial"
@@ -132,6 +144,8 @@ class ExecutorConfig:
     start_method: str | None = None
     addresses: tuple[str, ...] | None = None
     token: str | None = None
+    retry: object | None = None
+    on_fleet_death: str = "fail"
 
     def __post_init__(self) -> None:
         backends = spec_registry.registry("executor")
@@ -148,6 +162,25 @@ class ExecutorConfig:
             object.__setattr__(self, "addresses", tuple(self.addresses))
             for address in self.addresses:
                 parse_address(address)
+        if self.retry is not None:
+            # deferred import: repro.serve builds on this module
+            from ..serve.resilience import RetryPolicy
+
+            if isinstance(self.retry, dict):
+                # dict form (spec JSON) normalizes to the policy object
+                object.__setattr__(
+                    self, "retry", RetryPolicy.from_dict(self.retry)
+                )
+            elif not isinstance(self.retry, RetryPolicy):
+                raise ValueError(
+                    f"retry must be a RetryPolicy or its dict form, got "
+                    f"{type(self.retry).__name__}"
+                )
+        if self.on_fleet_death not in ("fail", "local"):
+            raise ValueError(
+                f"on_fleet_death must be 'fail' or 'local', got "
+                f"{self.on_fleet_death!r}"
+            )
         if self.backend == "remote":
             if not self.addresses:
                 raise ValueError(
@@ -158,6 +191,11 @@ class ExecutorConfig:
             raise ValueError(
                 f"addresses/token only apply to the remote backend, not "
                 f"{self.backend!r}"
+            )
+        elif self.retry is not None or self.on_fleet_death != "fail":
+            raise ValueError(
+                f"retry/on_fleet_death only apply to the remote backend, "
+                f"not {self.backend!r}"
             )
 
     def resolved_workers(self) -> int:
@@ -171,7 +209,12 @@ class ExecutorConfig:
         """Plain-JSON dict form (used by :class:`repro.spec.SearchSpec`)."""
         from ..spec.serde import config_to_dict
 
-        return config_to_dict(self)
+        out = config_to_dict(self)
+        if self.retry is not None:
+            # nested policy dataclass → its own dict form (the one
+            # nested config the flat serde helpers don't descend into)
+            out["retry"] = self.retry.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutorConfig":

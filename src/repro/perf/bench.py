@@ -224,6 +224,14 @@ def _transport_counters(snapshot: dict) -> dict:
         "bytes_sent": counters.get("transport.bytes_sent", 0),
         "bytes_saved": counters.get("transport.bytes_saved", 0),
         "blob": {"hits": blob["hits"], "misses": blob["misses"]},
+        # every fault-recovery action the run took (retries, requeues,
+        # rejoins, fallbacks, checksum rejects, ...); all zero on a
+        # healthy fleet
+        "fault": {
+            name[len("fault."):]: value
+            for name, value in sorted(counters.items())
+            if name.startswith("fault.")
+        },
     }
 
 
@@ -537,6 +545,55 @@ def _transport_section(
     return section
 
 
+def _chaos_section(
+    model_name: str,
+    calib: int,
+    config: LPQConfig,
+    seed: int,
+    plans,
+) -> dict:
+    """The chaos soak as a bench section: one remote search per
+    committed fault plan, each against a :class:`~repro.serve.chaos.
+    ChaosFleet` misbehaving on that plan's schedule.
+
+    Every entry must report ``identical: true`` (faults cannot move a
+    bit) and nonzero values for the plan's expected ``fault.*``
+    counters (``counters_ok``) — a fault that silently stopped firing
+    would otherwise let the recovery machinery rot unexercised.
+    """
+    from ..parallel import ExecutorConfig
+    from ..serve.chaos import COMMITTED_PLANS, ChaosFleet
+
+    fast = _run_search(model_name, True, calib, config, seed)
+    section: dict = {}
+    for name in plans:
+        scenario = COMMITTED_PLANS[name]
+        with ChaosFleet(scenario.plan, count=scenario.count) as addresses:
+            executor = ExecutorConfig(
+                "remote", addresses=addresses, retry=scenario.retry,
+                on_fleet_death=scenario.on_fleet_death,
+            )
+            rec = _run_search_backend(
+                model_name, "remote", None, calib, config, seed,
+                executor_config=executor,
+            )
+        fault = rec["transport"]["fault"]
+        expected = [c[len("fault."):] for c in scenario.expect]
+        section[name] = {
+            "model": model_name,
+            "workers": scenario.count,
+            "wall_s": rec["wall_s"],
+            "fault": fault,
+            "expected_counters": expected,
+            "counters_ok": all(fault.get(c, 0) > 0 for c in expected),
+            "identical": (
+                rec["best_fitness"] == fast["best_fitness"]
+                and rec["history"] == fast["history"]
+            ),
+        }
+    return section
+
+
 def _model_section(
     model_name: str,
     calib: int,
@@ -597,6 +654,7 @@ def run_search_throughput_bench(
     include_multi_job: bool = True,
     include_transport: bool = True,
     addresses=None,
+    chaos_plans=None,
 ) -> dict:
     """Benchmark record: per-model reference/fast/backend search runs.
 
@@ -622,6 +680,12 @@ def run_search_throughput_bench(
     caches) and then warm against the *same* fleet — the warm run must
     report ``blob.hits > 0``, a reduced ``transport.bytes_sent``, and
     ``identical: true`` (see :func:`_transport_section`).
+
+    ``chaos_plans`` (a tuple of :data:`repro.serve.chaos.
+    COMMITTED_PLANS` names) adds the ``chaos`` section: the first model
+    searched against a deliberately misbehaving fleet, one entry per
+    fault plan, each asserting bitwise identity plus the expected
+    nonzero ``fault.*`` recovery counters (see :func:`_chaos_section`).
     """
     config = config or bench_config(seed)
     record: dict = {
@@ -651,6 +715,10 @@ def run_search_throughput_bench(
         )
     if include_transport:
         record["transport"] = record["models"][models[0]].pop("transport")
+    if chaos_plans:
+        record["chaos"] = _chaos_section(
+            models[0], calib, config, seed, tuple(chaos_plans)
+        )
     # worker counts each executor *actually* used (SerialExecutor is
     # always 1 regardless of --workers); identical across models
     first_backends = record["models"][models[0]]["backends"]

@@ -27,6 +27,16 @@ searches share that machinery:
   (``scripts/run_worker.py``) and the
   :class:`~repro.serve.remote.SharedRemotePool` client with token
   handshake, heartbeat liveness, and dead-worker requeue.
+* :mod:`repro.serve.resilience` — the committed recovery policy
+  (:class:`~repro.serve.resilience.RetryPolicy`: deterministic
+  backoff, retry budgets, deadlines, fleet-wait) that makes the fleet
+  *elastic*: dead addresses are re-dialed so restarted workers rejoin
+  mid-search, poison chunks are quarantined to a local fallback, and
+  ``on_fleet_death="local"`` degrades to in-process evaluation.
+* :mod:`repro.serve.chaos` — deterministic fault injection
+  (:class:`~repro.serve.chaos.FaultPlan` schedules,
+  :class:`~repro.serve.chaos.ChaosFleet` misbehaving local fleets)
+  proving all of the above keeps results bitwise-identical.
 
 The layer's invariant matches the rest of the stack: scheduling is
 never allowed to move a bit.  Every per-job result is bitwise-identical
@@ -46,7 +56,10 @@ from .scheduler import SearchHandle, SearchScheduler
 from .api import lpq_quantize_many
 
 __all__ = [
+    "ChaosFleet",
     "ChunkResult",
+    "FaultPlan",
+    "RetryPolicy",
     "SearchHandle",
     "SearchScheduler",
     "SharedProcessPool",
@@ -59,13 +72,24 @@ __all__ = [
     "make_shared_pool",
 ]
 
+#: lazily-imported name → submodule (the transport layer pulls in
+#: sockets/threads only when used)
+_LAZY = {
+    "SharedRemotePool": "remote",
+    "WorkerServer": "remote",
+    "RetryPolicy": "resilience",
+    "FaultPlan": "chaos",
+    "ChaosFleet": "chaos",
+}
+
 
 def __getattr__(name: str):
-    # lazy: the transport layer pulls in sockets/threads only when used
-    if name in ("SharedRemotePool", "WorkerServer"):
-        from . import remote
+    submodule = _LAZY.get(name)
+    if submodule is not None:
+        import importlib
 
-        value = getattr(remote, name)
+        module = importlib.import_module(f".{submodule}", __name__)
+        value = getattr(module, name)
         globals()[name] = value
         return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -60,18 +60,22 @@ import socket
 import threading
 import time
 import traceback
+import warnings
 
 from ..parallel import EvaluatorSpec, ExecutorConfig, parse_address
 from ..spec import registry as spec_registry
 from ..spec.blob import BlobStore, get_blob_store
 from ..spec.wire import (
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     WIRE_VERSION,
+    FrameCorruptionError,
     blob_get_message,
     blob_put_message,
     collect_blob_refs,
     decode_job,
     decode_solution,
+    draining_message,
     error_message,
     frame_message,
     hello_message,
@@ -88,6 +92,7 @@ from .pool import (
     _evaluate_with_entry,
     encode_pool_wires,
 )
+from .resilience import RetryPolicy
 
 __all__ = [
     "WorkerServer",
@@ -107,6 +112,10 @@ HANDSHAKE_TIMEOUT_S = 10.0
 #: a worker evaluating a task blocks at most this long for a missing
 #: blob to arrive from the client before failing that task
 BLOB_FETCH_TIMEOUT_S = 30.0
+
+#: drain sentinel on a session's task queue: every task enqueued before
+#: it has been evaluated (FIFO), so the session may close cleanly
+_DRAIN = object()
 
 
 def _send_frame(sock: socket.socket, lock: threading.Lock,
@@ -152,6 +161,12 @@ class _WorkerSession(threading.Thread):
     def _send(self, message: dict) -> None:
         _send_frame(self.sock, self._send_lock, message)
 
+    def send_raw(self, data: bytes) -> None:
+        """Send pre-framed bytes verbatim (the chaos harness uses this
+        to put a deliberately checksum-corrupt frame on the wire)."""
+        with self._send_lock:
+            self.sock.sendall(data)
+
     def close(self) -> None:
         self._closed = True
         with contextlib.suppress(OSError):
@@ -186,6 +201,17 @@ class _WorkerSession(threading.Thread):
         message = read_frame(rfile, self.server.max_frame)
         if message is None or message.get("type") != "hello":
             self._send(error_message("expected hello frame"))
+            return False
+        if message.get("protocol") != PROTOCOL_VERSION:
+            self._send(error_message(
+                f"protocol version mismatch: client speaks "
+                f"{message.get('protocol')!r}, worker speaks "
+                f"{PROTOCOL_VERSION}; upgrade the older build"
+            ))
+            self.server._log(
+                f"refused {self.peer}: protocol "
+                f"{message.get('protocol')!r} != {PROTOCOL_VERSION}"
+            )
             return False
         if message.get("version") != WIRE_VERSION:
             self._send(error_message(
@@ -274,10 +300,22 @@ class _WorkerSession(threading.Thread):
             message = self._tasks.get()
             if message is None or self._closed:
                 return
+            if message is _DRAIN:
+                # every chunk accepted before the drain signal has been
+                # evaluated (the queue is FIFO); closing the socket now
+                # makes the client requeue anything that raced in later
+                self.close()
+                return
             self.server._task_started()
+            chaos = self.server.chaos
+            events = chaos.on_task(self.server) if chaos is not None else ()
+            if events and chaos.apply_task_events(self.server, self, events):
+                continue  # the fault consumed this task (kill/disconnect)
             result = self._evaluate(message)
             if self.muted:
                 continue  # hung-host simulation: compute, never reply
+            if events and chaos.apply_result_events(self, events, result):
+                continue  # the fault already handled (or ate) the send
             try:
                 self._send(result)
             except (OSError, ValueError):
@@ -357,11 +395,17 @@ class WorkerServer:
         self.tasks_received = 0
         self.tasks_started = 0
         self.task_started_event = threading.Event()
+        #: optional fault-injection controller (:mod:`repro.serve.chaos`)
+        self.chaos = None
+        #: session threads that survived :meth:`stop`'s join timeout —
+        #: tracked and surfaced instead of silently abandoned
+        self.leaked_sessions: list = []
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._sessions: set[_WorkerSession] = set()
         self._lock = threading.Lock()
         self._closed = False
+        self._draining = False
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "WorkerServer":
@@ -398,7 +442,12 @@ class WorkerServer:
             session.start()
 
     def stop(self) -> None:
-        """Graceful shutdown: stop accepting, close every session."""
+        """Graceful shutdown: stop accepting, close every session.
+
+        A session thread that outlives the join timeout is *leaked*:
+        it is recorded in :attr:`leaked_sessions`, logged, and surfaced
+        as a ``RuntimeWarning`` — never silently abandoned.
+        """
         self._closed = True
         if self._listener is not None:
             with contextlib.suppress(OSError):
@@ -409,6 +458,47 @@ class WorkerServer:
             session.close()
         for session in sessions:
             session.join(timeout=5)
+        leaked = [s for s in sessions if s.is_alive()]
+        if leaked:
+            self.leaked_sessions.extend(leaked)
+            names = [s.name for s in leaked]
+            self._log(f"leaked {len(leaked)} session thread(s): {names}")
+            warnings.warn(
+                f"WorkerServer.stop: {len(leaked)} session thread(s) "
+                f"still running after the join timeout: {names}",
+                RuntimeWarning, stacklevel=2,
+            )
+
+    def drain(self, wait: float = 30.0) -> None:
+        """Graceful retirement (the SIGTERM path): stop accepting
+        connections, tell every client this worker is leaving
+        (``draining`` frame, so pools stop dispatching here), finish
+        every chunk already accepted, then stop.
+
+        Anything a client managed to send after the drain signal is
+        requeued by that client when the socket closes — exactly one
+        result per chunk still holds fleet-wide.
+        """
+        self._draining = True
+        self._log("draining: refusing new work, finishing in-flight")
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        with self._lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            with contextlib.suppress(OSError, ValueError):
+                session._send(draining_message())
+            session._tasks.put(_DRAIN)
+        deadline = time.monotonic() + wait
+        for session in sessions:
+            session.join(timeout=max(0.0, deadline - time.monotonic()))
+        self.stop()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun."""
+        return self._draining
 
     def kill(self) -> None:
         """Abrupt death (tests): drop every socket with no goodbye.
@@ -506,6 +596,9 @@ class _RemoteWorker:
         self.send_lock = threading.Lock()
         self.reader: threading.Thread | None = None
         self.alive = False
+        #: cleared by a ``draining`` frame: the worker is finishing its
+        #: in-flight chunks but must not be handed anything new
+        self.accepting = True
         self.capacity = 1
         self.pending: set[int] = set()  # task ids in flight here
         self.last_recv = time.monotonic()
@@ -529,9 +622,16 @@ class _RemoteWorker:
 
 
 class _Task:
-    """One submitted chunk, tracked until exactly one result returns."""
+    """One submitted chunk, tracked until exactly one result returns.
 
-    __slots__ = ("task", "job", "seq", "chunk", "solutions")
+    ``attempts`` counts requeues (worker deaths / expired deadlines
+    while this chunk was in flight) against the retry budget;
+    ``sent_at`` is the monotonic timestamp of the latest dispatch, the
+    clock the per-chunk deadline runs on.
+    """
+
+    __slots__ = ("task", "job", "seq", "chunk", "solutions", "attempts",
+                 "sent_at")
 
     def __init__(self, task: int, job: str, seq: int, chunk: int,
                  solutions) -> None:
@@ -540,6 +640,8 @@ class _Task:
         self.seq = seq
         self.chunk = chunk
         self.solutions = solutions
+        self.attempts = 0
+        self.sent_at: float | None = None
 
 
 class SharedRemotePool(WorkerPool):
@@ -557,13 +659,28 @@ class SharedRemotePool(WorkerPool):
     tag.
 
     **Liveness.**  A heartbeat thread pings every worker; a worker
-    whose socket errors, EOFs, or goes silent past the liveness timeout
-    is declared dead, and every chunk in flight on it is requeued onto
-    the survivors (deterministic evaluation makes the re-run
-    bit-identical; task-id dedupe makes redelivery impossible).  When
-    the last worker dies, outstanding chunks resolve to error results
-    instead — the scheduler fails those jobs cleanly rather than
-    blocking forever.
+    whose socket errors, EOFs, sends a checksum-corrupt frame, or goes
+    silent past the liveness timeout is declared dead, and every chunk
+    in flight on it is requeued onto the survivors on the
+    :class:`~repro.serve.resilience.RetryPolicy` backoff schedule
+    (deterministic evaluation makes the re-run bit-identical; task-id
+    dedupe makes redelivery impossible).  When the last worker dies,
+    outstanding chunks resolve per ``on_fleet_death``: ``"fail"``
+    (default) delivers error results so the scheduler fails those jobs
+    cleanly rather than blocking forever; ``"local"`` evaluates them on
+    an in-process fallback evaluator — slower, but bitwise-identical.
+
+    **Elasticity.**  The fleet is not static: dead addresses are
+    re-dialed on the same deterministic backoff, so a restarted worker
+    rejoins mid-search and immediately receives a rebalanced share of
+    the in-flight load; :meth:`add_worker` / :meth:`remove_worker`
+    grow and shrink the fleet at runtime; a worker announcing a drain
+    (SIGTERM) finishes its chunks but is handed nothing new.  A chunk
+    whose workers keep dying under it (a *poison chunk*) is quarantined
+    after ``retry.max_attempts`` requeues and evaluated locally,
+    flagged by the ``fault.quarantines`` counter, instead of cascading
+    through the fleet.  Every recovery action increments a ``fault.*``
+    counter in :attr:`perf`.
     """
 
     def __init__(
@@ -577,12 +694,27 @@ class SharedRemotePool(WorkerPool):
         liveness_timeout_s: float | None = None,
         blobs: BlobStore | None = None,
         perf=None,
+        retry: RetryPolicy | None = None,
+        on_fleet_death: str = "fail",
     ) -> None:
         if not addresses:
             raise ValueError("SharedRemotePool requires at least one address")
+        if on_fleet_death not in ("fail", "local"):
+            raise ValueError(
+                f"on_fleet_death must be 'fail' or 'local', got "
+                f"{on_fleet_death!r}"
+            )
         self.wires = dict(wires)
         self.addresses = [str(a) for a in addresses]
         self.token = token
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.on_fleet_death = on_fleet_death
+        # the policy may override the transport's timing defaults so a
+        # committed spec file fully pins recovery behaviour
+        if self.retry.heartbeat_s is not None:
+            heartbeat_s = self.retry.heartbeat_s
+        if self.retry.liveness_timeout_s is not None:
+            liveness_timeout_s = self.retry.liveness_timeout_s
         #: the store the wires were encoded against; answers blob_get
         self._blobs = blobs
         #: digest → the encoded ref payload it appears as in the wires
@@ -610,14 +742,31 @@ class SharedRemotePool(WorkerPool):
         self._lock = threading.Lock()
         self._heartbeat: threading.Thread | None = None
         self._closed = False
+        #: address → [failed-redial count, next-attempt monotonic time]
+        self._redial: dict[str, list] = {}
+        #: chunks parked while the fleet is momentarily empty but a
+        #: redial may still revive it (only with retry.fleet_wait_s > 0)
+        self._parked: list[_Task] = []
+        self._fleet_down_since: float | None = None
+        #: lazily-started in-process fallback evaluator (quarantined
+        #: poison chunks, on_fleet_death="local" degradation)
+        self._local_queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._local_thread: threading.Thread | None = None
+        self._local_lock = threading.Lock()
+        #: transport threads that outlived close()'s join timeouts
+        self.leaked_threads: list[str] = []
 
     # -- WorkerPool surface ----------------------------------------------
     @property
     def workers(self) -> int:
-        """Live worker capacity (minimum 1 so chunk-count arithmetic in
-        the scheduler stays well-defined while the fleet collapses)."""
+        """Live, accepting worker capacity (minimum 1 so chunk-count
+        arithmetic in the scheduler stays well-defined while the fleet
+        collapses; draining workers no longer count)."""
         with self._lock:
-            live = sum(w.capacity for w in self._workers if w.alive)
+            live = sum(
+                w.capacity for w in self._workers
+                if w.alive and w.accepting
+            )
         return max(1, live)
 
     def healthy(self) -> bool:
@@ -651,16 +800,97 @@ class SharedRemotePool(WorkerPool):
         self._closed = True
         with self._lock:
             workers = list(self._workers)
+            parked, self._parked = self._parked, []
+        for entry in parked:
+            self._fail_task(entry, "pool closed while the fleet was down")
         for worker in workers:
             if worker.alive:
                 with contextlib.suppress(OSError, ValueError):
                     worker.send({"type": "bye"})
             worker.drop()
+        if self._local_thread is not None:
+            self._local_queue.put(None)
+            self._local_thread.join(timeout=10)
+        leaked: list[str] = []
         for worker in workers:
             if worker.reader is not None:
                 worker.reader.join(timeout=5)
+                if worker.reader.is_alive():
+                    leaked.append(worker.reader.name)
         if self._heartbeat is not None:
             self._heartbeat.join(timeout=self.heartbeat_s + 5)
+            if self._heartbeat.is_alive():
+                leaked.append(self._heartbeat.name)
+        if self._local_thread is not None and self._local_thread.is_alive():
+            leaked.append(self._local_thread.name)
+        if leaked:
+            # surface the leak instead of abandoning the threads: the
+            # counter makes it visible in bench records, the warning in
+            # test logs and operator consoles
+            self.leaked_threads.extend(leaked)
+            self.perf.counter("fault.leaked_threads").inc(len(leaked))
+            warnings.warn(
+                f"SharedRemotePool.close: {len(leaked)} transport "
+                f"thread(s) did not exit within the join timeout: "
+                f"{leaked}",
+                RuntimeWarning, stacklevel=2,
+            )
+
+    # -- elastic membership ----------------------------------------------
+    def add_worker(self, address: str) -> bool:
+        """Grow the fleet at runtime: dial ``address``, register the
+        full job table, and rebalance in-flight load onto the joiner.
+
+        Returns ``True`` on an immediate join; ``False`` if the worker
+        is not reachable *yet* — the address is then kept on the redial
+        schedule, so a worker that comes up later joins on its own.
+        """
+        address = str(address)
+        parse_address(address)
+        with self._lock:
+            if address not in self.addresses:
+                self.addresses.append(address)
+        try:
+            worker = self._connect(address)
+        except ConnectionError:
+            with self._lock:
+                self._redial.setdefault(address, [0, 0.0])
+            return False
+        self._admit(worker, rejoin=False)
+        return True
+
+    def remove_worker(self, address: str) -> None:
+        """Shrink the fleet at runtime: retire every connection to
+        ``address`` (its in-flight chunks are requeued onto the rest of
+        the fleet) and stop re-dialing it."""
+        address = str(address)
+        with self._lock:
+            if address in self.addresses:
+                self.addresses.remove(address)
+            self._redial.pop(address, None)
+            targets = [
+                w for w in self._workers
+                if w.address == address and w.alive
+            ]
+        for worker in targets:
+            with contextlib.suppress(OSError, ValueError):
+                worker.send({"type": "bye"})
+            self._worker_died(worker)
+
+    def _admit(self, worker: _RemoteWorker, rejoin: bool) -> None:
+        """Install a freshly-connected worker: replace any dead record
+        for its address, release parked chunks, rebalance load."""
+        with self._lock:
+            self._workers = [
+                w for w in self._workers
+                if w.alive or w.address != worker.address
+            ]
+            self._workers.append(worker)
+            self._redial.pop(worker.address, None)
+        if rejoin:
+            self.perf.counter("fault.rejoins").inc()
+        self._flush_parked()
+        self._rebalance(worker)
 
     # -- connection management -------------------------------------------
     def _connect(self, address: str) -> _RemoteWorker:
@@ -695,6 +925,13 @@ class SharedRemotePool(WorkerPool):
             raise ConnectionError(
                 f"worker {address} refused the handshake: {detail}"
             )
+        if reply.get("protocol") != PROTOCOL_VERSION:
+            worker.drop()
+            raise ConnectionError(
+                f"worker {address} speaks protocol "
+                f"{reply.get('protocol')!r}, this client speaks "
+                f"{PROTOCOL_VERSION}; upgrade the older build"
+            )
         sock.settimeout(None)
         worker.capacity = max(1, int(reply.get("capacity", 1)))
         worker.alive = True
@@ -722,10 +959,19 @@ class SharedRemotePool(WorkerPool):
                     self._handle_result(worker, message)
                 elif kind == "blob_get":
                     self._handle_blob_get(worker, message)
+                elif kind == "draining":
+                    # the worker is retiring (SIGTERM): it will finish
+                    # what it holds, but gets nothing new
+                    worker.accepting = False
+                    self.perf.counter("fault.drains").inc()
                 elif kind == "error":
                     break  # worker declared the connection unusable
                 # pong and anything else: the timestamp update above is
                 # all the liveness machinery needs
+        except FrameCorruptionError:
+            # a corrupt frame demotes the worker cleanly: count it,
+            # drop the connection, requeue its chunks elsewhere
+            self.perf.counter("fault.checksum_rejects").inc()
         except (OSError, ValueError):
             pass
         self._worker_died(worker)
@@ -733,6 +979,8 @@ class SharedRemotePool(WorkerPool):
     def _heartbeat_loop(self) -> None:
         while not self._closed:
             time.sleep(self.heartbeat_s)
+            if self._closed:
+                return
             now = time.monotonic()
             with self._lock:
                 workers = [w for w in self._workers if w.alive]
@@ -744,6 +992,139 @@ class SharedRemotePool(WorkerPool):
                     worker.send({"type": "ping", "t": int(now * 1000)})
                 except (OSError, ValueError):
                     self._worker_died(worker)
+            self._check_deadlines(now)
+            self._redial_pass(now)
+            self._check_parked(now)
+
+    # -- elastic recovery passes (heartbeat thread) -----------------------
+    def _check_deadlines(self, now: float) -> None:
+        """Requeue chunks in flight longer than the policy deadline —
+        a stalled worker should not hold a chunk hostage for the whole
+        liveness window.  The late duplicate, if it ever arrives, is
+        dropped by task-id dedupe."""
+        deadline = self.retry.deadline_s
+        if deadline is None:
+            return
+        stale: list[_Task] = []
+        with self._lock:
+            for worker in self._workers:
+                if not worker.alive:
+                    continue
+                for task in list(worker.pending):
+                    entry = self._pending.get(task)
+                    if entry is None:
+                        worker.pending.discard(task)
+                        continue
+                    if entry.sent_at is not None \
+                            and now - entry.sent_at > deadline:
+                        worker.pending.discard(task)
+                        stale.append(entry)
+        for entry in stale:
+            self.perf.counter("fault.deadline_requeues").inc()
+            self._requeue(entry)
+
+    def _redial_pass(self, now: float) -> None:
+        """Re-dial every configured address with no live connection,
+        each on its own deterministic backoff schedule — a restarted
+        worker rejoins the fleet mid-search."""
+        if self._closed:
+            return
+        due: list[tuple[str, list]] = []
+        with self._lock:
+            for address in self.addresses:
+                if any(
+                    w.alive for w in self._workers if w.address == address
+                ):
+                    continue
+                state = self._redial.setdefault(address, [0, 0.0])
+                if now >= state[1]:
+                    due.append((address, state))
+        for address, state in due:
+            state[0] += 1
+            self.perf.counter("fault.redials").inc()
+            try:
+                worker = self._connect(address)
+            except (ConnectionError, OSError, ValueError):
+                state[1] = time.monotonic() + self.retry.backoff(
+                    state[0], key=address
+                )
+                continue
+            self._admit(worker, rejoin=True)
+
+    def _check_parked(self, now: float) -> None:
+        """Release parked chunks once a worker is back, or fail them
+        once the fleet has been down longer than ``fleet_wait_s``."""
+        with self._lock:
+            if not self._parked:
+                return
+            down_since = self._fleet_down_since
+            has_live = any(
+                w.alive and w.accepting for w in self._workers
+            )
+        if has_live:
+            self._flush_parked()
+        elif down_since is not None \
+                and now - down_since > self.retry.fleet_wait_s:
+            with self._lock:
+                parked, self._parked = self._parked, []
+                self._fleet_down_since = None
+            for entry in parked:
+                self._fail_task(
+                    entry,
+                    f"fleet down for more than "
+                    f"{self.retry.fleet_wait_s}s with no rejoin",
+                )
+
+    def _flush_parked(self) -> None:
+        with self._lock:
+            parked, self._parked = self._parked, []
+            self._fleet_down_since = None
+        for entry in parked:
+            self._dispatch(entry)
+
+    def _rebalance(self, worker: _RemoteWorker) -> None:
+        """Move excess in-flight chunks from loaded workers onto a
+        joiner.  Safe by construction: the donor may still deliver a
+        moved chunk, and task-id dedupe keeps whichever copy lands
+        first (both are bitwise-identical)."""
+        moves: list[_Task] = []
+        with self._lock:
+            others = [
+                w for w in self._workers
+                if w.alive and w.accepting and w is not worker
+            ]
+            if not others:
+                return
+            total = len(worker.pending) + sum(
+                len(w.pending) for w in others
+            )
+            target = -(-total // (len(others) + 1))  # ceil
+            for other in sorted(others, key=lambda w: -len(w.pending)):
+                while (
+                    len(other.pending) > target
+                    and len(worker.pending) < target
+                ):
+                    task = max(other.pending)
+                    other.pending.discard(task)
+                    entry = self._pending.get(task)
+                    if entry is None:
+                        continue
+                    worker.pending.add(task)
+                    moves.append(entry)
+        for entry in moves:
+            try:
+                worker.send(task_message(
+                    entry.task, entry.job, entry.seq, entry.chunk,
+                    entry.solutions,
+                ))
+                entry.sent_at = time.monotonic()
+            except (OSError, ValueError):
+                # every move (sent or not) is in worker.pending, so the
+                # death sweep requeues them all — nothing is stranded
+                self._worker_died(worker)
+                return
+        if moves:
+            self.perf.counter("fault.rebalanced").inc(len(moves))
 
     # -- blob transport --------------------------------------------------
     def _handle_blob_get(self, worker: _RemoteWorker, message: dict) -> None:
@@ -771,7 +1152,9 @@ class SharedRemotePool(WorkerPool):
     # -- dispatch / results ----------------------------------------------
     def _pick_worker(self) -> _RemoteWorker | None:
         with self._lock:
-            live = [w for w in self._workers if w.alive]
+            live = [
+                w for w in self._workers if w.alive and w.accepting
+            ]
             if not live:
                 return None
             return min(live, key=lambda w: len(w.pending) / w.capacity)
@@ -782,7 +1165,7 @@ class SharedRemotePool(WorkerPool):
         while True:
             worker = self._pick_worker()
             if worker is None:
-                self._fail_task(entry, "no live remote workers remain")
+                self._handle_no_workers(entry)
                 return
             with self._lock:
                 # re-check under the lock: _worker_died may have swept
@@ -797,11 +1180,52 @@ class SharedRemotePool(WorkerPool):
                     entry.task, entry.job, entry.seq, entry.chunk,
                     entry.solutions,
                 ))
+                entry.sent_at = time.monotonic()
                 return
             except (OSError, ValueError):
                 with self._lock:
                     worker.pending.discard(entry.task)
                 self._worker_died(worker)
+
+    def _handle_no_workers(self, entry: _Task) -> None:
+        """Dispatch found an empty fleet: degrade per policy — run the
+        chunk locally, park it for a rejoin, or fail it fast."""
+        if self._closed:
+            self._fail_task(entry, "pool closed")
+            return
+        if self.on_fleet_death == "local":
+            self.perf.counter("fault.fallbacks").inc()
+            self._run_local(entry)
+            return
+        if self.retry.fleet_wait_s > 0:
+            with self._lock:
+                if self._fleet_down_since is None:
+                    self._fleet_down_since = time.monotonic()
+                self._parked.append(entry)
+            self.perf.counter("fault.parked").inc()
+            return
+        self._fail_task(entry, "no live remote workers remain")
+
+    def _requeue(self, entry: _Task) -> None:
+        """Charge one failure against a chunk's retry budget, then
+        either quarantine it (poison chunk → local evaluation) or
+        re-dispatch on the policy's deterministic backoff."""
+        entry.attempts += 1
+        self.perf.counter("fault.retries").inc()
+        if self.retry.exhausted(entry.attempts):
+            # this chunk has now taken down max_attempts workers in a
+            # row: quarantine it — evaluate locally, flagged by the
+            # counter — rather than let it cascade through the fleet
+            self.perf.counter("fault.quarantines").inc()
+            self._run_local(entry)
+            return
+        delay = self.retry.backoff(entry.attempts, key=f"task{entry.task}")
+        if delay > 0.001 and not self._closed:
+            timer = threading.Timer(delay, self._dispatch, args=(entry,))
+            timer.daemon = True
+            timer.start()
+        else:
+            self._dispatch(entry)
 
     def _handle_result(self, worker: _RemoteWorker, message: dict) -> None:
         with self._lock:
@@ -812,7 +1236,10 @@ class SharedRemotePool(WorkerPool):
             worker.pending.discard(task)
             entry = self._pending.pop(task, None)
         if entry is None:
-            return  # duplicate delivery after a requeue: drop
+            # duplicate delivery after a requeue/rebalance: drop (both
+            # copies are bitwise-identical, the first one won)
+            self.perf.counter("fault.duplicate_results").inc()
+            return
         self._results.put(ChunkResult(
             job=message["job"],
             seq=message["seq"],
@@ -843,11 +1270,71 @@ class SharedRemotePool(WorkerPool):
                 if task in self._pending
             ]
             worker.pending.clear()
+            if not self._closed and worker.address in self.addresses:
+                # schedule the first redial of this address: a worker
+                # restarted behind the same host:port rejoins mid-search
+                state = self._redial.setdefault(worker.address, [0, 0.0])
+                state[1] = time.monotonic() + self.retry.backoff(
+                    state[0] + 1, key=worker.address
+                )
         worker.drop()
         if self._closed:
             return
+        if orphans:
+            self.perf.counter("fault.requeues").inc(len(orphans))
         for entry in orphans:
-            self._dispatch(entry)
+            self._requeue(entry)
+
+    # -- local fallback evaluator ----------------------------------------
+    def _run_local(self, entry: _Task) -> None:
+        """Queue a chunk for the in-process fallback evaluator (lazily
+        started): quarantined poison chunks and on_fleet_death="local"
+        degradation both land here.  Evaluation reuses the exact
+        worker-side replica machinery, so the result is bitwise what a
+        remote worker would have produced."""
+        with self._local_lock:
+            if self._local_thread is None:
+                self._local_thread = threading.Thread(
+                    target=self._local_loop, daemon=True,
+                    name="repro-remote-local-fallback",
+                )
+                self._local_thread.start()
+        self._local_queue.put(entry)
+
+    def _local_loop(self) -> None:
+        entries: dict[str, tuple] = {}
+        while True:
+            entry = self._local_queue.get()
+            if entry is None:
+                return
+            start = time.perf_counter()
+            try:
+                built = entries.get(entry.job)
+                if built is None:
+                    built = _build_entry(
+                        decode_job(self.wires[entry.job], blobs=self._blobs),
+                        copy_model=False,
+                    )
+                    entries[entry.job] = built
+                fits, delta = _evaluate_with_entry(built, entry.solutions)
+                result = ChunkResult(
+                    entry.job, entry.seq, entry.chunk, fits, delta,
+                    time.perf_counter() - start,
+                )
+            except Exception:
+                result = ChunkResult(
+                    entry.job, entry.seq, entry.chunk, None, None,
+                    time.perf_counter() - start,
+                    error=traceback.format_exc(),
+                )
+            with self._lock:
+                delivered = self._pending.pop(entry.task, None)
+            if delivered is not None:
+                self._results.put(result)
+            else:
+                # a remote worker beat the fallback to it (identical
+                # payload): count the duplicate, deliver nothing
+                self.perf.counter("fault.duplicate_results").inc()
 
 
 # -- single-search adapter ------------------------------------------------
@@ -881,6 +1368,8 @@ class RemoteExecutor:
             token=config.token,
             blobs=blobs,
             perf=perf,
+            retry=config.retry,
+            on_fleet_death=config.on_fleet_death,
         ).start()
         self._seq = itertools.count()
 
@@ -924,6 +1413,8 @@ def _make_shared_remote_pool(specs, config, results, search_specs):
         results,
         token=config.token,
         blobs=blobs,
+        retry=config.retry,
+        on_fleet_death=config.on_fleet_death,
     )
 
 

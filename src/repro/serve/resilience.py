@@ -1,0 +1,160 @@
+"""Retry/backoff policies for the elastic remote fleet.
+
+:class:`RetryPolicy` is the one knob object that decides how the
+remote transport (:mod:`repro.serve.remote`) behaves when workers
+misbehave: how many times a chunk may be requeued before it is
+quarantined and run locally, how redial/retry backoff grows, how long
+a chunk may sit in flight before it is re-dispatched, and how fast the
+heartbeat/liveness clocks tick.  It travels inside
+:class:`repro.parallel.ExecutorConfig` (``retry=``) and therefore
+round-trips through :class:`repro.spec.SearchSpec` JSON — a committed
+spec file fully describes the fleet's failure behaviour.
+
+None of these knobs can change search *results*: retries, rejoins and
+local fallback re-run deterministic, side-effect-free chunk
+evaluations, so every recovery path is bitwise-identical to the serial
+backend (``tests/serve/test_chaos.py`` asserts exactly that under
+committed fault plans).
+
+Backoff is exponential with **deterministic seeded jitter**: the
+jitter term is a pure function of ``(seed, key, attempt)``, so two
+runs of the same plan back off identically — no wall-clock randomness
+anywhere in the recovery machinery.
+
+>>> policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+...                      backoff_max_s=1.0, jitter=0.0)
+>>> [round(policy.backoff(a), 3) for a in (1, 2, 3, 4, 5)]
+[0.1, 0.2, 0.4, 0.8, 1.0]
+>>> jittered = RetryPolicy(backoff_base_s=0.1, jitter=0.5, seed=7)
+>>> jittered.backoff(2, key="10.0.0.1:7301") == \\
+...     jittered.backoff(2, key="10.0.0.1:7301")  # deterministic
+True
+>>> RetryPolicy.from_dict(policy.to_dict()) == policy
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failure-handling policy for the remote worker fleet.
+
+    ``max_attempts``
+        Requeue budget per chunk: a chunk whose worker died (or whose
+        deadline expired) is re-dispatched up to this many times; one
+        more failure marks the chunk *poison* — it is quarantined and
+        evaluated locally instead of being allowed to take down yet
+        another worker.
+    ``backoff_base_s`` / ``backoff_factor`` / ``backoff_max_s`` / ``jitter``
+        Exponential backoff for chunk retries and dead-address
+        redials: attempt *n* waits ``base * factor**(n-1)`` seconds,
+        capped at ``backoff_max_s``, scaled by a deterministic jitter
+        in ``[1-jitter, 1+jitter)`` derived from ``(seed, key,
+        attempt)`` — seeded, so recovery schedules reproduce.
+    ``deadline_s``
+        Optional per-chunk in-flight deadline: a chunk that has been
+        out on a worker longer than this is re-dispatched elsewhere
+        (task-id dedupe drops the late duplicate).  ``None`` leaves
+        liveness timeouts as the only stall detector.
+    ``fleet_wait_s``
+        How long dispatch may *park* chunks while the fleet is
+        momentarily empty but redials are in progress (a restarting
+        worker re-admits them).  ``0`` keeps the fail-fast PR-5
+        behaviour: an empty fleet fails outstanding chunks
+        immediately.
+    ``heartbeat_s`` / ``liveness_timeout_s``
+        Optional overrides for the pool's heartbeat interval and
+        silent-worker timeout (``None`` keeps the transport defaults).
+
+    >>> RetryPolicy().max_attempts
+    3
+    >>> RetryPolicy(max_attempts=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: max_attempts must be >= 1
+    >>> RetryPolicy(jitter=1.5)
+    Traceback (most recent call last):
+        ...
+    ValueError: jitter must be in [0, 1]
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+    deadline_s: float | None = None
+    fleet_wait_s: float = 0.0
+    heartbeat_s: float | None = None
+    liveness_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError("backoff_max_s must be >= backoff_base_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.fleet_wait_s < 0:
+            raise ValueError("fleet_wait_s must be >= 0")
+        for name in ("heartbeat_s", "liveness_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+
+    # -- backoff ---------------------------------------------------------
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based).
+
+        ``key`` names what is being retried (a task id, a worker
+        address) so distinct retry streams get independent — but each
+        individually deterministic — jitter.
+        """
+        raw = self.backoff_base_s * self.backoff_factor ** max(
+            0, int(attempt) - 1
+        )
+        capped = min(raw, self.backoff_max_s)
+        if self.jitter == 0.0 or capped == 0.0:
+            return capped
+        return capped * (1.0 + self.jitter * (2.0 * self._unit(key, attempt) - 1.0))
+
+    def _unit(self, key: str, attempt: int) -> float:
+        """Deterministic uniform-ish value in ``[0, 1)`` from
+        ``(seed, key, attempt)`` — hash-derived, no RNG state."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{int(attempt)}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once a chunk has burned its whole requeue budget (the
+        quarantine trigger)."""
+        return attempts > self.max_attempts
+
+    # -- JSON ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON dict form (rides inside
+        ``ExecutorConfig.to_dict``, hence spec files)."""
+        from ..spec.serde import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        from ..spec.serde import config_from_dict
+
+        return config_from_dict(cls, data)

@@ -223,7 +223,7 @@ class SearchSpec:
             "executor": (
                 None
                 if self.executor is None
-                else config_to_dict(self.executor)
+                else self.executor.to_dict()
             ),
             "seed": self.seed,
             "name": self.name,
@@ -259,9 +259,7 @@ class SearchSpec:
         if data.get("fitness") is not None:
             data["fitness"] = config_from_dict(FitnessConfig, data["fitness"])
         if data.get("executor") is not None:
-            data["executor"] = config_from_dict(
-                ExecutorConfig, data["executor"]
-            )
+            data["executor"] = ExecutorConfig.from_dict(data["executor"])
         return cls(**data)
 
     def digest(self) -> str:

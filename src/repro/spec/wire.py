@@ -33,13 +33,17 @@ submitting process, with a message pointing at the registry/builder
 alternatives.
 
 **Framing.**  The remote transport (:mod:`repro.serve.remote`) carries
-these payloads over TCP as *frames*: a 4-byte big-endian length prefix
-followed by that many bytes of UTF-8 JSON.  :func:`frame_message` and
-:class:`FrameDecoder` are the pure encode/decode pair (the decoder is
-incremental, so arbitrary TCP segmentation cannot split a message), and
-:func:`read_frame` / :func:`write_frame` apply them to a stream.  The
-handshake and task messages themselves are built by the ``*_message``
-constructors below, so both ends of the socket agree on one schema:
+these payloads over TCP as *frames*: a 4-byte big-endian length prefix,
+a 4-byte CRC32 of the body, then that many bytes of UTF-8 JSON.  The
+checksum turns silent corruption into a loud, connection-scoped
+:class:`FrameCorruptionError` — the pool demotes the offending worker
+and requeues its chunks instead of feeding a flipped bit into a search.
+:func:`frame_message` and :class:`FrameDecoder` are the pure
+encode/decode pair (the decoder is incremental, so arbitrary TCP
+segmentation cannot split a message), and :func:`read_frame` /
+:func:`write_frame` apply them to a stream.  The handshake and task
+messages themselves are built by the ``*_message`` constructors below,
+so both ends of the socket agree on one schema:
 
 >>> decoder = FrameDecoder()
 >>> decoder.feed(frame_message({"type": "ping", "t": 1}))
@@ -55,6 +59,7 @@ import importlib
 import inspect
 import json
 import struct
+import zlib
 
 import numpy as np
 
@@ -74,7 +79,9 @@ from .spec import _DEFAULT_OBJECTIVE, SearchSpec
 
 __all__ = [
     "WIRE_VERSION",
+    "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "FrameCorruptionError",
     "FrameDecoder",
     "frame_message",
     "read_frame",
@@ -96,27 +103,56 @@ __all__ = [
     "result_message",
     "blob_get_message",
     "blob_put_message",
+    "draining_message",
 ]
 
 #: wire-format version stamped into every job payload and handshake
 WIRE_VERSION = 1
 
+#: remote-transport protocol version: the frame layout plus the message
+#: schema both ends must share.  Bumped whenever either changes (v2
+#: added CRC32 frame checksums and the draining frame); a client and a
+#: worker built at different versions refuse each other at handshake
+#: time with a message naming both numbers, instead of failing
+#: mid-search on an undecodable frame.
+PROTOCOL_VERSION = 2
+
 #: refuse frames larger than this (a corrupt length prefix must not
 #: make a worker allocate gigabytes); large models override per call
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
-_FRAME_HEADER = struct.Struct(">I")
+#: 4-byte big-endian body length + 4-byte CRC32 of the body
+_FRAME_HEADER = struct.Struct(">II")
+
+
+class FrameCorruptionError(ValueError):
+    """A frame's body failed its CRC32 checksum.
+
+    A subclass of ``ValueError`` so every existing drop-the-connection
+    handler still fires; the remote pool additionally catches it
+    specifically to count ``fault.checksum_rejects`` and demote the
+    worker cleanly.
+    """
+
+
+def _check_crc(body: bytes, expected: int) -> None:
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != expected:
+        raise FrameCorruptionError(
+            f"frame checksum mismatch (got {actual:#010x}, frame "
+            f"declared {expected:#010x}): corrupt stream"
+        )
 
 
 # -- framing -------------------------------------------------------------
 def frame_message(message: dict, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
-    """One JSON message → one length-prefixed frame (bytes)."""
+    """One JSON message → one length-prefixed, CRC32-protected frame."""
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > max_bytes:
         raise ValueError(
             f"frame of {len(body)} bytes exceeds the {max_bytes}-byte limit"
         )
-    return _FRAME_HEADER.pack(len(body)) + body
+    return _FRAME_HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
 
 
 class FrameDecoder:
@@ -125,8 +161,9 @@ class FrameDecoder:
     Feed it byte chunks in any segmentation (TCP guarantees order, not
     boundaries); it returns every completely received message, keeping
     partial frames buffered.  A length prefix above ``max_bytes`` or a
-    body that is not a JSON object raises ``ValueError`` — the caller
-    drops the connection rather than resynchronize a corrupt stream.
+    body that is not a JSON object raises ``ValueError``, a checksum
+    mismatch :class:`FrameCorruptionError` — the caller drops the
+    connection rather than resynchronize a corrupt stream.
     """
 
     def __init__(self, max_bytes: int = MAX_FRAME_BYTES) -> None:
@@ -139,7 +176,7 @@ class FrameDecoder:
         while True:
             if len(self._buffer) < _FRAME_HEADER.size:
                 return messages
-            (length,) = _FRAME_HEADER.unpack_from(self._buffer)
+            length, crc = _FRAME_HEADER.unpack_from(self._buffer)
             if length > self.max_bytes:
                 raise ValueError(
                     f"frame length {length} exceeds the "
@@ -150,6 +187,7 @@ class FrameDecoder:
                 return messages
             body = bytes(self._buffer[_FRAME_HEADER.size:end])
             del self._buffer[:end]
+            _check_crc(body, crc)
             message = json.loads(body.decode("utf-8"))
             if not isinstance(message, dict):
                 raise ValueError(
@@ -176,14 +214,15 @@ def read_frame(stream, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
 
     Returns ``None`` on a clean EOF at a frame boundary; raises
     ``ValueError`` on a truncated frame, an oversized length prefix, or
-    a non-object body (the stream is unrecoverable in every case).
+    a non-object body, and :class:`FrameCorruptionError` on a checksum
+    mismatch (the stream is unrecoverable in every case).
     """
     header = stream.read(_FRAME_HEADER.size)
     if not header:
         return None
     if len(header) < _FRAME_HEADER.size:
         raise ValueError("truncated frame header")
-    (length,) = _FRAME_HEADER.unpack(header)
+    length, crc = _FRAME_HEADER.unpack(header)
     if length > max_bytes:
         raise ValueError(
             f"frame length {length} exceeds the {max_bytes}-byte limit"
@@ -191,6 +230,7 @@ def read_frame(stream, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
     body = stream.read(length)
     if len(body) < length:
         raise ValueError("truncated frame body")
+    _check_crc(body, crc)
     message = json.loads(body.decode("utf-8"))
     if not isinstance(message, dict):
         raise ValueError(
@@ -201,17 +241,33 @@ def read_frame(stream, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
 
 # -- protocol messages ---------------------------------------------------
 def hello_message(token: str | None = None) -> dict:
-    """Client → worker handshake opener (version + auth token)."""
-    return {"type": "hello", "version": WIRE_VERSION, "token": token}
+    """Client → worker handshake opener (protocol/payload versions +
+    auth token).  Both versions ride the frame so a mismatched build is
+    refused here, with a message naming the two versions, instead of
+    failing later on an unknown frame."""
+    return {
+        "type": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "version": WIRE_VERSION,
+        "token": token,
+    }
 
 
 def welcome_message(capacity: int = 1) -> dict:
     """Worker → client handshake acceptance (advertised capacity)."""
     return {
         "type": "welcome",
+        "protocol": PROTOCOL_VERSION,
         "version": WIRE_VERSION,
         "capacity": int(capacity),
     }
+
+
+def draining_message() -> dict:
+    """Worker → client: this worker is draining (SIGTERM) — it will
+    finish the chunks already accepted, then close; send it nothing
+    new."""
+    return {"type": "draining"}
 
 
 def error_message(error: str) -> dict:

@@ -1,0 +1,119 @@
+"""The chaos soak: remote ≡ serial bitwise under every committed fault plan.
+
+Each :data:`repro.serve.chaos.COMMITTED_PLANS` scenario runs a real
+search against a local fleet that misbehaves on a deterministic
+schedule — workers killed and restarted, sessions hung, frames
+CRC-corrupted, results duplicated, the whole fleet dropped — and the
+result must stay bitwise-equal to the serial backend while the
+expected ``fault.*`` recovery counters come out nonzero.  The CI
+``chaos-smoke`` leg runs this file on every push.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel import ExecutorConfig
+from repro.perf import get_perf
+from repro.quant import lpq_quantize
+from repro.serve import SearchScheduler
+from repro.serve.chaos import (
+    COMMITTED_PLANS,
+    ChaosController,
+    ChaosFleet,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.serve.resilience import RetryPolicy
+from repro.spec import CalibSpec, SearchSpec
+
+from .conftest import SEARCH
+
+SPEC = SearchSpec(
+    model="tiny:resnet", calib=CalibSpec(batch=4, seed=3), config=SEARCH,
+    name="tiny",
+)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return lpq_quantize(spec=SPEC)
+
+
+class TestFaultPlanSerde:
+    def test_plan_roundtrips_through_json(self):
+        plan = FaultPlan(name="demo", seed=7, events=(
+            FaultEvent(at_task=3, action="kill", restart_after_s=0.5),
+            FaultEvent(at_task=5, action="corrupt_result"),
+        ))
+        assert FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict()))) \
+            == plan
+
+    def test_committed_plans_roundtrip(self):
+        for name, scenario in COMMITTED_PLANS.items():
+            wire = json.loads(json.dumps(scenario.plan.to_dict()))
+            assert FaultPlan.from_dict(wire) == scenario.plan, name
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultEvent(at_task=1, action="set_on_fire")
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan field"):
+            FaultPlan.from_dict({"name": "x", "evnets": []})
+
+    def test_retry_policy_rides_executor_spec_json(self):
+        """The resilience knobs are part of the committed spec file:
+        a SearchSpec carrying a retry policy survives JSON bitwise."""
+        config = ExecutorConfig(
+            "remote", addresses=["127.0.0.1:7301"],
+            retry=RetryPolicy(max_attempts=4, backoff_base_s=0.25,
+                              deadline_s=12.0, fleet_wait_s=3.0),
+            on_fleet_death="local",
+        )
+        spec = SearchSpec(model="tiny:mlp", calib=CalibSpec(batch=4),
+                          config=SEARCH, executor=config)
+        back = SearchSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back.executor.retry == config.retry
+        assert back.executor.on_fleet_death == "local"
+
+
+class TestControllerClock:
+    def test_events_fire_once_at_their_task_count(self):
+        plan = FaultPlan(name="t", events=(
+            FaultEvent(at_task=2, action="hang"),
+            FaultEvent(at_task=2, action="drop_caches"),
+            FaultEvent(at_task=4, action="hang"),
+        ))
+        controller = ChaosController(plan)
+        fired = [controller.on_task(None) for _ in range(5)]
+        assert [len(events) for events in fired] == [0, 2, 0, 1, 0]
+
+
+@pytest.mark.parametrize("name", sorted(COMMITTED_PLANS))
+def test_soak_bitwise_identical_under_fault_plan(name, serial_reference):
+    """The acceptance criterion: under every committed fault plan the
+    scheduler completes with results bitwise-equal to serial, and the
+    plan's expected recovery counters are actually exercised."""
+    scenario = COMMITTED_PLANS[name]
+    perf = get_perf()
+    before = {
+        counter: perf.counter(counter).value for counter in scenario.expect
+    }
+    with ChaosFleet(scenario.plan, count=scenario.count) as addresses:
+        scheduler = SearchScheduler(executor=ExecutorConfig(
+            "remote", addresses=addresses, retry=scenario.retry,
+            on_fleet_death=scenario.on_fleet_death,
+        ))
+        scheduler.submit("tiny", spec=SPEC)
+        results = scheduler.run()
+    assert results["tiny"].solution == serial_reference.solution, name
+    assert results["tiny"].fitness == serial_reference.fitness, name
+    assert results["tiny"].history.best_fitness \
+        == serial_reference.history.best_fitness, name
+    for counter in scenario.expect:
+        assert perf.counter(counter).value > before[counter], (
+            f"plan {name!r} was expected to exercise {counter} but the "
+            f"counter never moved — the fault did not fire or recovery "
+            f"took an unexpected path"
+        )

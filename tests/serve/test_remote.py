@@ -17,6 +17,7 @@ arbitrary TCP segmentation → decode.
 
 import queue
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -102,10 +103,14 @@ class TestFraming:
     def test_non_object_body_rejected(self):
         import json as json_mod
         import struct
+        import zlib
 
+        # a well-formed frame (valid length + CRC) whose body is not a
+        # JSON object must still be rejected at the schema level
         body = json_mod.dumps([1, 2, 3]).encode()
+        frame = struct.pack(">II", len(body), zlib.crc32(body)) + body
         with pytest.raises(ValueError, match="JSON object"):
-            FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+            FrameDecoder().feed(frame)
 
 
 class TestSolutionWire:
@@ -440,3 +445,376 @@ class TestRemoteExecutorAdapter:
                 assert pool.healthy()
             finally:
                 pool.close()
+
+
+def _mlp_pool_setup(n_solutions=6):
+    """A small EvaluatorSpec + solutions + serial reference fits, for
+    raw-pool resilience tests."""
+    import numpy as np
+
+    from repro.parallel import EvaluatorSpec
+    from repro.quant import collect_layer_stats, random_solution
+
+    from .servemodels import build_serve_mlp
+
+    model = build_serve_mlp()
+    model.eval()
+    images = np.random.default_rng(0).normal(
+        size=(4, 3, 8, 8)
+    ).astype(np.float32)
+    stats = collect_layer_stats(model, images)
+    spec = EvaluatorSpec(
+        images=images, builder=build_serve_mlp,
+        state=model.state_dict(), stats=stats,
+    )
+    replica = spec.build(copy_model=True)
+    rng = np.random.default_rng(2)
+    solutions = [
+        random_solution(rng, len(stats), stats.weight_log_centers, (4, 8))
+        for _ in range(n_solutions)
+    ]
+    return spec, solutions, [replica.evaluate(sol) for sol in solutions]
+
+
+def _collect(results, n, timeout=60):
+    got = {}
+    for _ in range(n):
+        res = results.get(timeout=timeout)
+        assert res.error is None, res.error
+        got[res.chunk] = res.fits[0]
+    return [got[i] for i in range(n)]
+
+
+class TestResilience:
+    """The elastic-fleet recovery paths: hang-after-accept, duplicate
+    dedupe, protocol refusal, drain, runtime membership, rejoin, and
+    thread-leak surfacing."""
+
+    def test_worker_hangs_after_accepting_chunk_requeues(self):
+        """The nasty liveness case: the worker *accepted* chunks and
+        began evaluating, then went silent — results computed but never
+        sent.  Only the liveness timeout can recover these."""
+        from repro.serve.pool import encode_pool_wires
+        from repro.serve.resilience import RetryPolicy
+
+        spec, solutions, expected = _mlp_pool_setup()
+        hung, survivor = WorkerServer().start(), WorkerServer().start()
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        pool = SharedRemotePool(
+            encode_pool_wires({"j": spec}),
+            [hung.address, survivor.address],
+            results,
+            retry=RetryPolicy(max_attempts=10, backoff_base_s=0.02,
+                              backoff_max_s=0.2, heartbeat_s=0.05,
+                              liveness_timeout_s=0.6),
+        ).start()
+        try:
+            saboteur = threading.Thread(
+                target=lambda: (
+                    hung.task_started_event.wait(60), hung.silence()
+                ),
+                daemon=True,
+            )
+            saboteur.start()
+            for idx, sol in enumerate(solutions):
+                pool.submit("j", 0, idx, [sol])
+            fits = _collect(results, len(solutions))
+            saboteur.join(timeout=60)
+            assert hung.tasks_started >= 1, "hang never triggered"
+        finally:
+            pool.close()
+            hung.stop()
+            survivor.stop()
+        assert fits == expected
+
+    def test_duplicate_delivery_after_requeue_is_deduped(self):
+        """Exactly-once results: a second delivery of the same task id
+        (requeue or rebalance race) is dropped and counted, and the
+        delivering worker's load tracking stays consistent."""
+        from repro.perf import PerfRegistry
+        from repro.serve.remote import _RemoteWorker, _Task
+
+        perf = PerfRegistry()
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        pool = SharedRemotePool(
+            {}, ["127.0.0.1:1"], results, perf=perf
+        )
+        entry = _Task(7, "j", 0, 3, [[1]])
+        pool._pending[7] = entry
+        w0, w1 = _RemoteWorker("a:1"), _RemoteWorker("b:1")
+        w0.pending.add(7)
+        w1.pending.add(7)  # requeued onto w1, then both delivered
+        message = {"type": "result", "task": 7, "job": "j", "seq": 0,
+                   "chunk": 3, "fits": [0.5], "elapsed": 0.01}
+        pool._handle_result(w0, message)
+        pool._handle_result(w1, message)
+        assert results.qsize() == 1
+        assert not w0.pending and not w1.pending
+        assert perf.counter("fault.duplicate_results").value == 1
+
+    def test_protocol_mismatch_refused_with_clear_error(self):
+        """A client speaking another protocol build is refused before
+        any payload is decoded, with both versions in the error."""
+        import socket as socket_mod
+
+        from repro.spec.wire import PROTOCOL_VERSION, read_frame
+
+        with WorkerServer() as server:
+            host, port = parse_address(server.address)
+            with socket_mod.create_connection((host, port), timeout=10) \
+                    as sock:
+                stale = dict(hello_message(None), protocol=1)
+                sock.sendall(frame_message(stale))
+                reply = read_frame(sock.makefile("rb"))
+            assert reply["type"] == "error"
+            assert "protocol version mismatch" in reply["error"]
+            assert "1" in reply["error"]
+            assert str(PROTOCOL_VERSION) in reply["error"]
+
+    def test_client_rejects_stale_build_with_context(self, monkeypatch):
+        """The client side of the same refusal: the ConnectionError
+        names the worker address and says what to do."""
+        import repro.serve.remote as remote_mod
+
+        monkeypatch.setattr(
+            remote_mod, "hello_message",
+            lambda token: dict(hello_message(token), protocol=999),
+        )
+        with WorkerServer() as server:
+            results: queue.SimpleQueue = queue.SimpleQueue()
+            with pytest.raises(ConnectionError, match="refused"):
+                SharedRemotePool({}, [server.address], results).start()
+
+    def test_drain_finishes_inflight_then_retires(self):
+        """SIGTERM path: a draining worker finishes what it accepted,
+        the pool stops dispatching to it, and no chunk is lost."""
+        from repro.perf import PerfRegistry
+        from repro.serve.pool import encode_pool_wires
+
+        spec, solutions, expected = _mlp_pool_setup()
+        leaving, survivor = WorkerServer().start(), WorkerServer().start()
+        perf = PerfRegistry()
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        pool = SharedRemotePool(
+            encode_pool_wires({"j": spec}),
+            [leaving.address, survivor.address],
+            results, perf=perf,
+        ).start()
+        try:
+            drainer = threading.Thread(
+                target=lambda: (
+                    leaving.task_started_event.wait(60), leaving.drain()
+                ),
+                daemon=True,
+            )
+            drainer.start()
+            for idx, sol in enumerate(solutions):
+                pool.submit("j", 0, idx, [sol])
+            fits = _collect(results, len(solutions))
+            drainer.join(timeout=60)
+            assert leaving.draining
+        finally:
+            pool.close()
+            leaving.stop()
+            survivor.stop()
+        assert fits == expected
+        # late submissions must all land on the survivor: the drained
+        # worker is out of the rotation even though redial is on
+        assert perf.counter("fault.drains").value >= 1
+
+    def test_add_and_remove_worker_at_runtime(self):
+        """Elastic membership: the fleet grows and shrinks mid-life
+        without losing chunks."""
+        from repro.serve.pool import encode_pool_wires
+
+        spec, solutions, expected = _mlp_pool_setup()
+        first, second = WorkerServer().start(), WorkerServer().start()
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        pool = SharedRemotePool(
+            encode_pool_wires({"j": spec}), [first.address], results
+        ).start()
+        try:
+            assert pool.workers == 1
+            assert pool.add_worker(second.address) is True
+            assert pool.workers == 2
+            for idx, sol in enumerate(solutions[:3]):
+                pool.submit("j", 0, idx, [sol])
+            first_half = _collect(results, 3)
+            pool.remove_worker(first.address)
+            assert pool.workers == 1
+            for idx, sol in enumerate(solutions[3:]):
+                pool.submit("j", 1, idx, [sol])
+            second_half = _collect(results, len(solutions) - 3)
+        finally:
+            pool.close()
+            first.stop()
+            second.stop()
+        assert first_half == expected[:3]
+        assert second_half == expected[3:]
+
+    def test_add_worker_unreachable_address_joins_later(self):
+        """add_worker on a not-yet-listening address reports False but
+        keeps the address on the redial schedule: when the worker comes
+        up it joins on its own."""
+        import socket as socket_mod
+
+        from repro.serve.pool import encode_pool_wires
+        from repro.serve.resilience import RetryPolicy
+
+        spec, solutions, expected = _mlp_pool_setup(n_solutions=3)
+        first = WorkerServer().start()
+        # reserve a port for the late worker without listening on it yet
+        probe = socket_mod.socket()
+        probe.bind(("127.0.0.1", 0))
+        late_port = probe.getsockname()[1]
+        probe.close()
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        pool = SharedRemotePool(
+            encode_pool_wires({"j": spec}), [first.address], results,
+            retry=RetryPolicy(backoff_base_s=0.02, backoff_max_s=0.1,
+                              heartbeat_s=0.05),
+        ).start()
+        late = None
+        try:
+            assert pool.add_worker(f"127.0.0.1:{late_port}") is False
+            assert pool.workers == 1
+            late = WorkerServer(port=late_port).start()
+            deadline = time.monotonic() + 30
+            while pool.workers < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert pool.workers == 2, "late worker never joined"
+            for idx, sol in enumerate(solutions):
+                pool.submit("j", 0, idx, [sol])
+            fits = _collect(results, len(solutions))
+        finally:
+            pool.close()
+            first.stop()
+            if late is not None:
+                late.stop()
+        assert fits == expected
+
+    def test_restarted_worker_rejoins_and_serves(self):
+        """A worker killed and restarted behind the same address is
+        re-dialed and put back to work mid-life."""
+        from repro.perf import PerfRegistry
+        from repro.serve.pool import encode_pool_wires
+        from repro.serve.resilience import RetryPolicy
+
+        spec, solutions, expected = _mlp_pool_setup()
+        w0 = WorkerServer().start()
+        port = w0.port
+        perf = PerfRegistry()
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        pool = SharedRemotePool(
+            encode_pool_wires({"j": spec}), [w0.address], results,
+            perf=perf,
+            retry=RetryPolicy(max_attempts=10, backoff_base_s=0.02,
+                              backoff_max_s=0.1, heartbeat_s=0.05,
+                              fleet_wait_s=60.0),
+        ).start()
+        restarted = None
+        try:
+            for idx, sol in enumerate(solutions[:3]):
+                pool.submit("j", 0, idx, [sol])
+            first_half = _collect(results, 3)
+            w0.kill()
+            # in-flight empty; these go to parking until the rejoin
+            for idx, sol in enumerate(solutions[3:]):
+                pool.submit("j", 1, idx, [sol])
+            # rebinding races the client noticing the death (the port
+            # stays busy until the old connection fully closes), exactly
+            # as an operator restarting the box would experience
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    restarted = WorkerServer(port=port).start()
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.05)
+            second_half = _collect(results, len(solutions) - 3)
+        finally:
+            pool.close()
+            w0.stop()
+            if restarted is not None:
+                restarted.stop()
+        assert first_half == expected[:3]
+        assert second_half == expected[3:]
+        assert perf.counter("fault.rejoins").value >= 1
+        assert perf.counter("fault.redials").value >= 1
+
+    def test_clean_close_leaks_no_threads(self):
+        """The leak-surfacing satellite: a clean fleet shutdown joins
+        every transport thread; nothing lands in the leak registers."""
+        from repro.serve.pool import encode_pool_wires
+
+        spec, solutions, _ = _mlp_pool_setup(n_solutions=2)
+        servers = [WorkerServer().start() for _ in range(2)]
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        pool = SharedRemotePool(
+            encode_pool_wires({"j": spec}),
+            [s.address for s in servers], results,
+        ).start()
+        try:
+            for idx, sol in enumerate(solutions):
+                pool.submit("j", 0, idx, [sol])
+            _collect(results, len(solutions))
+        finally:
+            pool.close()
+            for server in servers:
+                server.stop()
+        assert pool.leaked_threads == []
+        assert all(s.leaked_sessions == [] for s in servers)
+
+
+class TestFrameIntegrity:
+    """CRC32 framing: corruption anywhere in a frame is detected at
+    decode time, never silently parsed."""
+
+    def test_corrupt_body_byte_raises(self):
+        from repro.spec.wire import FrameCorruptionError
+
+        data = bytearray(frame_message({"type": "result", "fits": [1.5]}))
+        data[-3] ^= 0x20
+        decoder = FrameDecoder()
+        with pytest.raises(FrameCorruptionError, match="checksum"):
+            decoder.feed(bytes(data))
+
+    @given(position=st.integers(0, 255), bit=st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_no_single_bit_flip_ever_decodes(self, position, bit):
+        """Flipping any single bit of a frame — length, checksum, or
+        body — must never decode to a message: the decoder raises, or
+        (a length flip that enlarges the frame) keeps waiting for bytes
+        that never come.  Both demote the worker; neither parses."""
+        from repro.spec.wire import FrameCorruptionError
+
+        data = bytearray(frame_message({"a": 1}))
+        data[position % len(data)] ^= 1 << bit
+        decoder = FrameDecoder()
+        try:
+            messages = decoder.feed(bytes(data))
+        except (FrameCorruptionError, ValueError):
+            return
+        assert messages == []
+
+    def test_read_frame_checks_crc(self):
+        import io
+
+        from repro.spec.wire import FrameCorruptionError, read_frame
+
+        data = bytearray(frame_message({"a": 1}))
+        data[-1] ^= 0xFF
+        with pytest.raises(FrameCorruptionError):
+            read_frame(io.BytesIO(bytes(data)))
+
+    def test_handshake_messages_carry_protocol_version(self):
+        from repro.spec.wire import (
+            PROTOCOL_VERSION,
+            hello_message,
+            welcome_message,
+        )
+
+        assert hello_message("t")["protocol"] == PROTOCOL_VERSION
+        assert welcome_message()["protocol"] == PROTOCOL_VERSION
