@@ -43,6 +43,8 @@ DOCTEST_MODULES = (
     "repro.serve.remote",  # remote worker fleet round trip
     "repro.serve.resilience",  # RetryPolicy backoff determinism
     "repro.serve.chaos",  # FaultPlan round trip + committed plans
+    "repro.serve.server",  # SearchServer + SearchClient quickstart
+    "repro.serve.store",  # journal replay + atomic result store
     "repro.spec.registry",  # register/resolve/names
     "repro.spec.spec",  # SearchSpec round trip + digest
     "repro.spec.sweep",  # expand_sweep

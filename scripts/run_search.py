@@ -19,15 +19,28 @@ Usage::
     PYTHONPATH=src python scripts/run_search.py --sweep examples/specs/tiny_sweep.json
     PYTHONPATH=src python scripts/run_search.py --spec my_search.json \
         --cache-dir .search-cache   # replays an identical spec's result
+    PYTHONPATH=src python scripts/run_search.py --sweep examples/specs/tiny_sweep.json \
+        --server 127.0.0.1:7400     # submit to a running search daemon
 
 ``--backend``/``--workers``/``--addresses``/``--token`` override the
 spec's executor (handy for running a committed spec serially in CI, or
 against a live worker fleet); ``--out`` writes a JSON record of the
 spec(s) and result(s).  ``--cache-dir`` keys stored results by
-:meth:`SearchSpec.digest` — executor changes don't change the digest
-because no backend can move a bit, so a cached serial result satisfies
-a remote re-run of the same spec.  Exits non-zero on a failed search or
-a non-finite fitness — the CI spec legs rely on this.
+:meth:`SearchSpec.digest` (atomic writes via
+:class:`repro.serve.store.ResultStore` — the same store the daemon
+trusts) — executor changes don't change the digest because no backend
+can move a bit, so a cached serial result satisfies a remote re-run of
+the same spec.
+
+``--server HOST:PORT`` submits the spec(s) to a running
+``scripts/run_server.py`` daemon instead of executing locally: jobs
+are durable server-side (they survive daemon restarts — the client
+reconnects and picks the stream back up), progress events print as
+they arrive, and ``--priority`` orders the daemon's queue.  The
+executor lives server-side, so the executor-override flags and
+``--cache-dir`` are rejected in this mode (``--token`` becomes the
+*server* auth token).  Exits non-zero on a failed search or a
+non-finite fitness — the CI spec legs rely on this.
 """
 
 from __future__ import annotations
@@ -45,6 +58,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 from repro.parallel import ExecutorConfig, parse_address_list  # noqa: E402
 from repro.quant import lpq_quantize  # noqa: E402
 from repro.serve import lpq_quantize_many  # noqa: E402
+from repro.serve.store import ResultStore, result_record  # noqa: E402
 from repro.spec import SearchSpec, load_sweep, registry  # noqa: E402
 
 
@@ -75,27 +89,6 @@ def _override_executor(spec: SearchSpec, args) -> SearchSpec:
     return dataclasses.replace(spec, executor=executor)
 
 
-def _result_record(spec: SearchSpec, result, wall: float | None) -> dict:
-    payload = spec.to_dict()
-    if payload.get("executor") and payload["executor"].get("token"):
-        # the worker auth token is a shared secret; records and cache
-        # files get committed and uploaded as CI artifacts
-        payload["executor"]["token"] = None
-    return {
-        "spec": payload,
-        "digest": spec.digest(),
-        "wall_s": wall,
-        "fitness": result.fitness,
-        "mean_weight_bits": result.mean_weight_bits,
-        "mean_act_bits": result.mean_act_bits,
-        "model_size_mb": result.model_size_mb(),
-        "evaluations": result.evaluations,
-        "solution": [
-            [p.n, p.es, p.rs, p.sf] for p in result.solution.layer_params
-        ],
-    }
-
-
 def _print_record(record: dict, cached: bool = False) -> None:
     wall = record.get("wall_s")
     walltext = f" in {wall:.2f}s" if wall is not None else ""
@@ -108,28 +101,13 @@ def _print_record(record: dict, cached: bool = False) -> None:
     print(f"  model size:       {record['model_size_mb']:.4f} MB")
 
 
-def _cache_path(cache_dir: Path | None, spec: SearchSpec) -> Path | None:
+def _cache_open(cache_dir: Path | None) -> ResultStore | None:
+    """The digest-keyed result cache: the same atomic write-then-rename
+    :class:`ResultStore` the search daemon trusts (a crash mid-write
+    can't leave a torn entry; corrupt files read as misses)."""
     if cache_dir is None:
         return None
-    return cache_dir / f"{spec.digest()}.json"
-
-
-def _cache_load(path: Path | None) -> dict | None:
-    if path is None or not path.exists():
-        return None
-    try:
-        return json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"run_search: ignoring unreadable cache entry {path}: {exc}",
-              file=sys.stderr)
-        return None
-
-
-def _cache_store(path: Path | None, record: dict) -> None:
-    if path is None:
-        return
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return ResultStore(cache_dir)
 
 
 def _describe(name: str, spec: SearchSpec) -> None:
@@ -156,14 +134,15 @@ def _run_single(args) -> int:
     print(f"  registered models: {len(registry.names('model'))}  "
           f"objectives: {len(registry.names('objective'))}")
 
-    cache_path = _cache_path(args.cache_dir, spec)
-    record = _cache_load(cache_path)
+    cache = _cache_open(args.cache_dir)
+    record = cache.load(spec.digest()) if cache is not None else None
     cached = record is not None
     if not cached:
         start = time.perf_counter()
         result = lpq_quantize(spec=spec)
-        record = _result_record(spec, result, time.perf_counter() - start)
-        _cache_store(cache_path, record)
+        record = result_record(spec, result, time.perf_counter() - start)
+        if cache is not None:
+            cache.store(spec.digest(), record)
     _print_record(record, cached=cached)
 
     if args.out is not None:
@@ -190,11 +169,12 @@ def _run_sweep(args) -> int:
     for name, spec in specs.items():
         _describe(name, spec)
 
+    cache = _cache_open(args.cache_dir)
     records: dict[str, dict] = {}
     replayed: set[str] = set()
     to_run: dict[str, SearchSpec] = {}
     for name, spec in specs.items():
-        record = _cache_load(_cache_path(args.cache_dir, spec))
+        record = cache.load(spec.digest()) if cache is not None else None
         if record is not None:
             records[name] = record
             replayed.add(name)
@@ -206,9 +186,10 @@ def _run_sweep(args) -> int:
         results = lpq_quantize_many(to_run)
         wall = time.perf_counter() - start
         for name, result in results.items():
-            record = _result_record(to_run[name], result, None)
+            record = result_record(to_run[name], result, None)
             records[name] = record
-            _cache_store(_cache_path(args.cache_dir, to_run[name]), record)
+            if cache is not None:
+                cache.store(to_run[name].digest(), record)
     print(f"ran {len(to_run)} job(s) in {wall:.2f}s on one shared pool, "
           f"replayed {len(replayed)} from cache")
     for name in specs:
@@ -221,6 +202,86 @@ def _run_sweep(args) -> int:
             indent=2, sort_keys=True,
         ) + "\n")
         print(f"record written to {args.out}")
+    bad = [name for name, rec in records.items()
+           if not math.isfinite(rec["fitness"])]
+    if bad:
+        print(f"run_search: non-finite fitness in job(s) {bad}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_remote(args) -> int:
+    """Submit the spec(s) to a running search daemon and wait."""
+    from repro.serve.server import SearchClient, ServerError
+
+    if args.sweep is not None:
+        try:
+            specs = load_sweep(args.sweep)
+        except (OSError, ValueError) as exc:
+            print(f"run_search: cannot load sweep {args.sweep}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"sweep: {args.sweep} ({len(specs)} jobs) -> server "
+              f"{args.server}")
+    else:
+        try:
+            spec = SearchSpec.load(args.spec)
+        except (OSError, ValueError) as exc:
+            print(f"run_search: cannot load spec {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+        specs = {spec.job_name("search"): spec}
+        print(f"spec: {args.spec} -> server {args.server}")
+    for name, spec in specs.items():
+        _describe(name, spec)
+
+    client = SearchClient(args.server, token=args.token,
+                          reconnect_s=args.reconnect_s)
+    submitted: dict[str, str] = {}
+    with client:
+        for name, spec in specs.items():
+            reply = client.submit(spec, priority=args.priority, job=name)
+            marker = " [cache replay]" if reply.get("cached") else ""
+            print(f"  [{name}] -> job {reply['job']} "
+                  f"({reply['state']}){marker}")
+            submitted[name] = reply["job"]
+
+        records: dict[str, dict] = {}
+        replayed: set[str] = set()
+        failures: list[str] = []
+        for name, job in submitted.items():
+            def _progress(frame, name=name):
+                data = frame.get("data", {})
+                if frame.get("event") == "progress":
+                    best = data.get("best_fitness")
+                    best_text = (f"{best:.6f}"
+                                 if isinstance(best, float) else best)
+                    print(f"  [{name}] batch {data.get('seq')}: "
+                          f"{data.get('evaluations')} evaluations, "
+                          f"best {best_text}", flush=True)
+            try:
+                record = client.wait(job, on_event=_progress)
+            except ServerError as exc:
+                print(f"run_search: job {name!r}: {exc}", file=sys.stderr)
+                failures.append(name)
+                continue
+            records[name] = record
+            if client.status(job).get("cached"):
+                replayed.add(name)
+            print(f"[{name}]")
+            _print_record(record, cached=name in replayed)
+
+    if args.out is not None:
+        if args.sweep is not None:
+            payload = {"sweep": str(args.sweep), "jobs": records}
+        else:
+            payload = next(iter(records.values()), {})
+        args.out.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"record written to {args.out}")
+    if failures:
+        return 1
     bad = [name for name, rec in records.items()
            if not math.isfinite(rec["fitness"])]
     if bad:
@@ -253,15 +314,41 @@ def main(argv: list[str] | None = None) -> int:
                              "cache (keyed by SearchSpec.digest())")
     parser.add_argument("--out", type=Path, default=None,
                         help="write a JSON record of spec(s) + result(s)")
+    parser.add_argument("--server", default=None, metavar="HOST:PORT",
+                        help="submit to a running scripts/run_server.py "
+                             "daemon instead of executing locally "
+                             "(--token authenticates to the server; the "
+                             "executor lives server-side)")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="queue priority for --server submissions "
+                             "(higher runs earlier)")
+    parser.add_argument("--reconnect-s", type=float, default=120.0,
+                        help="how long --server mode redials a "
+                             "restarting daemon before giving up")
     args = parser.parse_args(argv)
 
+    if args.server is not None:
+        rejected = [flag for flag, value in (
+            ("--backend", args.backend),
+            ("--workers", args.workers),
+            ("--addresses", args.addresses),
+            ("--cache-dir", args.cache_dir),
+        ) if value is not None]
+        if rejected:
+            print(f"run_search: {', '.join(rejected)} cannot be combined "
+                  "with --server (the executor and the result cache live "
+                  "server-side)", file=sys.stderr)
+            return 2
+
     try:
+        if args.server is not None:
+            return _run_remote(args)
         if args.sweep is not None:
             return _run_sweep(args)
         return _run_single(args)
     except (ValueError, ConnectionError) as exc:
         # bad executor overrides (remote without addresses) and
-        # unreachable/refusing workers land here, with context
+        # unreachable/refusing workers or servers land here, with context
         print(f"run_search: {exc}", file=sys.stderr)
         return 2
 

@@ -37,6 +37,17 @@ searches share that machinery:
   (:class:`~repro.serve.chaos.FaultPlan` schedules,
   :class:`~repro.serve.chaos.ChaosFleet` misbehaving local fleets)
   proving all of the above keeps results bitwise-identical.
+* :mod:`repro.serve.server` — the always-on front door:
+  :class:`~repro.serve.server.SearchServer`
+  (``scripts/run_server.py``) accepts spec submissions over the wire
+  protocol, multiplexes them onto one scheduler over any backend, and
+  makes jobs durable via :mod:`repro.serve.store` (append-only
+  journal + ``SearchSpec.digest()``-keyed result store) — a restarted
+  daemon recovers its queue, replays done jobs from the store, and
+  re-runs interrupted jobs bitwise-identically.
+  :class:`~repro.serve.server.SearchClient` (``run_search.py
+  --server``) submits, streams progress, and reconnects across
+  daemon restarts.
 
 The layer's invariant matches the rest of the stack: scheduling is
 never allowed to move a bit.  Every per-job result is bitwise-identical
@@ -59,9 +70,14 @@ __all__ = [
     "ChaosFleet",
     "ChunkResult",
     "FaultPlan",
+    "Journal",
+    "ResultStore",
     "RetryPolicy",
+    "SearchClient",
     "SearchHandle",
     "SearchScheduler",
+    "SearchServer",
+    "ServerError",
     "SharedProcessPool",
     "SharedRemotePool",
     "SharedSerialPool",
@@ -70,6 +86,7 @@ __all__ = [
     "WorkerServer",
     "lpq_quantize_many",
     "make_shared_pool",
+    "result_record",
 ]
 
 #: lazily-imported name → submodule (the transport layer pulls in
@@ -80,6 +97,12 @@ _LAZY = {
     "RetryPolicy": "resilience",
     "FaultPlan": "chaos",
     "ChaosFleet": "chaos",
+    "SearchServer": "server",
+    "SearchClient": "server",
+    "ServerError": "server",
+    "Journal": "store",
+    "ResultStore": "store",
+    "result_record": "store",
 }
 
 

@@ -35,7 +35,7 @@ import traceback
 from dataclasses import dataclass, field
 
 from ..parallel import EvaluatorSpec, ExecutorConfig
-from ..perf import PerfRegistry, get_perf
+from ..perf import PerfRegistry, diff_snapshots, get_perf
 from ..quant import (
     LPQConfig,
     LPQEngine,
@@ -157,6 +157,7 @@ class _JobState:
     evaluations: int = 0  # requested (memo hits included)
     computed_evaluations: int = 0  # submitted to a worker
     cost_est: float | None = None  # EWMA seconds per candidate
+    event_snap: dict | None = None  # perf snapshot at the last on_batch
 
 
 class SearchScheduler:
@@ -211,6 +212,8 @@ class SearchScheduler:
         target_chunk_s: float = 0.25,
         cost_ewma: float = 0.5,
         perf=None,
+        on_batch=None,
+        on_finished=None,
     ) -> None:
         if target_chunk_s <= 0:
             raise ValueError("target_chunk_s must be positive")
@@ -220,6 +223,16 @@ class SearchScheduler:
         self.target_chunk_s = target_chunk_s
         self.cost_ewma = cost_ewma
         self.perf = perf if perf is not None else get_perf()
+        #: progress hook — called as ``on_batch(name, info)`` after each
+        #: evaluated candidate batch with the job's generation counter,
+        #: evaluation counts, best-so-far fitness, and the perf-counter
+        #: delta since the previous call.  ``on_finished(name, handle)``
+        #: fires once per job as it reaches a terminal state.  Both run
+        #: on the scheduler's thread; an exception raised by either
+        #: propagates out of :meth:`run` (the search-daemon crash tests
+        #: rely on this).
+        self.on_batch = on_batch
+        self.on_finished = on_finished
         self._jobs: dict[str, _JobState] = {}
 
     # -- job submission --------------------------------------------------
@@ -394,6 +407,7 @@ class SearchScheduler:
                     for sol, fit in zip(st.unique, fits_unique):
                         st.memo[sol] = fit
                     fits = [st.memo[sol] for sol in st.batch]
+                    self._emit_batch(st)
                     outstanding += self._advance(st, pool, fits)
         finally:
             pool.close()
@@ -487,6 +501,27 @@ class SearchScheduler:
             a = self.cost_ewma
             st.cost_est = a * per_candidate + (1.0 - a) * st.cost_est
 
+    def _emit_batch(self, st: _JobState) -> None:
+        """Fire the ``on_batch`` progress hook for one evaluated batch
+        (generation counter, evaluation totals, best-so-far fitness,
+        perf delta since the last event)."""
+        if self.on_batch is None:
+            return
+        snap = st.perf.snapshot()
+        delta = (
+            diff_snapshots(snap, st.event_snap)
+            if st.event_snap is not None else snap
+        )
+        st.event_snap = snap
+        best = st.engine.population[0][1] if st.engine.population else None
+        self.on_batch(st.name, {
+            "seq": st.seq,
+            "evaluations": st.evaluations,
+            "computed_evaluations": st.computed_evaluations,
+            "best_fitness": best,
+            "perf": delta,
+        })
+
     # -- terminal states --------------------------------------------------
     def _finalize_done(self, st: _JobState) -> None:
         solution, fitness = st.engine.population[0]
@@ -520,3 +555,5 @@ class SearchScheduler:
         st.handle._perf = st.perf.snapshot()
         if st.perf is not self.perf:
             self.perf.merge_snapshot(st.handle._perf)
+        if self.on_finished is not None:
+            self.on_finished(st.name, st.handle)

@@ -1,0 +1,987 @@
+"""Always-on search daemon: specs over the socket, durable on disk.
+
+:class:`SearchServer` is the service front door the rest of the stack
+builds toward (CLI: ``scripts/run_server.py``).  Clients speak the same
+length-prefixed, CRC-checked JSON frame protocol as the worker
+transport (:mod:`repro.spec.wire`): after the hello/welcome handshake
+they issue ``submit`` / ``status`` / ``result`` / ``cancel`` /
+``list_jobs`` / ``subscribe`` requests, and the daemon multiplexes
+accepted jobs onto one :class:`~repro.serve.SearchScheduler` over any
+worker-pool backend (serial / thread / process / remote).  Unlike the
+worker transport, a malformed or unknown request gets an ``ok=false``
+reply and the session *survives* — a service front door cannot let one
+bad client frame kill the conversation.
+
+Durability is two files under ``data_dir``
+(:mod:`repro.serve.store`): an append-only journal of job lifecycle
+records, and a result store keyed by
+:meth:`repro.spec.SearchSpec.digest`.  A restarted daemon replays the
+journal: ``done`` jobs serve their records straight from the store
+(zero re-evaluation), ``failed`` / ``cancelled`` jobs stay terminal,
+and ``submitted`` / ``running`` jobs — the ones a crash interrupted —
+re-queue and re-run bitwise-identically (evaluation is deterministic,
+so a re-run cannot move a bit).  Because the digest ignores the
+executor, a result computed serially satisfies a later remote
+submission of the same spec.
+
+:class:`SearchClient` is the library client (``run_search.py
+--server HOST:PORT`` uses it): submit specs with a priority, stream
+progress events (generation / fitness / perf-counter deltas), cancel,
+and ``wait()`` — which transparently reconnects if the daemon restarts
+mid-job, because the job is durable on the server side.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import queue
+import socket
+import tempfile
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..parallel import ExecutorConfig
+from ..parallel.executor import parse_address
+from ..perf import get_perf
+from ..spec.spec import SearchSpec
+from ..spec.wire import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SERVER_OPS,
+    WIRE_VERSION,
+    error_message,
+    event_message,
+    frame_message,
+    hello_message,
+    read_frame,
+    reply_message,
+    subscribe_message,
+    welcome_message,
+)
+from .scheduler import SearchScheduler
+from .store import Journal, ResultStore, result_record
+
+__all__ = ["SearchServer", "SearchClient", "ServerError"]
+
+HANDSHAKE_TIMEOUT_S = 10.0
+
+#: job lifecycle: queued → running → done | failed | cancelled
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServerError(RuntimeError):
+    """A search-daemon request was answered with ``ok=false``."""
+
+
+class _SimulatedCrash(BaseException):
+    """Raised by the ``crash_hook`` test knob: models a SIGKILL at a
+    deterministic batch boundary — the runner stops dead and journals
+    nothing further.  A ``BaseException`` so the scheduler's job-scoped
+    ``except Exception`` recovery cannot swallow it."""
+
+
+@dataclass
+class _ServerJob:
+    """Daemon-side bookkeeping for one submitted search."""
+
+    name: str
+    spec: SearchSpec
+    digest: str
+    priority: int
+    order: int
+    state: str = "queued"
+    error: str | None = None
+    cached: bool = False
+    cancel_requested: bool = False
+    handle: object | None = None
+    record: dict | None = field(default=None, repr=False)
+
+
+def _describe(job: _ServerJob) -> dict:
+    return {
+        "job": job.name,
+        "state": job.state,
+        "digest": job.digest,
+        "priority": job.priority,
+        "cached": job.cached,
+        "error": job.error,
+    }
+
+
+class _ServerSession(threading.Thread):
+    """One accepted client connection on a :class:`SearchServer`.
+
+    The reader thread (this thread) parses requests; a dedicated writer
+    thread drains an outbound queue, so a stalled subscriber can never
+    block the daemon's runner.  Request-level problems — unknown ops,
+    missing fields, invalid specs — get an ``ok=false`` reply and the
+    session keeps going; only stream-level corruption (bad CRC, torn
+    frame) or EOF ends it.
+    """
+
+    def __init__(self, server: "SearchServer", sock: socket.socket,
+                 peer) -> None:
+        super().__init__(daemon=True, name=f"repro-serve-{peer}")
+        self.server = server
+        self.sock = sock
+        self.peer = peer
+        self._out: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+
+    # -- plumbing --------------------------------------------------------
+    def enqueue(self, message: dict) -> None:
+        """Queue one frame for the writer thread (never blocks)."""
+        self._out.put(message)
+
+    def close(self) -> None:
+        self._closed = True
+        self._out.put(None)
+        with contextlib.suppress(OSError):
+            self.sock.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self.sock.close()
+
+    def _write_loop(self) -> None:
+        while True:
+            message = self._out.get()
+            if message is None or self._closed:
+                return
+            try:
+                self.sock.sendall(frame_message(message))
+            except (OSError, ValueError):
+                self.close()
+                return
+
+    # -- session ---------------------------------------------------------
+    def run(self) -> None:
+        writer = None
+        try:
+            self.sock.settimeout(HANDSHAKE_TIMEOUT_S)
+            rfile = self.sock.makefile("rb")
+            if not self._handshake(rfile):
+                return
+            self.sock.settimeout(None)
+            writer = threading.Thread(
+                target=self._write_loop, daemon=True,
+                name=f"{self.name}-write",
+            )
+            writer.start()
+            self._read_loop(rfile)
+        except (OSError, ValueError):
+            pass  # connection died or stream corrupt: session over
+        finally:
+            self.close()
+            self.server._session_done(self)
+
+    def _handshake(self, rfile) -> bool:
+        message = read_frame(rfile, self.server.max_frame)
+        if message is None or message.get("type") != "hello":
+            self._send_now(error_message("expected hello frame"))
+            return False
+        if message.get("protocol") != PROTOCOL_VERSION:
+            self._send_now(error_message(
+                f"protocol version mismatch: client speaks "
+                f"{message.get('protocol')!r}, server speaks "
+                f"{PROTOCOL_VERSION}; upgrade the older build"
+            ))
+            return False
+        if message.get("version") != WIRE_VERSION:
+            self._send_now(error_message(
+                f"unsupported wire version {message.get('version')!r} "
+                f"(server speaks {WIRE_VERSION})"
+            ))
+            return False
+        if not self.server._token_ok(message.get("token")):
+            self._send_now(error_message("bad auth token"))
+            self.server._log(f"refused {self.peer}: bad auth token")
+            return False
+        self._send_now(welcome_message(capacity=1))
+        self.server._log(f"accepted {self.peer}")
+        return True
+
+    def _send_now(self, message: dict) -> None:
+        with contextlib.suppress(OSError):
+            self.sock.sendall(frame_message(message))
+
+    def _read_loop(self, rfile) -> None:
+        while not self._closed:
+            message = read_frame(rfile, self.server.max_frame)
+            if message is None:
+                return  # clean EOF: client went away
+            kind = message.get("type")
+            if kind == "ping":
+                self.enqueue({"type": "pong", "t": message.get("t")})
+                continue
+            if kind == "bye":
+                return
+            req = message.get("req")
+            try:
+                payload = self._handle(kind, message)
+            except ServerError as exc:
+                self.enqueue(reply_message(req, error=str(exc)))
+                continue
+            except Exception as exc:
+                # a malformed request must not kill the session: reply
+                # with the problem and keep listening
+                self.enqueue(reply_message(
+                    req, error=f"bad request: {exc!r}"
+                ))
+                continue
+            self.enqueue(reply_message(req, payload))
+
+    # -- request dispatch ------------------------------------------------
+    def _handle(self, kind, message: dict) -> dict:
+        server = self.server
+        if kind == "submit":
+            spec_payload = message.get("spec")
+            if not isinstance(spec_payload, dict):
+                raise ServerError("submit needs a spec object")
+            try:
+                spec = SearchSpec.from_dict(spec_payload)
+            except (TypeError, ValueError) as exc:
+                raise ServerError(f"invalid spec: {exc}") from exc
+            job, existing = server.submit_job(
+                spec,
+                priority=message.get("priority", 0),
+                name=message.get("job"),
+            )
+            return dict(_describe(job), existing=existing)
+        if kind == "status":
+            return _describe(server._get_job(message.get("job")))
+        if kind == "result":
+            job = server._get_job(message.get("job"))
+            if job.state != "done":
+                detail = f": {job.error}" if job.error else ""
+                raise ServerError(
+                    f"job {job.name!r} is {job.state}{detail}"
+                )
+            return {"job": job.name, "record": server.job_record(job.name)}
+        if kind == "cancel":
+            return _describe(server.cancel_job(message.get("job")))
+        if kind == "list_jobs":
+            return {"jobs": server.list_jobs()}
+        if kind == "subscribe":
+            return server._subscribe(self, message.get("job"))
+        raise ServerError(
+            f"unknown request type {kind!r}; expected one of {SERVER_OPS}"
+        )
+
+
+class SearchServer:
+    """The always-on LPQ search daemon.
+
+    Accepts framed-JSON client connections, queues submitted
+    :class:`~repro.spec.SearchSpec` jobs durably (journal + digest-keyed
+    result store under ``data_dir``), and runs them on one shared
+    :class:`~repro.serve.SearchScheduler` over ``executor`` — the same
+    :class:`~repro.parallel.ExecutorConfig` knob as everywhere else, so
+    the daemon fronts a serial process or a remote worker fleet with
+    one argument.  Jobs of equal priority run in submission order;
+    higher ``priority`` runs earlier.  Results are bitwise-identical to
+    standalone :func:`repro.quant.lpq_quantize` runs: restarts,
+    backends, and crash-recovery re-runs cannot move a bit.
+
+    >>> from repro.quant import LPQConfig
+    >>> from repro.spec import CalibSpec, SearchSpec
+    >>> from repro.serve.server import SearchClient, SearchServer
+    >>> spec = SearchSpec(model="tiny:mlp", calib=CalibSpec(batch=4, seed=3),
+    ...                   config=LPQConfig(population=3, passes=1, cycles=1,
+    ...                                    diversity_parents=2,
+    ...                                    hw_widths=(4, 8), seed=7))
+    >>> server = SearchServer().start()     # ephemeral port, temp data dir
+    >>> client = SearchClient(server.address)
+    >>> job = client.submit(spec)["job"]
+    >>> record = client.wait(job)           # streams progress, returns record
+    >>> len(record["solution"]) == len(client.wait(job)["solution"])
+    True
+    >>> client.status(job)["state"]         # second wait hit the store
+    'done'
+    >>> client.close(); server.stop()
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: str | None = None,
+        data_dir=None,
+        executor: ExecutorConfig | None = None,
+        target_chunk_s: float = 0.25,
+        max_jobs_per_round: int = 0,
+        verbose: bool = False,
+        max_frame: int = MAX_FRAME_BYTES,
+        perf=None,
+        crash_hook=None,
+        compact_at: int = 50_000,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        if data_dir is None:
+            # convenience for tests/doctests: durable only for this
+            # server's lifetime — pass a real directory in production
+            data_dir = tempfile.mkdtemp(prefix="repro-server-")
+        self.data_dir = Path(data_dir)
+        self.executor_config = executor or ExecutorConfig()
+        self.target_chunk_s = target_chunk_s
+        self.max_jobs_per_round = max_jobs_per_round
+        self.verbose = verbose
+        self.max_frame = max_frame
+        self.perf = perf if perf is not None else get_perf()
+        #: test knob: ``crash_hook(server, job, info)`` runs at every
+        #: batch boundary; returning true simulates a SIGKILL there —
+        #: the runner halts instantly and journals nothing further
+        self.crash_hook = crash_hook
+        self.compact_at = compact_at
+        #: lifetime counters: jobs actually evaluated here, jobs served
+        #: from the digest store, interrupted jobs re-queued at startup
+        self.stats = {"executed": 0, "replayed": 0, "recovered": 0}
+        self.journal: Journal | None = None
+        self.store: ResultStore | None = None
+        self._jobs: dict[str, _ServerJob] = {}
+        self._by_digest: dict[str, str] = {}
+        self._subs: dict[str, set[_ServerSession]] = {}
+        self._sessions: set[_ServerSession] = set()
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._order = itertools.count()
+        self._autoname = itertools.count(1)
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._runner: threading.Thread | None = None
+        self._closed = False
+        self._suppress = False  # kill(): journal nothing further
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "SearchServer":
+        """Recover state from ``data_dir``, bind, and begin serving."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self.journal = Journal(self.data_dir / "journal.jsonl",
+                               perf=self.perf)
+        self.store = ResultStore(self.data_dir / "results", perf=self.perf)
+        self._recover()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(32)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name="repro-serve-accept",
+        )
+        self._accept_thread.start()
+        self._runner = threading.Thread(
+            target=self._run_loop, daemon=True, name="repro-serve-runner",
+        )
+        self._runner.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def stop(self) -> None:
+        """Graceful shutdown: interrupt the running round at the next
+        batch boundary *without* journaling terminal records for the
+        interrupted jobs — they stay ``running`` in the journal, so a
+        restart re-queues and re-runs them."""
+        self._shutdown(suppress=False)
+
+    def kill(self) -> None:
+        """Abrupt shutdown (tests): as close to SIGKILL as an
+        in-process server can get — everything stops now and nothing
+        more reaches the journal or the store."""
+        self._shutdown(suppress=True)
+
+    def _shutdown(self, suppress: bool) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._suppress = self._suppress or suppress
+            for job in self._jobs.values():
+                if job.state == "running" and job.handle is not None:
+                    job.handle.cancel()
+            self._wake.notify_all()
+            sessions = list(self._sessions)
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        for session in sessions:
+            session.close()
+        if self._runner is not None:
+            self._runner.join(timeout=30.0)
+        if self.journal is not None:
+            self.journal.close()
+        self._log("server stopped")
+
+    def serve_forever(self) -> None:
+        """Block until the server is stopped (CLI main loop)."""
+        while not self._closed:
+            time.sleep(0.2)
+
+    def __enter__(self) -> "SearchServer":
+        return self if self._started else self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- recovery --------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild the job table from the journal: done jobs point at
+        the store, terminal jobs stay terminal, and submitted/running
+        jobs — the ones a crash interrupted — re-queue (unless the
+        store already holds their digest, in which case they complete
+        for free)."""
+        records = self.journal.replay()
+        states: dict[str, dict] = {}
+        for record in records:
+            op, name = record.get("op"), record.get("job")
+            if op == "submitted":
+                states[name] = {
+                    "spec": record.get("spec"),
+                    "priority": record.get("priority", 0),
+                    "state": "queued",
+                    "error": None,
+                }
+            elif name in states:
+                if op in ("running", "done", "failed", "cancelled"):
+                    states[name]["state"] = (
+                        "running" if op == "running" else op
+                    )
+                if op == "failed":
+                    states[name]["error"] = record.get("error")
+        for name, info in states.items():
+            try:
+                spec = SearchSpec.from_dict(info["spec"])
+            except (TypeError, ValueError) as exc:
+                self._log(f"cannot rebuild job {name!r}: {exc}")
+                continue
+            job = _ServerJob(
+                name=name, spec=spec, digest=spec.digest(),
+                priority=int(info["priority"]), order=next(self._order),
+            )
+            if info["state"] == "done":
+                job.state, job.cached = "done", True
+                self.stats["replayed"] += 1
+            elif info["state"] in ("failed", "cancelled"):
+                job.state, job.error = info["state"], info["error"]
+            else:
+                record = self.store.load(job.digest)
+                if record is not None:
+                    # the result landed in the store before the crash
+                    # could journal it (or an identical spec already
+                    # ran): done, zero re-evaluation
+                    job.state, job.cached, job.record = "done", True, record
+                    self.journal.append("done", name, digest=job.digest,
+                                        cached=True)
+                    self.stats["replayed"] += 1
+                else:
+                    job.state = "queued"
+                    if info["state"] == "running":
+                        self.stats["recovered"] += 1
+            self._jobs[name] = job
+            if job.state not in ("failed", "cancelled"):
+                self._by_digest[job.digest] = name
+        if len(records) >= self.compact_at:
+            dropped = self.journal.compact()
+            self._log(f"compacted journal: dropped {dropped} records")
+        if self._jobs:
+            self._log(
+                f"recovered {len(self._jobs)} job(s): "
+                f"{self.stats['replayed']} from store, "
+                f"{self.stats['recovered']} interrupted re-queued"
+            )
+
+    # -- submission / queries (called from sessions) ---------------------
+    def submit_job(self, spec: SearchSpec, priority: int = 0,
+                   name: str | None = None) -> tuple[_ServerJob, bool]:
+        """Queue one spec; returns ``(job, existing)`` where ``existing``
+        is true when an equal-digest job already covered it."""
+        if not spec.serializable:
+            raise ServerError(
+                "spec must name a registered model and a calib descriptor"
+            )
+        digest = spec.digest()
+        with self._lock:
+            if self._closed:
+                raise ServerError("server is stopping")
+            current = self._by_digest.get(digest)
+            if current is not None:
+                return self._jobs[current], True
+            requested = name or spec.name
+            job_name = requested or f"job-{next(self._autoname)}"
+            while job_name in self._jobs:
+                if requested:
+                    raise ServerError(
+                        f"job name {job_name!r} is taken by a different "
+                        "spec"
+                    )
+                job_name = f"job-{next(self._autoname)}"
+            job = _ServerJob(
+                name=job_name, spec=spec, digest=digest,
+                priority=int(priority), order=next(self._order),
+            )
+            self._journal("submitted", job, spec=self._spec_payload(spec),
+                          priority=job.priority, digest=digest)
+            self._jobs[job_name] = job
+            self._by_digest[digest] = job_name
+            record = self.store.load(digest)
+            if record is not None:
+                job.record = record
+                job.cached = True
+                self.stats["replayed"] += 1
+                self._finish(job, "done")
+            else:
+                self._wake.notify_all()
+        return job, False
+
+    @staticmethod
+    def _spec_payload(spec: SearchSpec) -> dict:
+        payload = spec.to_dict()
+        if payload.get("executor") and payload["executor"].get("token"):
+            # the worker auth token is a shared secret; the journal is
+            # a plain file on disk
+            payload["executor"]["token"] = None
+        return payload
+
+    def _get_job(self, name) -> _ServerJob:
+        with self._lock:
+            job = self._jobs.get(name)
+        if job is None:
+            raise ServerError(f"unknown job {name!r}")
+        return job
+
+    def job_record(self, name) -> dict:
+        """A done job's result record (loaded from the store on first
+        access after a restart)."""
+        job = self._get_job(name)
+        if job.record is None:
+            job.record = self.store.load(job.digest)
+        if job.record is None:
+            raise ServerError(
+                f"job {job.name!r} finished but its record is missing "
+                "from the result store"
+            )
+        return job.record
+
+    def job_state(self, name) -> str:
+        return self._get_job(name).state
+
+    def list_jobs(self) -> list[dict]:
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.order)
+            return [_describe(job) for job in jobs]
+
+    def cancel_job(self, name) -> _ServerJob:
+        """Cancel: immediate for queued jobs, next batch boundary for
+        running ones; a no-op for terminal jobs."""
+        job = self._get_job(name)
+        with self._lock:
+            if job.state in _TERMINAL:
+                return job
+            job.cancel_requested = True
+            if job.state == "running":
+                if job.handle is not None:
+                    job.handle.cancel()
+                return job  # the scheduler journals the terminal state
+            self._finish(job, "cancelled")
+        return job
+
+    def _subscribe(self, session: _ServerSession, name) -> dict:
+        job = self._get_job(name)
+        with self._lock:
+            # a terminal job streams nothing — the reply snapshot is
+            # already the final state (checked under the lock, so a
+            # finishing job cannot slip between check and registration)
+            if job.state not in _TERMINAL:
+                self._subs.setdefault(job.name, set()).add(session)
+        return _describe(job)
+
+    # -- the runner ------------------------------------------------------
+    def _pending(self) -> list[_ServerJob]:
+        jobs = [j for j in self._jobs.values() if j.state == "queued"]
+        jobs.sort(key=lambda j: (-j.priority, j.order))
+        return jobs
+
+    def _run_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._closed and not self._pending():
+                    self._wake.wait(0.2)
+                if self._closed:
+                    return
+                batch = self._pending()
+                if self.max_jobs_per_round > 0:
+                    batch = batch[: self.max_jobs_per_round]
+                for job in batch:
+                    job.state = "running"
+                    self._journal("running", job, digest=job.digest)
+            for job in batch:
+                self._emit_state(job, final=False)
+            try:
+                self._run_round(batch)
+            except _SimulatedCrash:
+                with self._lock:
+                    self._suppress = True
+                    self._closed = True
+                self._log("simulated crash: runner halting")
+                return
+
+    def _run_round(self, batch: list[_ServerJob]) -> None:
+        scheduler = SearchScheduler(
+            executor=self.executor_config,
+            target_chunk_s=self.target_chunk_s,
+            perf=self.perf,
+            on_batch=self._on_batch,
+            on_finished=self._on_finished,
+        )
+        started = []
+        for job in batch:
+            try:
+                job.handle = scheduler.submit(job.name, spec=job.spec)
+            except Exception:
+                self._finish(job, "failed", error=traceback.format_exc())
+                continue
+            if job.cancel_requested or self._closed:
+                job.handle.cancel()
+            started.append(job)
+        if not started:
+            return
+        try:
+            scheduler.run()
+        except _SimulatedCrash:
+            raise
+        except Exception:
+            error = traceback.format_exc()
+            for job in started:
+                if job.state == "running":
+                    self._finish(job, "failed", error=error)
+
+    def _on_batch(self, name: str, info: dict) -> None:
+        with self._lock:
+            job = self._jobs.get(name)
+        if job is not None:
+            self._emit_event(job, "progress", info, final=False)
+        if self.crash_hook is not None and self.crash_hook(self, name,
+                                                          info):
+            raise _SimulatedCrash()
+
+    def _on_finished(self, name: str, handle) -> None:
+        with self._lock:
+            job = self._jobs.get(name)
+            if job is None or self._suppress or job.state in _TERMINAL:
+                return
+            if handle.done:
+                record = result_record(job.spec, handle.result(), None)
+                self.store.store(job.digest, record)
+                job.record = record
+                self.stats["executed"] += 1
+                self._finish(job, "done")
+            elif handle.cancelled and not job.cancel_requested:
+                # interrupted by a graceful stop(), not by a client:
+                # journal nothing — the journal still says ``running``,
+                # which is exactly what re-queues the job on restart
+                job.state = "queued"
+                job.handle = None
+            elif handle.cancelled:
+                self._finish(job, "cancelled")
+            else:
+                self._finish(job, "failed", error=handle.error)
+
+    # -- terminal bookkeeping / events -----------------------------------
+    def _finish(self, job: _ServerJob, state: str,
+                error: str | None = None) -> None:
+        with self._lock:
+            job.state = state
+            job.error = error
+            job.handle = None
+            fields = {"digest": job.digest}
+            if error is not None:
+                fields["error"] = error
+            if state == "done" and job.cached:
+                fields["cached"] = True
+            self._journal(state, job, **fields)
+            if state in ("failed", "cancelled"):
+                # release the digest so the spec can be resubmitted
+                if self._by_digest.get(job.digest) == job.name:
+                    del self._by_digest[job.digest]
+        self._emit_state(job, final=True)
+
+    def _journal(self, op: str, job: _ServerJob, **fields) -> None:
+        if self._suppress or self.journal is None:
+            return
+        self.journal.append(op, job.name, **fields)
+
+    def _emit_state(self, job: _ServerJob, final: bool) -> None:
+        self._emit_event(job, "state", {
+            "state": job.state,
+            "cached": job.cached,
+            "error": job.error,
+        }, final=final)
+
+    def _emit_event(self, job: _ServerJob, kind: str, data: dict,
+                    final: bool) -> None:
+        with self._lock:
+            targets = list(self._subs.get(job.name, ()))
+            if final:
+                self._subs.pop(job.name, None)
+        if not targets:
+            return
+        message = event_message(job.name, kind, data, final=final)
+        for session in targets:
+            session.enqueue(message)
+
+    # -- plumbing --------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return
+            session = _ServerSession(self, sock, peer)
+            with self._lock:
+                if self._closed:
+                    session.close()
+                    return
+                self._sessions.add(session)
+            session.start()
+
+    def _session_done(self, session: _ServerSession) -> None:
+        with self._lock:
+            self._sessions.discard(session)
+            for subscribers in self._subs.values():
+                subscribers.discard(session)
+
+    def _token_ok(self, token) -> bool:
+        if self.token is None:
+            return True
+        import hmac
+
+        return isinstance(token, str) and hmac.compare_digest(
+            token, self.token
+        )
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[serve {self.host}:{self.port}] {message}",
+                  flush=True)
+
+
+class SearchClient:
+    """Synchronous client for a :class:`SearchServer`.
+
+    One socket, requests serialized by an internal lock; event frames
+    that arrive while a reply is pending are buffered for the active
+    subscription.  Transport loss surfaces as ``ConnectionError`` and
+    the next request transparently redials — :meth:`wait` builds its
+    reconnect-until-deadline loop on exactly that, because a submitted
+    job is durable on the server side no matter what happens to this
+    connection.  Not safe for concurrent use from multiple threads.
+    """
+
+    def __init__(self, address: str, token: str | None = None,
+                 connect_timeout: float = 10.0,
+                 reconnect_s: float = 60.0) -> None:
+        self.address = address
+        self.token = token
+        self.connect_timeout = connect_timeout
+        #: how long :meth:`wait` keeps redialing a vanished server
+        #: before giving up (a restarting daemon is back within this)
+        self.reconnect_s = reconnect_s
+        self._lock = threading.RLock()
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._req = itertools.count(1)
+        self._events: list[dict] = []
+
+    # -- connection ------------------------------------------------------
+    def _ensure(self) -> None:
+        if self._sock is not None:
+            return
+        host, port = parse_address(self.address)
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise ConnectionError(
+                f"cannot reach search server {self.address}: {exc}"
+            ) from exc
+        rfile = sock.makefile("rb")
+        try:
+            sock.sendall(frame_message(hello_message(self.token)))
+            reply = read_frame(rfile)
+        except (OSError, ValueError) as exc:
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise ConnectionError(
+                f"handshake with server {self.address} failed: {exc}"
+            ) from exc
+        if reply is None or reply.get("type") != "welcome":
+            detail = (reply or {}).get("error", "connection closed")
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise ConnectionError(
+                f"server {self.address} refused the handshake: {detail}"
+            )
+        sock.settimeout(None)
+        self._sock, self._rfile = sock, rfile
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+        self._sock = self._rfile = None
+        self._events.clear()  # buffered events died with the socket
+
+    def close(self) -> None:
+        """Politely end the session (idempotent)."""
+        with self._lock:
+            if self._sock is not None:
+                with contextlib.suppress(OSError):
+                    self._sock.sendall(frame_message({"type": "bye"}))
+            self._drop()
+
+    def __enter__(self) -> "SearchClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request/reply ---------------------------------------------------
+    def _request(self, message: dict) -> dict:
+        with self._lock:
+            self._ensure()
+            req = next(self._req)
+            message = dict(message, req=req)
+            try:
+                self._sock.sendall(frame_message(message))
+                while True:
+                    frame = read_frame(self._rfile)
+                    if frame is None:
+                        raise ValueError("server closed the connection")
+                    kind = frame.get("type")
+                    if kind == "reply" and frame.get("req") == req:
+                        if not frame.get("ok", False):
+                            raise ServerError(
+                                frame.get("error") or "request failed"
+                            )
+                        return frame
+                    if kind == "event":
+                        self._events.append(frame)
+                    # pongs and stray replies are skipped
+            except (OSError, ValueError) as exc:
+                self._drop()
+                raise ConnectionError(
+                    f"lost connection to {self.address}: {exc}"
+                ) from exc
+
+    # -- the service API -------------------------------------------------
+    def submit(self, spec, priority: int = 0,
+               job: str | None = None) -> dict:
+        """Queue a :class:`~repro.spec.SearchSpec` (or its dict form);
+        returns the server's job snapshot (``job``, ``state``,
+        ``digest``, ``cached``, ``existing``)."""
+        payload = spec.to_dict() if isinstance(spec, SearchSpec) else spec
+        return self._request({
+            "type": "submit", "spec": payload,
+            "priority": int(priority), "job": job,
+        })
+
+    def status(self, job: str) -> dict:
+        return self._request({"type": "status", "job": job})
+
+    def result(self, job: str) -> dict:
+        """A done job's result record (raises :class:`ServerError`
+        otherwise)."""
+        return self._request({"type": "result", "job": job})["record"]
+
+    def cancel(self, job: str) -> dict:
+        return self._request({"type": "cancel", "job": job})
+
+    def list_jobs(self) -> list[dict]:
+        return self._request({"type": "list_jobs"})["jobs"]
+
+    def events(self, job: str):
+        """Subscribe and yield this job's event frames until its
+        terminal event (``final=true``).  Raises ``ConnectionError`` if
+        the transport drops mid-stream (resubscribe after redialing —
+        the job keeps running server-side either way)."""
+        reply = self._request(subscribe_message(job))
+        if reply.get("state") in _TERMINAL:
+            yield event_message(job, "state", {
+                "state": reply["state"],
+                "cached": reply.get("cached", False),
+                "error": reply.get("error"),
+            }, final=True)
+            return
+        with self._lock:
+            try:
+                while True:
+                    while self._events:
+                        frame = self._events.pop(0)
+                        if frame.get("job") != job:
+                            continue
+                        yield frame
+                        if frame.get("final"):
+                            return
+                    frame = read_frame(self._rfile)
+                    if frame is None:
+                        raise ValueError("server closed the connection")
+                    if frame.get("type") == "event":
+                        self._events.append(frame)
+            except (OSError, ValueError) as exc:
+                self._drop()
+                raise ConnectionError(
+                    f"lost connection to {self.address}: {exc}"
+                ) from exc
+
+    def wait(self, job: str, on_event=None, timeout: float | None = None):
+        """Block until ``job`` finishes; returns its result record.
+
+        Streams events through ``on_event`` while waiting.  Survives
+        server restarts: on connection loss it redials with backoff for
+        up to ``reconnect_s`` (or ``timeout``) — the job is durable on
+        the server, so the resubscription lands on the recovered queue.
+        Raises :class:`ServerError` for failed/cancelled jobs.
+        """
+        deadline = None
+        limit = timeout if timeout is not None else self.reconnect_s
+        backoff = 0.05
+        while True:
+            try:
+                for frame in self.events(job):
+                    if on_event is not None:
+                        on_event(frame)
+                status = self.status(job)
+                deadline = None
+            except ConnectionError:
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + limit
+                if now >= deadline:
+                    raise
+                time.sleep(min(backoff, 2.0))
+                backoff *= 2
+                continue
+            state = status["state"]
+            if state == "done":
+                return self.result(job)
+            if state in _TERMINAL:
+                detail = f": {status.get('error')}" \
+                    if status.get("error") else ""
+                raise ServerError(f"job {job!r} {state}{detail}")
+            # the subscription ended but the job is live again — the
+            # daemon restarted between our subscribe and its terminal
+            # event; just resubscribe

@@ -104,6 +104,15 @@ __all__ = [
     "blob_get_message",
     "blob_put_message",
     "draining_message",
+    "SERVER_OPS",
+    "submit_message",
+    "status_message",
+    "result_get_message",
+    "cancel_message",
+    "list_jobs_message",
+    "subscribe_message",
+    "reply_message",
+    "event_message",
 ]
 
 #: wire-format version stamped into every job payload and handshake
@@ -331,6 +340,91 @@ def blob_put_message(digest: str, payload: dict) -> dict:
     content digest plus the inline encoded array it names
     (:func:`repro.spec.serde.encode_array`)."""
     return {"type": "blob_put", "digest": str(digest), "payload": payload}
+
+
+# -- search-service frames (SearchServer <-> SearchClient) ----------------
+#: the request operations a search daemon answers; anything else gets
+#: an ``ok=false`` reply (the session survives — see
+#: :mod:`repro.serve.server`)
+SERVER_OPS = (
+    "submit", "status", "result", "cancel", "list_jobs", "subscribe",
+)
+
+
+def submit_message(spec: dict, priority: int = 0,
+                   job: str | None = None, req: int = 0) -> dict:
+    """Client → server: queue one search (``spec`` is a
+    :meth:`repro.spec.SearchSpec.to_dict` payload).  Higher ``priority``
+    runs earlier; ``job`` proposes a job name (the server's reply names
+    the job authoritatively — an identical spec dedupes onto the
+    existing job)."""
+    return {
+        "type": "submit",
+        "spec": spec,
+        "priority": int(priority),
+        "job": job,
+        "req": int(req),
+    }
+
+
+def status_message(job: str, req: int = 0) -> dict:
+    """Client → server: one job's current lifecycle state."""
+    return {"type": "status", "job": str(job), "req": int(req)}
+
+
+def result_get_message(job: str, req: int = 0) -> dict:
+    """Client → server: fetch a finished job's result record (the
+    ``result`` op; named ``result_get_message`` because
+    :func:`result_message` is the worker transport's chunk-result
+    frame)."""
+    return {"type": "result", "job": str(job), "req": int(req)}
+
+
+def cancel_message(job: str, req: int = 0) -> dict:
+    """Client → server: cancel a queued job now, or a running job at
+    its next batch boundary."""
+    return {"type": "cancel", "job": str(job), "req": int(req)}
+
+
+def list_jobs_message(req: int = 0) -> dict:
+    """Client → server: summarize every job the daemon knows."""
+    return {"type": "list_jobs", "req": int(req)}
+
+
+def subscribe_message(job: str, req: int = 0) -> dict:
+    """Client → server: stream one job's progress/state events until it
+    reaches a terminal state (the reply snapshots the current state; a
+    job already terminal streams nothing)."""
+    return {"type": "subscribe", "job": str(job), "req": int(req)}
+
+
+def reply_message(req, payload: dict | None = None,
+                  error: str | None = None) -> dict:
+    """Server → client: the answer to one request, correlated by the
+    request's ``req`` id.  ``ok`` is true iff ``error`` is ``None``;
+    ``payload`` fields ride at the top level."""
+    message = {"type": "reply", "req": req, "ok": error is None}
+    if error is not None:
+        message["error"] = str(error)
+    if payload:
+        message.update(payload)
+    return message
+
+
+def event_message(job: str, kind: str, data: dict,
+                  final: bool = False) -> dict:
+    """Server → client: one subscription event — ``kind`` is
+    ``progress`` (a completed candidate batch: generation, evaluation
+    counts, best fitness, perf-counter deltas) or ``state`` (a
+    lifecycle transition).  ``final`` marks the job's terminal event;
+    the stream ends after it."""
+    return {
+        "type": "event",
+        "job": str(job),
+        "event": str(kind),
+        "final": bool(final),
+        "data": data,
+    }
 
 
 # -- candidate solutions -------------------------------------------------

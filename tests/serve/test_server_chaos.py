@@ -1,0 +1,154 @@
+"""Chaos at the daemon layer: dying workers, dropped clients.
+
+PR-7's harness proved the *scheduler* keeps results bitwise under
+:data:`~repro.serve.chaos.COMMITTED_PLANS`.  This file points the same
+fault plans at the stack one level up: a live :class:`SearchServer`
+fronting a misbehaving remote fleet, with clients that vanish
+mid-subscription.  Jobs must still finish bitwise-identical to serial,
+and every client that reconnects must see the same terminal state.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.parallel import ExecutorConfig
+from repro.perf import get_perf
+from repro.quant import lpq_quantize
+from repro.serve.chaos import COMMITTED_PLANS, ChaosFleet
+from repro.serve.server import SearchClient, SearchServer
+
+from .conftest import SEARCH
+from repro.spec import CalibSpec, SearchSpec
+
+SPEC = SearchSpec(
+    model="tiny:resnet", calib=CalibSpec(batch=4, seed=3), config=SEARCH,
+    name="tiny",
+)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return lpq_quantize(spec=SPEC)
+
+
+def _assert_bitwise(record: dict, ref) -> None:
+    assert record["fitness"] == ref.fitness
+    assert record["solution"] == [
+        [p.n, p.es, p.rs, p.sf] for p in ref.solution.layer_params
+    ]
+
+
+def test_daemon_survives_worker_kill_and_client_drop(tmp_path,
+                                                     serial_reference):
+    """The satellite scenario in one flow: a remote worker is killed
+    mid-search by the committed ``kill_rejoin`` plan while the daemon
+    runs it, the subscribed client's connection is dropped abruptly
+    mid-stream, and the job still finishes bitwise-identical — with the
+    fleet-recovery counters proving the faults actually fired."""
+    scenario = COMMITTED_PLANS["kill_rejoin"]
+    perf = get_perf()
+    before = {
+        counter: perf.counter(counter).value for counter in scenario.expect
+    }
+    # park the scheduler at the first batch boundary until the client
+    # drop has happened, so the drop is deterministically mid-run
+    gate = threading.Event()
+
+    def hold(server, name, info):
+        gate.wait(timeout=60.0)
+        return False
+
+    with ChaosFleet(scenario.plan, count=scenario.count) as addresses:
+        server = SearchServer(
+            data_dir=tmp_path / "daemon",
+            executor=ExecutorConfig(
+                "remote", addresses=addresses, retry=scenario.retry,
+                on_fleet_death=scenario.on_fleet_death,
+            ),
+            crash_hook=hold,
+        ).start()
+        try:
+            first = SearchClient(server.address)
+            reply = first.submit(SPEC)
+            assert reply["job"] == "tiny"
+            deadline = time.monotonic() + 60.0
+            while server.job_state("tiny") != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+
+            # subscribe, take one live event, then yank the socket —
+            # no ``bye``, exactly what a crashed client looks like
+            stream = first.events("tiny")
+            event = next(stream)
+            assert not event["final"]
+            # shutdown (not just close): the reader's makefile handle
+            # keeps the fd alive, but shutdown kills the TCP stream for
+            # both ends — the server sees the same EOF a crashed client
+            # process would produce
+            first._sock.shutdown(socket.SHUT_RDWR)
+            first._sock.close()
+            # already-buffered frames may still drain; the dead socket
+            # surfaces as ConnectionError within a handful of reads
+            with pytest.raises(ConnectionError):
+                for _ in range(50):
+                    next(stream)
+            gate.set()
+
+            # a fresh client reconnects to the still-running daemon and
+            # rides the job to completion
+            second = SearchClient(server.address)
+            record = second.wait("tiny", timeout=120.0)
+            _assert_bitwise(record, serial_reference)
+
+            # every reconnecting client sees the same terminal state
+            third = SearchClient(server.address)
+            assert second.status("tiny")["state"] == "done"
+            fields = ("job", "state", "digest", "cached", "error",
+                      "priority")
+            assert {f: third.status("tiny").get(f) for f in fields} \
+                == {f: second.status("tiny").get(f) for f in fields}
+            assert third.list_jobs() == second.list_jobs()
+            assert third.result("tiny") == record
+            # a dropped subscriber's final event is a no-op, not a wedge:
+            # subscribing after the fact yields the terminal state only
+            events = list(third.events("tiny"))
+            assert len(events) == 1 and events[0]["final"]
+            assert events[0]["data"]["state"] == "done"
+            second.close()
+            third.close()
+        finally:
+            gate.set()
+            server.stop()
+
+    for counter in scenario.expect:
+        assert perf.counter(counter).value > before[counter], (
+            f"expected {counter} to move under plan "
+            f"{scenario.plan.name!r}"
+        )
+
+
+def test_fleet_death_degrades_to_local_under_daemon(tmp_path,
+                                                    serial_reference):
+    """``on_fleet_death="local"`` holds one level up too: the chaos plan
+    kills the whole fleet and the daemon's job completes in-process,
+    still bitwise-identical."""
+    scenario = COMMITTED_PLANS["fleet_death_local"]
+    perf = get_perf()
+    before = perf.counter("fault.fallbacks").value
+    with ChaosFleet(scenario.plan, count=scenario.count) as addresses:
+        with SearchServer(
+            data_dir=tmp_path / "daemon",
+            executor=ExecutorConfig(
+                "remote", addresses=addresses, retry=scenario.retry,
+                on_fleet_death=scenario.on_fleet_death,
+            ),
+        ) as server:
+            client = SearchClient(server.address)
+            client.submit(SPEC)
+            record = client.wait("tiny", timeout=120.0)
+            _assert_bitwise(record, serial_reference)
+            client.close()
+    assert perf.counter("fault.fallbacks").value > before

@@ -12,6 +12,8 @@ import queue
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.parallel import EvaluatorSpec, ExecutorConfig
 from repro.quant import FitnessConfig, collect_layer_stats, lpq_quantize
@@ -19,13 +21,24 @@ from repro.serve import SearchScheduler
 from repro.serve.pool import SharedProcessPool, encode_pool_wires, make_shared_pool
 from repro.spec import CalibSpec, SearchSpec
 from repro.spec.wire import (
+    SERVER_OPS,
     WIRE_VERSION,
+    FrameDecoder,
+    cancel_message,
     decode_callable,
     decode_job,
     decode_stats,
     encode_callable,
     encode_job,
     encode_stats,
+    event_message,
+    frame_message,
+    list_jobs_message,
+    reply_message,
+    result_get_message,
+    status_message,
+    submit_message,
+    subscribe_message,
 )
 
 from .conftest import SEARCH
@@ -220,6 +233,89 @@ class TestPoolProtocolIsJson:
         espec = EvaluatorSpec(images=images, model=model, stats=stats)
         with pytest.raises(ValueError, match="'doomed'"):
             encode_pool_wires({"doomed": espec})
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**53), 2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+_payloads = st.dictionaries(st.text(max_size=8), _scalars, max_size=4)
+_jobs = st.text(min_size=1, max_size=12)
+_reqs = st.integers(0, 2**31)
+
+#: every client↔server frame kind the daemon protocol added, built
+#: through the real constructors with arbitrary field values
+server_frames = st.one_of(
+    st.builds(submit_message, spec=_payloads,
+              priority=st.integers(-9, 9),
+              job=st.one_of(st.none(), _jobs), req=_reqs),
+    st.builds(status_message, job=_jobs, req=_reqs),
+    st.builds(result_get_message, job=_jobs, req=_reqs),
+    st.builds(cancel_message, job=_jobs, req=_reqs),
+    st.builds(list_jobs_message, req=_reqs),
+    st.builds(subscribe_message, job=_jobs, req=_reqs),
+    st.builds(reply_message, req=_reqs,
+              payload=st.one_of(st.none(), _payloads)),
+    st.builds(reply_message, req=_reqs,
+              error=st.text(min_size=1, max_size=30)),
+    st.builds(event_message, job=_jobs,
+              kind=st.sampled_from(["progress", "state"]),
+              data=_payloads, final=st.booleans()),
+)
+
+
+class TestServerFrameWire:
+    """The daemon's frame kinds ride the existing framing unchanged:
+    any mix of them survives any byte segmentation of the stream."""
+
+    @given(frames=st.lists(server_frames, min_size=1, max_size=6),
+           data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_any_frame_mix_survives_any_segmentation(self, frames, data):
+        stream = b"".join(frame_message(f) for f in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        pos = 0
+        while pos < len(stream):
+            step = data.draw(
+                st.integers(1, len(stream) - pos), label="segment"
+            )
+            decoded.extend(decoder.feed(stream[pos:pos + step]))
+            pos += step
+        assert decoded == frames
+        assert decoder.pending_bytes == 0
+
+    @given(frame=server_frames)
+    @settings(max_examples=60, deadline=None)
+    def test_every_frame_is_plain_json(self, frame):
+        assert json_roundtrip(frame) == frame
+
+    def test_request_ops_match_the_registry(self):
+        """Each request constructor stamps a type the server dispatches
+        on — the ``type`` values and ``SERVER_OPS`` must stay in sync."""
+        requests = {
+            submit_message({})["type"],
+            status_message("j")["type"],
+            result_get_message("j")["type"],
+            cancel_message("j")["type"],
+            list_jobs_message()["type"],
+            subscribe_message("j")["type"],
+        }
+        assert requests == set(SERVER_OPS)
+
+    def test_reply_ok_tracks_error(self):
+        ok = reply_message(3, {"state": "queued"})
+        assert ok["ok"] and ok["req"] == 3 and ok["state"] == "queued"
+        bad = reply_message(4, error="boom")
+        assert not bad["ok"] and bad["error"] == "boom"
+
+    def test_event_final_flag(self):
+        event = event_message("j", "state", {"state": "done"}, final=True)
+        assert event["final"] and event["event"] == "state"
+        assert not event_message("j", "progress", {})["final"]
 
 
 class TestSpecSubmissionEndToEnd:

@@ -221,7 +221,9 @@ class TestRunSearchCache:
             def model_size_mb():
                 return 0.1
 
-        record = run_search._result_record(spec, FakeResult, None)
+        # the record builder now lives in repro.serve.store (the daemon
+        # shares it); run_search re-exports it
+        record = run_search.result_record(spec, FakeResult, None)
         assert record["spec"]["executor"]["token"] is None
         assert "s3cret" not in json.dumps(record)
         # the live spec is untouched (the run itself still needs it)
