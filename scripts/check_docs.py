@@ -52,6 +52,9 @@ DOCTEST_MODULES = (
     "repro.spec.blob",  # content-addressed blob store
     "repro.numerics.registry",  # make_format
     "repro.numerics.logposit",  # lp_quantize_many
+    "repro.obs.hub",  # MetricsHub publish/subscribe
+    "repro.obs.emitter",  # MetricsEmitter delta sampling
+    "repro.obs.timeseries",  # TimeSeriesStore replay + merge_samples
 )
 
 #: markdown files whose file.py:symbol references are link-checked

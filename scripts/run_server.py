@@ -77,6 +77,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-jobs-per-round", type=int, default=0,
                         help="cap on jobs multiplexed per scheduler "
                              "round (0 = all pending)")
+    parser.add_argument("--metrics-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="emit one merged fleet telemetry sample "
+                             "each SECONDS to subscribed clients and "
+                             "the time-series store (0 = off; "
+                             "default 1.0)")
+    parser.add_argument("--timeseries", type=Path, default=None,
+                        metavar="DIR",
+                        help="persist every fleet telemetry sample to "
+                             "DIR/timeseries.jsonl (torn-tail-safe "
+                             "JSONL; off by default)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-connection log lines")
     args = parser.parse_args(argv)
@@ -102,6 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         data_dir=args.data_dir, executor=executor,
         max_jobs_per_round=args.max_jobs_per_round,
         verbose=not args.quiet,
+        metrics_interval=args.metrics_interval,
+        timeseries=args.timeseries,
     ).start()
     print(f"server listening on {server.address}", flush=True)
 

@@ -57,6 +57,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory for the content-addressed blob "
                              "cache; blobs persist on disk so a restarted "
                              "worker rehydrates tensors without refetching")
+    parser.add_argument("--metrics-interval", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="push one telemetry delta frame to every "
+                             "connected client each SECONDS (0 = off, "
+                             "the default)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-connection log lines")
     args = parser.parse_args(argv)
@@ -67,6 +72,7 @@ def main(argv: list[str] | None = None) -> int:
     server = WorkerServer(
         host=args.host, port=args.port, token=token,
         verbose=not args.quiet, blob_cache=args.blob_cache,
+        metrics_interval=args.metrics_interval,
     ).start()
     print(f"worker listening on {server.address}", flush=True)
 

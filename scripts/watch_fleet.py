@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Live terminal view of a search daemon's fleet telemetry.
+
+Connects to a :class:`repro.serve.SearchServer` (``run_server.py``) and
+renders what the fleet is doing *right now*: per-worker evaluation
+throughput, cache hit rates, queue depths, heartbeat latency, and fault
+counters, all derived from the daemon's merged ``metrics`` frames (see
+``docs/perf.md``).  Telemetry is passive — watching a fleet never
+changes what it computes.
+
+Three modes::
+
+    # streaming table, redrawn per sample (ANSI when stdout is a tty)
+    PYTHONPATH=src python scripts/watch_fleet.py 127.0.0.1:7400
+
+    # machine-readable: one JSON object per line, no redraw
+    PYTHONPATH=src python scripts/watch_fleet.py 127.0.0.1:7400 --json
+
+    # one-shot fleet_status snapshot (works even with telemetry off)
+    PYTHONPATH=src python scripts/watch_fleet.py 127.0.0.1:7400 \
+        --json --once
+
+``--samples N`` exits after N streamed samples (handy in scripts and
+CI); the auth token comes from ``--token`` or ``$REPRO_SERVER_TOKEN``.
+Streaming requires the daemon to run with ``--metrics-interval`` > 0;
+``--once`` does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.serve.server import SearchClient, ServerError  # noqa: E402
+
+
+def _counter(delta: dict, name: str) -> int:
+    return int(delta.get("counters", {}).get(name, 0))
+
+
+def _fault_total(delta: dict) -> int:
+    return sum(
+        value
+        for name, value in delta.get("counters", {}).items()
+        if name.startswith("fault.")
+    )
+
+
+def _cache_cell(delta: dict) -> str:
+    caches = delta.get("caches", {})
+    if not caches:
+        return "-"
+    hits = sum(c.get("hits", 0) for c in caches.values())
+    lookups = hits + sum(c.get("misses", 0) for c in caches.values())
+    if not lookups:
+        return "-"
+    return f"{hits}/{lookups} ({hits / lookups:.0%})"
+
+
+def render_table(message: dict, elapsed: float | None) -> str:
+    """Format one merged ``metrics`` frame as a fixed-width table.
+
+    ``elapsed`` is the wall-clock gap to the previous frame (None for
+    the first), used to turn per-interval evaluation deltas into an
+    evals/s rate.
+    """
+    lines = [
+        f"fleet @ {message.get('source', '?')}   "
+        f"seq {message.get('seq', '?')}",
+    ]
+    status = message.get("status") or {}
+    lines.append(
+        f"queue depth {status.get('queue_depth', 0)}   "
+        f"workers {status.get('workers', 0)}   "
+        f"jobs {len(status.get('jobs', {}))}"
+    )
+    header = (
+        f"{'worker':<28} {'evals/s':>9} {'queue':>6} {'hb ms':>7} "
+        f"{'cache hits':>16} {'faults':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    workers = message.get("workers") or []
+    if not workers:
+        lines.append("(no worker samples this interval)")
+    for sample in sorted(workers, key=lambda s: str(s.get("source"))):
+        delta = sample.get("delta") or {}
+        gauges = sample.get("gauges") or {}
+        evaluations = _counter(delta, "worker.evaluations")
+        rate = (
+            f"{evaluations / elapsed:.1f}"
+            if elapsed and elapsed > 0 else str(evaluations)
+        )
+        heartbeat = gauges.get("heartbeat_ms")
+        lines.append(
+            f"{str(sample.get('source', '?')):<28} {rate:>9} "
+            f"{gauges.get('queue_depth', 0):>6} "
+            f"{heartbeat if heartbeat is not None else '-':>7} "
+            f"{_cache_cell(delta):>16} {_fault_total(delta):>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("address",
+                        help="search daemon host:port (run_server.py)")
+    parser.add_argument("--token", default=None,
+                        help="daemon auth token "
+                             "(default: $REPRO_SERVER_TOKEN, else none)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print one JSON object per sample instead "
+                             "of the terminal table")
+    parser.add_argument("--once", action="store_true",
+                        help="print a single fleet_status snapshot and "
+                             "exit (no subscription needed)")
+    parser.add_argument("--samples", type=int, default=0, metavar="N",
+                        help="exit after N streamed samples "
+                             "(0 = stream until interrupted)")
+    args = parser.parse_args(argv)
+
+    token = args.token
+    if token is None:
+        token = os.environ.get("REPRO_SERVER_TOKEN") or None
+    client = SearchClient(args.address, token=token)
+    try:
+        if args.once:
+            status = client.fleet_status()
+            if args.as_json:
+                print(json.dumps(status, sort_keys=True), flush=True)
+            else:
+                print(json.dumps(status, indent=2, sort_keys=True),
+                      flush=True)
+            return 0
+
+        clear = sys.stdout.isatty() and not args.as_json
+        seen = 0
+        last_t: float | None = None
+        for message in client.metrics_stream():
+            t = message.get("t")
+            elapsed = (
+                t - last_t
+                if isinstance(t, (int, float)) and last_t is not None
+                else None
+            )
+            if isinstance(t, (int, float)):
+                last_t = t
+            if args.as_json:
+                print(json.dumps(message, sort_keys=True), flush=True)
+            else:
+                if clear:
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(render_table(message, elapsed), flush=True)
+            seen += 1
+            if args.samples and seen >= args.samples:
+                break
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Live fleet telemetry (repro.obs).
+
+:mod:`repro.perf` answers "where did the time go" *after* a run; this
+package answers it *while* the fleet runs.  Four pieces, one pipeline:
+
+* :class:`MetricsEmitter` — samples a :class:`~repro.perf.PerfRegistry`
+  on an interval and publishes each snapshot *delta*
+  (:func:`~repro.perf.diff_snapshots`) plus point-in-time gauges.
+  Runs inside :class:`~repro.serve.remote.WorkerServer` and
+  :class:`~repro.serve.server.SearchServer`.
+* :class:`MetricsHub` — a process-ambient publish/subscribe bus
+  (:func:`get_hub`) that carries worker samples from the transport
+  layer (:class:`~repro.serve.remote.SharedRemotePool` forwards each
+  worker's ``metrics`` frame into it) up to the daemon without any
+  layer holding a reference to another.
+* :class:`TimeSeriesStore` — journal-style, torn-tail-safe JSONL
+  persistence of fleet samples, so perf regressions show up as
+  trajectories rather than single end-of-run numbers.
+* ``scripts/watch_fleet.py`` — the terminal watch view over a live
+  daemon's ``subscribe_metrics`` stream and ``fleet_status`` snapshot.
+
+The subsystem's invariant: telemetry is strictly *passive*.  Emitters
+only read registries, publishing never blocks an evaluator, subscriber
+errors are swallowed, and every bitwise-identity suite passes with
+emission enabled at any interval.
+"""
+
+from .emitter import MetricsEmitter
+from .hub import MetricsHub, get_hub, reset_hub
+from .timeseries import TimeSeriesStore, merge_samples
+
+__all__ = [
+    "MetricsEmitter",
+    "MetricsHub",
+    "TimeSeriesStore",
+    "get_hub",
+    "merge_samples",
+    "reset_hub",
+]

@@ -1,0 +1,129 @@
+"""Interval sampler turning a live PerfRegistry into a delta stream.
+
+A :class:`MetricsEmitter` wraps one :class:`~repro.perf.PerfRegistry`
+and, on a fixed interval, publishes the snapshot *delta* since its
+previous sample (:func:`~repro.perf.diff_snapshots`) together with
+point-in-time gauges supplied by the host (queue depth, session count,
+draining flag...).  Deltas — not absolutes — are what make fleet-wide
+merging truthful: the daemon can fold many sources into one registry
+with :meth:`~repro.perf.PerfRegistry.merge_snapshot` and every event is
+counted exactly once.
+
+Passivity contract: the emitter only *reads* the registry (snapshotting
+is lock-protected since the concurrent-mutation fix in
+:mod:`repro.perf.counters`), emission failures are swallowed, and
+``interval_s <= 0`` disables the thread entirely — so enabling
+telemetry can never move a bit of a search result.
+
+>>> from repro.perf import PerfRegistry
+>>> reg = PerfRegistry()
+>>> samples = []
+>>> emitter = MetricsEmitter(reg, samples.append, interval_s=0.0,
+...                          source="worker:demo",
+...                          gauges=lambda: {"queue_depth": 2})
+>>> emitter.enabled  # 0 = off: no sampler thread will start
+False
+>>> reg.counter("worker.evaluations").inc(5)
+>>> emitter.sample()  # manual one-shot sampling still works
+>>> samples[0]["source"], samples[0]["seq"]
+('worker:demo', 0)
+>>> samples[0]["delta"]["counters"]
+{'worker.evaluations': 5}
+>>> samples[0]["gauges"]
+{'queue_depth': 2}
+>>> reg.counter("worker.evaluations").inc()
+>>> emitter.sample()
+>>> samples[1]["delta"]["counters"]  # deltas, not absolutes
+{'worker.evaluations': 1}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..perf import PerfRegistry, diff_snapshots
+
+__all__ = ["MetricsEmitter"]
+
+
+class MetricsEmitter:
+    """Sample ``registry`` every ``interval_s`` and hand each delta to
+    ``emit``.
+
+    ``emit`` receives one plain-dict sample per tick:
+    ``{"source", "seq", "t", "delta", "gauges"}`` — the payload half of
+    :func:`repro.spec.wire.metrics_message`.  ``gauges`` is an optional
+    zero-arg callable evaluated at each tick.  ``start`` launches a
+    daemon thread (a no-op when disabled); ``stop`` flushes one final
+    sample so short-lived hosts never lose their tail.
+    """
+
+    def __init__(self, registry: PerfRegistry, emit: Callable[[dict], None],
+                 interval_s: float, source: str,
+                 gauges: Callable[[], dict] | None = None) -> None:
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.source = str(source)
+        self._emit = emit
+        self._gauges = gauges
+        self._seq = 0
+        self._last_snapshot: dict = {"counters": {}, "timers": {}, "caches": {}}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._sample_lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval_s > 0
+
+    def start(self) -> None:
+        if not self.enabled or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name=f"metrics-emitter[{self.source}]",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, flush: bool = True) -> None:
+        """Stop the sampler thread; by default emit one final sample."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if flush:
+            self.sample()
+
+    def sample(self) -> None:
+        """Take one sample now and emit it.  Never raises."""
+        with self._sample_lock:
+            snapshot = self.registry.snapshot()
+            delta = diff_snapshots(snapshot, self._last_snapshot)
+            self._last_snapshot = snapshot
+            sample = {
+                "source": self.source,
+                "seq": self._seq,
+                "t": time.time(),
+                "delta": delta,
+                "gauges": self._read_gauges(),
+            }
+            self._seq += 1
+        try:
+            self._emit(sample)
+        except Exception:
+            pass  # passive: a broken sink must not touch the host
+
+    def _read_gauges(self) -> dict:
+        if self._gauges is None:
+            return {}
+        try:
+            return dict(self._gauges())
+        except Exception:
+            return {}
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()

@@ -1,0 +1,102 @@
+"""Process-ambient telemetry bus: publish worker samples, subscribe anywhere.
+
+The transport layer (:class:`~repro.serve.remote.SharedRemotePool`)
+receives per-worker ``metrics`` frames but is constructed through the
+``shared_pool`` registry factory, whose signature carries no telemetry
+sink.  Rather than thread a sink through every layer, the pool publishes
+into the process-ambient :class:`MetricsHub` (:func:`get_hub`) and the
+daemon subscribes — mirroring how :func:`repro.perf.get_perf` makes the
+ambient perf registry available to hot paths.
+
+Passivity contract: ``publish`` never raises (subscriber exceptions are
+swallowed) and holds the hub lock only to copy the subscriber list, so
+a slow or broken subscriber cannot stall the transport reader thread.
+
+>>> hub = MetricsHub()
+>>> seen = []
+>>> unsubscribe = hub.subscribe(seen.append)
+>>> hub.publish({"source": "worker:a", "seq": 0, "delta": {}})
+>>> seen[0]["source"]
+'worker:a'
+>>> hub.latest()["worker:a"]["seq"]
+0
+>>> unsubscribe()
+>>> hub.publish({"source": "worker:a", "seq": 1, "delta": {}})
+>>> len(seen)
+1
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["MetricsHub", "get_hub", "reset_hub"]
+
+
+class MetricsHub:
+    """Fan one stream of telemetry samples out to any number of readers.
+
+    Samples are plain dicts (the :func:`repro.spec.wire.metrics_message`
+    shape, minus the ``type`` tag).  The hub also keeps the latest
+    sample per ``source`` so one-shot status queries need no
+    subscription window.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: list[Callable[[dict], None]] = []
+        self._latest: dict[str, dict] = {}
+
+    def subscribe(self, callback: Callable[[dict], None]) -> Callable[[], None]:
+        """Register ``callback`` for every future sample; returns an
+        idempotent unsubscribe."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                try:
+                    self._subscribers.remove(callback)
+                except ValueError:
+                    pass
+
+        return unsubscribe
+
+    def publish(self, sample: dict) -> None:
+        """Deliver ``sample`` to every subscriber.  Never raises."""
+        with self._lock:
+            source = sample.get("source")
+            if source is not None:
+                self._latest[str(source)] = sample
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            try:
+                callback(sample)
+            except Exception:
+                pass  # passive: a broken reader must not stall the writer
+
+    def latest(self) -> dict[str, dict]:
+        """Latest sample per source (a copy)."""
+        with self._lock:
+            return dict(self._latest)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._latest.clear()
+
+
+#: process-ambient hub used by default across the serve stack
+_GLOBAL = MetricsHub()
+
+
+def get_hub() -> MetricsHub:
+    """The process-ambient metrics hub."""
+    return _GLOBAL
+
+
+def reset_hub() -> MetricsHub:
+    """Drop all subscribers and latest samples (test isolation)."""
+    global _GLOBAL
+    _GLOBAL = MetricsHub()
+    return _GLOBAL

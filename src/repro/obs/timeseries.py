@@ -1,0 +1,140 @@
+"""Persisted fleet telemetry: append-only, torn-tail-safe sample log.
+
+A :class:`TimeSeriesStore` is the :class:`repro.serve.store.Journal`
+idiom applied to telemetry: one JSON sample per line, appends flushed
+before returning, an unterminated tail (a crash mid-append) truncated
+on open and tolerated on replay.  The daemon appends one merged fleet
+sample per emitter tick, so a perf regression shows up as a trajectory
+(evals/s over the run, cache hit rate decaying, fault counters
+stepping) rather than a single end-of-run ``BENCH_*.json`` number.
+
+Telemetry is advisory where the journal is authoritative: appends are
+flushed but *not* fsynced by default (pass ``fsync=True`` to harden),
+and a corrupt mid-file line is skipped with a counter rather than
+raised — losing a sample must never take down a daemon.
+
+>>> import os, tempfile
+>>> from repro.perf import PerfRegistry
+>>> root = tempfile.mkdtemp()
+>>> store = TimeSeriesStore(os.path.join(root, "timeseries.jsonl"))
+>>> _ = store.append({"source": "server:demo", "seq": 0,
+...                   "delta": {"counters": {"worker.evaluations": 7}}})
+>>> _ = store.append({"source": "server:demo", "seq": 1, "delta": {}})
+>>> [s["seq"] for s in store.replay()]
+[0, 1]
+>>> store.close()
+>>> with open(store.path, "ab") as fh:      # crash tears the tail...
+...     _ = fh.write(b'{"source": "server:demo", "se')
+>>> [s["seq"] for s in store.replay()]      # ...complete samples survive
+[0, 1]
+>>> merged = merge_samples(store.replay())  # fold deltas back together
+>>> merged["counters"]["worker.evaluations"]
+7
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from pathlib import Path
+
+from ..perf import PerfRegistry, get_perf
+
+__all__ = ["TimeSeriesStore", "merge_samples"]
+
+#: sample record format version (stamped into every line)
+TIMESERIES_VERSION = 1
+
+
+class TimeSeriesStore:
+    """Append-only JSONL log of telemetry samples with torn-tail recovery.
+
+    Samples are the :class:`repro.obs.MetricsEmitter` dicts (or the
+    daemon's merged fleet samples); each is stamped with a ``v`` format
+    version on write.  ``append`` is flushed (fsynced only with
+    ``fsync=True``); ``replay`` returns every readable sample, counting
+    skipped lines in ``obs.torn_tails`` and appends in ``obs.samples``.
+    """
+
+    def __init__(self, path, perf=None, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.perf = perf if perf is not None else get_perf()
+        self.fsync = bool(fsync)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = None
+
+    # -- writing ---------------------------------------------------------
+    def append(self, sample: dict) -> dict:
+        """Append one sample; returns the stamped record."""
+        record = {"v": TIMESERIES_VERSION, **sample}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        fh = self._handle()
+        fh.write(line + "\n")
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+        self.perf.counter("obs.samples").inc()
+        return record
+
+    def _handle(self):
+        if self._fh is None:
+            # same recovery as Journal._handle: truncate an unterminated
+            # tail before appending, so the torn record never becomes a
+            # complete-but-corrupt mid-file line
+            if self.path.exists() and self.path.stat().st_size:
+                with open(self.path, "rb") as fh:
+                    data = fh.read()
+                if not data.endswith(b"\n"):
+                    keep = data.rfind(b"\n") + 1
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(keep)
+                    self.perf.counter("obs.torn_tails").inc()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def close(self) -> None:
+        if self._fh is not None:
+            with contextlib.suppress(OSError):
+                self._fh.close()
+            self._fh = None
+
+    # -- reading ---------------------------------------------------------
+    def replay(self) -> list[dict]:
+        """Every readable sample, in append order.
+
+        Unlike the job journal, *any* unparsable line is skipped (and
+        counted in ``obs.torn_tails``) rather than raised: telemetry is
+        advisory, and a single damaged sample must not make the whole
+        trajectory unreadable.
+        """
+        if not self.path.exists():
+            return []
+        samples: list[dict] = []
+        for line in self.path.read_bytes().split(b"\n"):
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("sample is not a JSON object")
+            except (ValueError, UnicodeDecodeError):
+                self.perf.counter("obs.torn_tails").inc()
+                continue
+            samples.append(record)
+        return samples
+
+    def __len__(self) -> int:
+        return len(self.replay())
+
+
+def merge_samples(samples) -> dict:
+    """Fold any number of delta samples back into one cumulative
+    snapshot (the inverse of the emitter's per-tick diffing): merge each
+    sample's ``delta`` through a scratch
+    :class:`~repro.perf.PerfRegistry`, exactly as the daemon folds
+    worker deltas into its own registry."""
+    registry = PerfRegistry()
+    for sample in samples:
+        registry.merge_snapshot(sample.get("delta") or {})
+    return registry.snapshot()

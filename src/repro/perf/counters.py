@@ -10,6 +10,7 @@ they observe.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -102,44 +103,62 @@ class PerfRegistry:
     ``counter``/``timer``/``cache`` create-on-first-use, so call sites
     never need registration boilerplate.  ``snapshot`` returns a plain
     JSON-serialisable dict; ``report`` renders a human-readable summary.
+
+    Reads (``snapshot``/``report``) may race with evaluator threads that
+    create entries mid-run (the live-telemetry sampler does exactly
+    that), so first-use insertion and dict iteration share one lock.
+    The hot path — looking up an entry that already exists — stays a
+    plain dict read.
     """
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
         self.timers: dict[str, Timer] = {}
         self.caches: dict[str, CacheStats] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         try:
             return self.counters[name]
         except KeyError:
-            c = self.counters[name] = Counter(name)
-            return c
+            with self._lock:
+                return self.counters.setdefault(name, Counter(name))
 
     def timer(self, name: str) -> Timer:
         try:
             return self.timers[name]
         except KeyError:
-            t = self.timers[name] = Timer(name)
-            return t
+            with self._lock:
+                return self.timers.setdefault(name, Timer(name))
 
     def cache(self, name: str) -> CacheStats:
         try:
             return self.caches[name]
         except KeyError:
-            s = self.caches[name] = CacheStats(name)
-            return s
+            with self._lock:
+                return self.caches.setdefault(name, CacheStats(name))
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
-        self.caches.clear()
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
+            self.caches.clear()
+
+    def _items(self) -> tuple[list, list, list]:
+        """Stable (name, entry) lists taken under the insertion lock."""
+        with self._lock:
+            return (
+                sorted(self.counters.items()),
+                sorted(self.timers.items()),
+                sorted(self.caches.items()),
+            )
 
     def snapshot(self) -> dict:
+        counters, timers, caches = self._items()
         return {
-            "counters": {k: c.snapshot() for k, c in sorted(self.counters.items())},
-            "timers": {k: t.snapshot() for k, t in sorted(self.timers.items())},
-            "caches": {k: s.snapshot() for k, s in sorted(self.caches.items())},
+            "counters": {k: c.snapshot() for k, c in counters},
+            "timers": {k: t.snapshot() for k, t in timers},
+            "caches": {k: s.snapshot() for k, s in caches},
         }
 
     def merge_snapshot(self, snap: dict) -> None:
@@ -163,21 +182,22 @@ class PerfRegistry:
             stats.evict(c["evictions"])
 
     def report(self) -> str:
+        counters, timers, caches = self._items()
         lines = ["perf report", "-" * 11]
-        if self.timers:
+        if timers:
             lines.append("timers:")
-            for name, t in sorted(self.timers.items()):
+            for name, t in timers:
                 lines.append(
                     f"  {name:<40} {t.total:9.3f}s total  "
                     f"{t.count:7d} calls  {t.mean * 1e3:9.3f} ms/call"
                 )
-        if self.counters:
+        if counters:
             lines.append("counters:")
-            for name, c in sorted(self.counters.items()):
+            for name, c in counters:
                 lines.append(f"  {name:<40} {c.value}")
-        if self.caches:
+        if caches:
             lines.append("caches:")
-            for name, s in sorted(self.caches.items()):
+            for name, s in caches:
                 lines.append(
                     f"  {name:<40} {s.hits:7d} hits  {s.misses:7d} misses  "
                     f"{s.hit_rate * 100:6.2f}% hit rate"

@@ -162,6 +162,14 @@ class ChaosController:
     event's ``at_task``, the event fires exactly once, on the session
     that started that task.  Restarts are delegated to the owning
     :class:`ChaosFleet` (``restart`` callback).
+
+    Task starts on a server that a ``kill`` event has already claimed
+    do not advance the clock: ``stop()`` runs on a helper thread, so a
+    dying worker can race a few more queued tasks into their start
+    hooks, and whether it manages to is pure machine speed.  Counting
+    those ghost starts would let a later ``kill`` event be consumed by
+    a death the client only observes once — skipping them keeps the
+    logical clock logical and every committed plan replayable.
     """
 
     def __init__(self, plan: FaultPlan) -> None:
@@ -172,11 +180,16 @@ class ChaosController:
         self.restart = None
         self.fleet_stop = None
         self._lock = threading.Lock()
+        #: servers a kill has claimed (strong refs: identity must not
+        #: be recycled onto a restarted replacement)
+        self._dying: set = set()
 
     # -- WorkerServer hook entry points ----------------------------------
     def on_task(self, server) -> tuple:
         """Advance the logical clock; return the events due now."""
         with self._lock:
+            if server in self._dying:
+                return ()  # ghost start on a killed server: no tick
             self.task_count += 1
             count = self.task_count
             due = tuple(
@@ -239,6 +252,10 @@ class ChaosController:
 
     # -- internals -------------------------------------------------------
     def _kill(self, server, event: FaultEvent) -> None:
+        # claim the server before the asynchronous stop: any task it
+        # still races into a start hook is a ghost (see class docstring)
+        with self._lock:
+            self._dying.add(server)
         # stop from a helper thread: stop() joins session threads, and
         # the calling evaluator thread must stay free to observe its
         # own shutdown
@@ -264,11 +281,16 @@ class ChaosFleet:
     """
 
     def __init__(self, plan: FaultPlan, count: int = 2,
-                 token: str | None = None, verbose: bool = False) -> None:
+                 token: str | None = None, verbose: bool = False,
+                 metrics_interval: float = 0.0) -> None:
         self.plan = plan
         self.count = count
         self.token = token
         self.verbose = verbose
+        #: live-telemetry sampling interval for every fleet member (the
+        #: soak tests run with this on to prove telemetry is passive
+        #: even while workers die, drain, and rejoin)
+        self.metrics_interval = float(metrics_interval)
         self.controller = ChaosController(plan)
         self.servers: list = []
         self._lock = threading.Lock()
@@ -280,7 +302,8 @@ class ChaosFleet:
         self.controller.restart = self._restart
         self.controller.fleet_stop = self._fleet_stop
         for _ in range(self.count):
-            server = WorkerServer(token=self.token, verbose=self.verbose)
+            server = WorkerServer(token=self.token, verbose=self.verbose,
+                                  metrics_interval=self.metrics_interval)
             server.chaos = self.controller
             server.start()
             self.servers.append(server)
@@ -305,6 +328,7 @@ class ChaosFleet:
         replacement = WorkerServer(
             host=dead_server.host, port=dead_server.port,
             token=self.token, verbose=self.verbose,
+            metrics_interval=self.metrics_interval,
         )
         replacement.chaos = self.controller
         deadline = time.monotonic() + 10.0

@@ -136,6 +136,16 @@ class WorkerPool(abc.ABC):
         """Whether the pool can still evaluate submitted chunks."""
         return True
 
+    def membership(self) -> list[dict]:
+        """Per-worker liveness/queue facts for fleet status views.
+
+        In-process pools have no per-worker identity worth reporting, so
+        the default is empty; the remote pool overrides this with one
+        entry per dialed address (alive, accepting, pending chunks,
+        heartbeat latency).  Advisory only — never used for scheduling.
+        """
+        return []
+
     def __enter__(self) -> "WorkerPool":
         return self.start()
 

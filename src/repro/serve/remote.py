@@ -62,7 +62,9 @@ import time
 import traceback
 import warnings
 
+from ..obs import MetricsEmitter, get_hub
 from ..parallel import EvaluatorSpec, ExecutorConfig, parse_address
+from ..perf import PerfRegistry
 from ..spec import registry as spec_registry
 from ..spec.blob import BlobStore, get_blob_store
 from ..spec.wire import (
@@ -80,6 +82,7 @@ from ..spec.wire import (
     frame_message,
     hello_message,
     job_message,
+    metrics_message,
     read_frame,
     result_message,
     task_message,
@@ -247,6 +250,10 @@ class _WorkerSession(threading.Thread):
             elif kind == "ping":
                 self._send({"type": "pong", "t": message.get("t")})
             elif kind == "bye":
+                # a departing client gets the telemetry tail before EOF:
+                # one final delta sample, so even a pool window shorter
+                # than the sampling interval sees the work it dispatched
+                self.server._flush_metrics()
                 return
             else:
                 self._send(error_message(f"unknown frame type {kind!r}"))
@@ -342,11 +349,18 @@ class _WorkerSession(threading.Thread):
             solutions = [decode_solution(rows)
                          for rows in message["solutions"]]
             fits, delta = _evaluate_with_entry(entry, solutions)
-            return result_message(
+            # telemetry only: fold the same delta the client will merge
+            # into the worker's own registry, so the live metrics stream
+            # reconciles with the end-of-job snapshot.  The result frame
+            # is built before the accounting touches anything.
+            reply = result_message(
                 task, job, seq, chunk, fits, delta,
                 time.perf_counter() - start,
             )
+            self.server._task_done(delta, len(solutions))
+            return reply
         except Exception:
+            self.server._task_done(None, 0)
             return result_message(
                 task, job, seq, chunk, None, None,
                 time.perf_counter() - start, error=traceback.format_exc(),
@@ -383,6 +397,8 @@ class WorkerServer:
         max_frame: int = MAX_FRAME_BYTES,
         verbose: bool = False,
         blob_cache=None,
+        metrics_interval: float = 0.0,
+        perf=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -390,10 +406,19 @@ class WorkerServer:
         self.max_frame = max_frame
         self.verbose = verbose
         self.blobs = BlobStore(cache_dir=blob_cache)
+        #: worker-level telemetry registry — private by default so an
+        #: in-process fleet's samples are not polluted by (or polluting)
+        #: the host process's ambient registry
+        self.perf = perf if perf is not None else PerfRegistry()
+        #: sampling interval for the live metrics stream; 0 = off
+        self.metrics_interval = float(metrics_interval)
+        self._emitter: MetricsEmitter | None = None
         self.auth_failures = 0
-        #: tasks accepted off the socket / begun evaluating (test hooks)
+        #: tasks accepted off the socket / begun evaluating / finished
+        #: (test hooks; received - done is the live queue-depth gauge)
         self.tasks_received = 0
         self.tasks_started = 0
+        self.tasks_done = 0
         self.task_started_event = threading.Event()
         #: optional fault-injection controller (:mod:`repro.serve.chaos`)
         self.chaos = None
@@ -419,6 +444,13 @@ class WorkerServer:
             name=f"repro-worker-accept-{self.port}",
         )
         self._accept_thread.start()
+        if self.metrics_interval > 0:
+            self._emitter = MetricsEmitter(
+                self.perf, self._broadcast_metrics, self.metrics_interval,
+                source=f"worker:{self.address}",
+                gauges=self._metrics_gauges,
+            )
+            self._emitter.start()
         self._log(f"listening on {self.address}")
         return self
 
@@ -449,6 +481,11 @@ class WorkerServer:
         as a ``RuntimeWarning`` — never silently abandoned.
         """
         self._closed = True
+        if self._emitter is not None:
+            # flush one final sample to still-open sessions before they
+            # close, so short jobs never lose their telemetry tail
+            self._emitter.stop()
+            self._emitter = None
         if self._listener is not None:
             with contextlib.suppress(OSError):
                 self._listener.close()
@@ -556,6 +593,58 @@ class WorkerServer:
             self.tasks_started += 1
         self.task_started_event.set()
 
+    def _task_done(self, delta: dict | None, evaluations: int) -> None:
+        """Telemetry accounting for one evaluated chunk (success or
+        failure).  Strictly passive: folds the chunk's perf delta into
+        the worker-level registry and bumps the worker counters — the
+        result frame the client merges is untouched."""
+        with self._lock:
+            self.tasks_done += 1
+        self.perf.counter("worker.tasks").inc()
+        if delta is not None:
+            self.perf.merge_snapshot(delta)
+            self.perf.counter("worker.evaluations").inc(evaluations)
+        else:
+            self.perf.counter("worker.task_errors").inc()
+
+    def _metrics_gauges(self) -> dict:
+        with self._lock:
+            received = self.tasks_received
+            done = self.tasks_done
+            sessions = len(self._sessions)
+        return {
+            "queue_depth": max(0, received - done),
+            "sessions": sessions,
+            "tasks_received": received,
+            "tasks_done": done,
+            "draining": self._draining,
+        }
+
+    def _flush_metrics(self) -> None:
+        """Emit one out-of-band sample right now (no-op with telemetry
+        off; :meth:`MetricsEmitter.sample` never raises).  Invoked when
+        a client says ``bye`` so short-lived pools — a scheduler round
+        can outrun the sampling interval — still receive every delta."""
+        emitter = self._emitter
+        if emitter is not None:
+            emitter.sample()
+
+    def _broadcast_metrics(self, sample: dict) -> None:
+        """Emitter sink: push one sample to every connected client as a
+        ``metrics`` frame.  Best-effort by design — a dead or muted
+        session drops the sample, never the worker."""
+        frame = metrics_message(
+            sample["source"], sample["seq"], sample["t"],
+            delta=sample["delta"], gauges=sample["gauges"],
+        )
+        with self._lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            if session.muted:
+                continue
+            with contextlib.suppress(OSError, ValueError):
+                session._send(frame)
+
     def _session_done(self, session: _WorkerSession) -> None:
         with self._lock:
             self._sessions.discard(session)
@@ -567,7 +656,8 @@ class WorkerServer:
 
 @contextlib.contextmanager
 def local_worker_fleet(count: int, token: str | None = None,
-                       verbose: bool = False):
+                       verbose: bool = False,
+                       metrics_interval: float = 0.0):
     """Start ``count`` in-process :class:`WorkerServer`\\ s on ephemeral
     localhost ports; yields their ``host:port`` addresses.
 
@@ -576,7 +666,8 @@ def local_worker_fleet(count: int, token: str | None = None,
     ``run_search_throughput_bench.py --backend remote`` use.
     """
     servers = [
-        WorkerServer(token=token, verbose=verbose).start()
+        WorkerServer(token=token, verbose=verbose,
+                     metrics_interval=metrics_interval).start()
         for _ in range(count)
     ]
     try:
@@ -602,6 +693,8 @@ class _RemoteWorker:
         self.capacity = 1
         self.pending: set[int] = set()  # task ids in flight here
         self.last_recv = time.monotonic()
+        #: latest ping→pong round trip in milliseconds (telemetry only)
+        self.rtt_ms: float | None = None
         #: pool-supplied ``transport.bytes_sent`` counter (optional)
         self.sent_counter = sent_counter
 
@@ -742,6 +835,9 @@ class SharedRemotePool(WorkerPool):
         self._lock = threading.Lock()
         self._heartbeat: threading.Thread | None = None
         self._closed = False
+        #: set by close() so the heartbeat thread wakes immediately
+        #: instead of sleeping out its full interval
+        self._closing = threading.Event()
         #: address → [failed-redial count, next-attempt monotonic time]
         self._redial: dict[str, list] = {}
         #: chunks parked while the fleet is momentarily empty but a
@@ -798,15 +894,29 @@ class SharedRemotePool(WorkerPool):
 
     def close(self) -> None:
         self._closed = True
+        self._closing.set()
         with self._lock:
             workers = list(self._workers)
             parked, self._parked = self._parked, []
         for entry in parked:
             self._fail_task(entry, "pool closed while the fleet was down")
+        byed: list[_RemoteWorker] = []
         for worker in workers:
             if worker.alive:
                 with contextlib.suppress(OSError, ValueError):
                     worker.send({"type": "bye"})
+                    byed.append(worker)
+        # a live worker answers ``bye`` with one final telemetry sample
+        # and closes its end; keep the sockets readable briefly so the
+        # reader threads deliver that tail before the hard drop (a hung
+        # worker just spends the shared deadline, then is dropped)
+        deadline = time.monotonic() + 1.0
+        for worker in byed:
+            if worker.reader is not None:
+                worker.reader.join(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+        for worker in workers:
             worker.drop()
         if self._local_thread is not None:
             self._local_queue.put(None)
@@ -964,10 +1074,18 @@ class SharedRemotePool(WorkerPool):
                     # what it holds, but gets nothing new
                     worker.accepting = False
                     self.perf.counter("fault.drains").inc()
+                elif kind == "metrics":
+                    self._handle_metrics(worker, message)
+                elif kind == "pong":
+                    t = message.get("t")
+                    if isinstance(t, (int, float)):
+                        worker.rtt_ms = max(
+                            0.0, time.monotonic() * 1000 - t
+                        )
                 elif kind == "error":
                     break  # worker declared the connection unusable
-                # pong and anything else: the timestamp update above is
-                # all the liveness machinery needs
+                # anything else: the timestamp update above is all the
+                # liveness machinery needs
         except FrameCorruptionError:
             # a corrupt frame demotes the worker cleanly: count it,
             # drop the connection, requeue its chunks elsewhere
@@ -978,7 +1096,8 @@ class SharedRemotePool(WorkerPool):
 
     def _heartbeat_loop(self) -> None:
         while not self._closed:
-            time.sleep(self.heartbeat_s)
+            if self._closing.wait(self.heartbeat_s):
+                return
             if self._closed:
                 return
             now = time.monotonic()
@@ -1125,6 +1244,44 @@ class SharedRemotePool(WorkerPool):
                 return
         if moves:
             self.perf.counter("fault.rebalanced").inc(len(moves))
+
+    # -- telemetry forwarding ---------------------------------------------
+    def _handle_metrics(self, worker: _RemoteWorker, message: dict) -> None:
+        """Forward one worker telemetry sample upstream: enrich it with
+        what only this side knows (in-flight chunk count, heartbeat
+        round trip) and publish to the process-ambient
+        :class:`~repro.obs.MetricsHub`, where the daemon's fleet
+        merger — or any other subscriber — picks it up.  Passive: a bad
+        sample is dropped, never raised into the reader loop."""
+        try:
+            sample = {
+                "source": str(message.get("source")
+                              or f"worker:{worker.address}"),
+                "seq": int(message.get("seq") or 0),
+                "t": float(message.get("t") or 0.0),
+                "delta": message.get("delta") or {},
+                "gauges": dict(message.get("gauges") or {}),
+            }
+            sample["gauges"]["pending"] = len(worker.pending)
+            if worker.rtt_ms is not None:
+                sample["gauges"]["heartbeat_ms"] = round(worker.rtt_ms, 3)
+        except (TypeError, ValueError):
+            return
+        get_hub().publish(sample)
+
+    def membership(self) -> list[dict]:
+        """Per-worker fleet facts for status views (advisory only)."""
+        with self._lock:
+            return [
+                {
+                    "address": w.address,
+                    "alive": w.alive,
+                    "accepting": w.accepting,
+                    "pending": len(w.pending),
+                    "heartbeat_ms": w.rtt_ms,
+                }
+                for w in self._workers
+            ]
 
     # -- blob transport --------------------------------------------------
     def _handle_blob_get(self, worker: _RemoteWorker, message: dict) -> None:

@@ -234,6 +234,9 @@ class SearchScheduler:
         self.on_batch = on_batch
         self.on_finished = on_finished
         self._jobs: dict[str, _JobState] = {}
+        #: the shared pool of the current :meth:`run` call (None between
+        #: runs); :meth:`stats` reads its worker count and membership
+        self._pool = None
 
     # -- job submission --------------------------------------------------
     def submit(
@@ -351,6 +354,39 @@ class SearchScheduler:
     def handles(self) -> dict[str, SearchHandle]:
         return {name: st.handle for name, st in self._jobs.items()}
 
+    def stats(self) -> dict:
+        """Advisory point-in-time scheduling facts for status views.
+
+        Per job: lifecycle state, current batch ``seq``, chunks still in
+        flight, and evaluation totals; plus the pool-wide queue depth
+        (every job's outstanding chunks summed), the current worker
+        parallelism, and per-worker fleet membership
+        (:meth:`~repro.serve.pool.WorkerPool.membership`, non-empty on
+        the remote backend).  Lock-free by design — values may be one
+        batch stale, and reading them never perturbs a running search
+        (the daemon's ``fleet_status`` op is built on exactly this).
+        """
+        jobs = {}
+        queue_depth = 0
+        for name, st in self._jobs.items():
+            outstanding = max(0, st.chunks_outstanding)
+            if not st.handle.finished:
+                queue_depth += outstanding
+            jobs[name] = {
+                "state": st.handle.status,
+                "seq": st.seq,
+                "chunks_outstanding": outstanding,
+                "evaluations": st.evaluations,
+                "computed_evaluations": st.computed_evaluations,
+            }
+        pool = self._pool
+        return {
+            "jobs": jobs,
+            "queue_depth": queue_depth,
+            "workers": pool.workers if pool is not None else 0,
+            "fleet": pool.membership() if pool is not None else [],
+        }
+
     # -- the multiplexing loop -------------------------------------------
     def run(self) -> dict[str, LPQResult]:
         """Drive every pending job to completion on one shared pool.
@@ -382,6 +418,7 @@ class SearchScheduler:
             },
         )
         outstanding = 0
+        self._pool = pool
         try:
             for st in pending.values():
                 outstanding += self._start_job(st, pool)
@@ -410,6 +447,7 @@ class SearchScheduler:
                     self._emit_batch(st)
                     outstanding += self._advance(st, pool, fits)
         finally:
+            self._pool = None
             pool.close()
         return {
             name: st.handle._result

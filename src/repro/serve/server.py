@@ -44,6 +44,7 @@ import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..obs import MetricsEmitter, TimeSeriesStore, get_hub, merge_samples
 from ..parallel import ExecutorConfig
 from ..parallel.executor import parse_address
 from ..perf import get_perf
@@ -55,11 +56,14 @@ from ..spec.wire import (
     WIRE_VERSION,
     error_message,
     event_message,
+    fleet_status_message,
     frame_message,
     hello_message,
+    metrics_message,
     read_frame,
     reply_message,
     subscribe_message,
+    subscribe_metrics_message,
     welcome_message,
 )
 from .scheduler import SearchScheduler
@@ -268,6 +272,10 @@ class _ServerSession(threading.Thread):
             return {"jobs": server.list_jobs()}
         if kind == "subscribe":
             return server._subscribe(self, message.get("job"))
+        if kind == "fleet_status":
+            return server.fleet_status()
+        if kind == "subscribe_metrics":
+            return server._subscribe_metrics(self)
         raise ServerError(
             f"unknown request type {kind!r}; expected one of {SERVER_OPS}"
         )
@@ -319,6 +327,8 @@ class SearchServer:
         perf=None,
         crash_hook=None,
         compact_at: int = 50_000,
+        metrics_interval: float = 0.0,
+        timeseries=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -342,6 +352,18 @@ class SearchServer:
         #: lifetime counters: jobs actually evaluated here, jobs served
         #: from the digest store, interrupted jobs re-queued at startup
         self.stats = {"executed": 0, "replayed": 0, "recovered": 0}
+        #: live-telemetry knobs (repro.obs): sampling interval for the
+        #: merged fleet stream (0 = off) and the directory the sampled
+        #: trajectory persists into (None = not persisted)
+        self.metrics_interval = float(metrics_interval)
+        self.timeseries_dir = timeseries
+        self.timeseries: TimeSeriesStore | None = None
+        self._emitter: MetricsEmitter | None = None
+        self._hub_unsubscribe = None
+        #: worker samples accumulated off the hub since the last tick
+        self._worker_samples: dict[str, list] = {}
+        self._metric_subs: set[_ServerSession] = set()
+        self._scheduler: SearchScheduler | None = None
         self.journal: Journal | None = None
         self.store: ResultStore | None = None
         self._jobs: dict[str, _ServerJob] = {}
@@ -383,6 +405,21 @@ class SearchServer:
             target=self._run_loop, daemon=True, name="repro-serve-runner",
         )
         self._runner.start()
+        if self.timeseries_dir is not None:
+            self.timeseries = TimeSeriesStore(
+                Path(self.timeseries_dir) / "timeseries.jsonl",
+                perf=self.perf,
+            )
+        if self.metrics_interval > 0:
+            self._hub_unsubscribe = get_hub().subscribe(
+                self._on_worker_sample
+            )
+            self._emitter = MetricsEmitter(
+                self.perf, self._emit_fleet_sample, self.metrics_interval,
+                source=f"server:{self.address}",
+                gauges=self._metrics_gauges,
+            )
+            self._emitter.start()
         return self
 
     @property
@@ -414,6 +451,14 @@ class SearchServer:
                     job.handle.cancel()
             self._wake.notify_all()
             sessions = list(self._sessions)
+        if self._hub_unsubscribe is not None:
+            self._hub_unsubscribe()
+            self._hub_unsubscribe = None
+        if self._emitter is not None:
+            # flush one final fleet sample (to subscribers still
+            # connected and into the time series) before tearing down
+            self._emitter.stop()
+            self._emitter = None
         if self._listener is not None:
             with contextlib.suppress(OSError):
                 self._listener.close()
@@ -423,6 +468,8 @@ class SearchServer:
             self._runner.join(timeout=30.0)
         if self.journal is not None:
             self.journal.close()
+        if self.timeseries is not None:
+            self.timeseries.close()
         self._log("server stopped")
 
     def serve_forever(self) -> None:
@@ -646,6 +693,9 @@ class SearchServer:
             on_batch=self._on_batch,
             on_finished=self._on_finished,
         )
+        # advisory pointer for fleet_status / the metrics sampler; kept
+        # after the round so the last round's stats stay queryable
+        self._scheduler = scheduler
         started = []
         for job in batch:
             try:
@@ -742,6 +792,112 @@ class SearchServer:
         for session in targets:
             session.enqueue(message)
 
+    # -- live telemetry (repro.obs) ---------------------------------------
+    def fleet_status(self) -> dict:
+        """One-shot fleet snapshot (the ``fleet_status`` op): every
+        job's lifecycle state, the scheduler's advisory stats (queue
+        depth, worker parallelism, per-worker membership on the remote
+        backend), the daemon's lifetime counters, the telemetry
+        configuration, and the latest sample per source off the
+        process-ambient hub — so a one-shot poller (``watch_fleet.py
+        --once``) needs no subscription window."""
+        with self._lock:
+            jobs = [
+                _describe(job)
+                for job in sorted(
+                    self._jobs.values(), key=lambda j: j.order
+                )
+            ]
+            stats = dict(self.stats)
+            scheduler = self._scheduler
+        return {
+            "address": self.address,
+            "jobs": jobs,
+            "scheduler": (
+                scheduler.stats() if scheduler is not None
+                else {"jobs": {}, "queue_depth": 0, "workers": 0,
+                      "fleet": []}
+            ),
+            "stats": stats,
+            "metrics": {
+                "enabled": self.metrics_interval > 0,
+                "interval_s": self.metrics_interval,
+                "timeseries": (
+                    str(self.timeseries.path)
+                    if self.timeseries is not None else None
+                ),
+            },
+            "workers": get_hub().latest(),
+        }
+
+    def _subscribe_metrics(self, session: _ServerSession) -> dict:
+        """Register ``session`` for the merged fleet metrics stream.
+        The reply says whether emission is enabled; a disabled daemon
+        accepts the request but will stream nothing (clients surface
+        that from the flag)."""
+        enabled = self.metrics_interval > 0
+        if enabled:
+            with self._lock:
+                self._metric_subs.add(session)
+        return {"enabled": enabled, "interval_s": self.metrics_interval}
+
+    def _metrics_gauges(self) -> dict:
+        with self._lock:
+            gauges = {
+                "sessions": len(self._sessions),
+                "metric_subscribers": len(self._metric_subs),
+            }
+            for state in JOB_STATES:
+                gauges[f"jobs_{state}"] = 0
+            for job in self._jobs.values():
+                gauges[f"jobs_{job.state}"] += 1
+        return gauges
+
+    def _on_worker_sample(self, sample: dict) -> None:
+        """Hub subscriber: park each worker sample until the next fleet
+        tick folds it in (many worker ticks may land between two server
+        ticks; all of their deltas are merged, none dropped)."""
+        with self._lock:
+            source = str(sample.get("source", "worker:?"))
+            self._worker_samples.setdefault(source, []).append(sample)
+
+    def _emit_fleet_sample(self, sample: dict) -> None:
+        """Emitter sink: fold the worker samples parked since the last
+        tick into one fleet-wide ``metrics`` frame around the daemon's
+        own delta, append it to the time series, and fan it out to every
+        ``subscribe_metrics`` session.  Runs on the emitter thread; all
+        I/O happens outside the server lock."""
+        with self._lock:
+            pending, self._worker_samples = self._worker_samples, {}
+            subscribers = list(self._metric_subs)
+            scheduler = self._scheduler
+        workers = []
+        for source, batch in sorted(pending.items()):
+            last = batch[-1]
+            workers.append({
+                "source": source,
+                "seq": last.get("seq"),
+                "t": last.get("t"),
+                "delta": merge_samples(batch),
+                "gauges": last.get("gauges") or {},
+                "samples": len(batch),
+            })
+        status = (
+            scheduler.stats() if scheduler is not None
+            else {"jobs": {}, "queue_depth": 0, "workers": 0, "fleet": []}
+        )
+        message = metrics_message(
+            sample["source"], sample["seq"], sample["t"],
+            delta=sample["delta"], gauges=sample["gauges"],
+            workers=workers, status=status,
+        )
+        if self.timeseries is not None:
+            record = {k: v for k, v in message.items() if k != "type"}
+            with contextlib.suppress(OSError, ValueError):
+                self.timeseries.append(record)
+        for session in subscribers:
+            session.enqueue(message)
+
     # -- plumbing --------------------------------------------------------
     def _accept_loop(self) -> None:
         while not self._closed:
@@ -760,6 +916,7 @@ class SearchServer:
     def _session_done(self, session: _ServerSession) -> None:
         with self._lock:
             self._sessions.discard(session)
+            self._metric_subs.discard(session)
             for subscribers in self._subs.values():
                 subscribers.discard(session)
 
@@ -804,6 +961,7 @@ class SearchClient:
         self._rfile = None
         self._req = itertools.count(1)
         self._events: list[dict] = []
+        self._metrics: list[dict] = []
 
     # -- connection ------------------------------------------------------
     def _ensure(self) -> None:
@@ -844,6 +1002,7 @@ class SearchClient:
                 self._sock.close()
         self._sock = self._rfile = None
         self._events.clear()  # buffered events died with the socket
+        self._metrics.clear()
 
     def close(self) -> None:
         """Politely end the session (idempotent)."""
@@ -880,6 +1039,8 @@ class SearchClient:
                         return frame
                     if kind == "event":
                         self._events.append(frame)
+                    elif kind == "metrics":
+                        self._metrics.append(frame)
                     # pongs and stray replies are skipped
             except (OSError, ValueError) as exc:
                 self._drop()
@@ -940,6 +1101,45 @@ class SearchClient:
                     if frame is None:
                         raise ValueError("server closed the connection")
                     if frame.get("type") == "event":
+                        self._events.append(frame)
+                    elif frame.get("type") == "metrics":
+                        self._metrics.append(frame)
+            except (OSError, ValueError) as exc:
+                self._drop()
+                raise ConnectionError(
+                    f"lost connection to {self.address}: {exc}"
+                ) from exc
+
+    def fleet_status(self) -> dict:
+        """One-shot fleet snapshot: every job's state, scheduler queue
+        depths, per-worker membership, and the latest telemetry sample
+        per source (see :meth:`SearchServer.fleet_status`)."""
+        return self._request(fleet_status_message())
+
+    def metrics_stream(self):
+        """Subscribe to the daemon's merged fleet telemetry and yield
+        ``metrics`` frames until the caller stops iterating or the
+        connection drops (``ConnectionError``).  Raises
+        :class:`ServerError` immediately if the daemon runs with
+        telemetry disabled (``metrics_interval=0``)."""
+        reply = self._request(subscribe_metrics_message())
+        if not reply.get("enabled"):
+            raise ServerError(
+                f"server {self.address} has live telemetry disabled "
+                "(start it with a metrics interval, e.g. "
+                "run_server.py --metrics-interval 1.0)"
+            )
+        with self._lock:
+            try:
+                while True:
+                    while self._metrics:
+                        yield self._metrics.pop(0)
+                    frame = read_frame(self._rfile)
+                    if frame is None:
+                        raise ValueError("server closed the connection")
+                    if frame.get("type") == "metrics":
+                        self._metrics.append(frame)
+                    elif frame.get("type") == "event":
                         self._events.append(frame)
             except (OSError, ValueError) as exc:
                 self._drop()

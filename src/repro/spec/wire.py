@@ -113,6 +113,9 @@ __all__ = [
     "subscribe_message",
     "reply_message",
     "event_message",
+    "metrics_message",
+    "fleet_status_message",
+    "subscribe_metrics_message",
 ]
 
 #: wire-format version stamped into every job payload and handshake
@@ -348,6 +351,7 @@ def blob_put_message(digest: str, payload: dict) -> dict:
 #: :mod:`repro.serve.server`)
 SERVER_OPS = (
     "submit", "status", "result", "cancel", "list_jobs", "subscribe",
+    "fleet_status", "subscribe_metrics",
 )
 
 
@@ -425,6 +429,52 @@ def event_message(job: str, kind: str, data: dict,
         "final": bool(final),
         "data": data,
     }
+
+
+# -- live-telemetry frames (repro.obs) ------------------------------------
+def metrics_message(source: str, seq: int, t: float,
+                    delta: dict | None = None,
+                    gauges: dict | None = None,
+                    workers: list | None = None,
+                    status: dict | None = None) -> dict:
+    """One telemetry sample: a :func:`repro.perf.diff_snapshots`
+    perf-counter delta since the previous sample, plus point-in-time
+    gauges (queue depth, session count, heartbeat latency...).
+
+    Workers push these upstream to the pool; the daemon broadcasts a
+    merged fleet-wide sample (``workers`` lists the per-worker samples
+    folded in, ``status`` carries scheduler/job state) to every
+    ``subscribe_metrics`` session.  Never a request — like
+    :func:`event_message` it carries no ``req`` — and strictly passive:
+    dropping every metrics frame changes no search result.
+    """
+    message = {
+        "type": "metrics",
+        "source": str(source),
+        "seq": int(seq),
+        "t": float(t),
+        "delta": delta if delta is not None else {},
+        "gauges": gauges if gauges is not None else {},
+    }
+    if workers is not None:
+        message["workers"] = workers
+    if status is not None:
+        message["status"] = status
+    return message
+
+
+def fleet_status_message(req: int = 0) -> dict:
+    """Client → server: one-shot fleet snapshot — membership, per-job
+    scheduler state, queue depths, and the latest telemetry sample per
+    source (the ``fleet_status`` op; ``status`` is the per-job op)."""
+    return {"type": "fleet_status", "req": int(req)}
+
+
+def subscribe_metrics_message(req: int = 0) -> dict:
+    """Client → server: stream merged fleet telemetry samples
+    (:func:`metrics_message` frames) until the session closes.  The
+    reply says whether emission is enabled and at what interval."""
+    return {"type": "subscribe_metrics", "req": int(req)}
 
 
 # -- candidate solutions -------------------------------------------------

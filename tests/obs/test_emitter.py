@@ -1,0 +1,171 @@
+"""MetricsEmitter delta sampling and the process-ambient MetricsHub.
+
+The emitter is the emission end of the telemetry pipeline (ISSUE 9):
+it must produce *deltas* (so fleet merging counts every event once),
+stay fully inert at ``interval_s = 0``, flush its tail on ``stop``,
+and — the passivity contract — never let a broken sink or gauge
+callable touch the host.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import MetricsEmitter, MetricsHub, get_hub, reset_hub
+from repro.perf import PerfRegistry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_hub():
+    reset_hub()
+    yield
+    reset_hub()
+
+
+class TestEmitter:
+    def test_disabled_at_zero_interval(self):
+        reg = PerfRegistry()
+        samples = []
+        emitter = MetricsEmitter(reg, samples.append, interval_s=0.0,
+                                 source="worker:t")
+        assert not emitter.enabled
+        emitter.start()
+        assert emitter._thread is None  # no sampler thread was spawned
+        reg.counter("x").inc()
+        time.sleep(0.05)
+        assert samples == []  # nothing emitted on its own
+
+    def test_samples_are_deltas_with_increasing_seq(self):
+        reg = PerfRegistry()
+        samples = []
+        emitter = MetricsEmitter(reg, samples.append, interval_s=0.0,
+                                 source="worker:t")
+        reg.counter("worker.evaluations").inc(3)
+        emitter.sample()
+        reg.counter("worker.evaluations").inc(2)
+        with reg.timer("worker.task").time():
+            pass
+        emitter.sample()
+        emitter.sample()  # idle tick: empty delta, still sequenced
+        assert [s["seq"] for s in samples] == [0, 1, 2]
+        assert all(s["source"] == "worker:t" for s in samples)
+        assert samples[0]["delta"]["counters"] == {"worker.evaluations": 3}
+        assert samples[1]["delta"]["counters"] == {"worker.evaluations": 2}
+        assert samples[1]["delta"]["timers"]["worker.task"]["count"] == 1
+        assert samples[2]["delta"] == {
+            "counters": {}, "timers": {}, "caches": {}
+        }
+
+    def test_interval_thread_samples_and_stop_flushes_tail(self):
+        reg = PerfRegistry()
+        samples = []
+        emitter = MetricsEmitter(reg, samples.append, interval_s=0.01,
+                                 source="worker:t")
+        emitter.start()
+        deadline = time.monotonic() + 5.0
+        while not samples and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert samples, "sampler thread never ticked"
+        # events landing between the last tick and stop() must not be
+        # lost: stop flushes one final sample
+        emitter.stop(flush=False)
+        reg.counter("worker.evaluations").inc(9)
+        before = len(samples)
+        emitter.stop()  # idempotent + flushing
+        tail = samples[before:]
+        assert len(tail) == 1
+        assert tail[0]["delta"]["counters"] == {"worker.evaluations": 9}
+
+    def test_gauges_evaluated_per_tick(self):
+        reg = PerfRegistry()
+        samples = []
+        depth = {"value": 4}
+        emitter = MetricsEmitter(
+            reg, samples.append, interval_s=0.0, source="worker:t",
+            gauges=lambda: {"queue_depth": depth["value"]},
+        )
+        emitter.sample()
+        depth["value"] = 7
+        emitter.sample()
+        assert [s["gauges"]["queue_depth"] for s in samples] == [4, 7]
+
+    def test_broken_sink_and_gauges_are_swallowed(self):
+        reg = PerfRegistry()
+
+        def explode(sample):
+            raise RuntimeError("sink down")
+
+        emitter = MetricsEmitter(
+            reg, explode, interval_s=0.0, source="worker:t",
+            gauges=lambda: 1 / 0,
+        )
+        reg.counter("x").inc()
+        emitter.sample()  # must not raise
+        # and the delta baseline still advanced past the failed emit
+        seen = []
+        emitter._emit = seen.append
+        emitter.sample()
+        assert seen[0]["delta"]["counters"] == {}
+        assert seen[0]["gauges"] == {}
+
+
+class TestHub:
+    def test_publish_latest_and_unsubscribe(self):
+        hub = MetricsHub()
+        seen = []
+        unsubscribe = hub.subscribe(seen.append)
+        hub.publish({"source": "worker:a", "seq": 0, "delta": {}})
+        hub.publish({"source": "worker:b", "seq": 5, "delta": {}})
+        hub.publish({"source": "worker:a", "seq": 1, "delta": {}})
+        assert len(seen) == 3
+        latest = hub.latest()
+        assert latest["worker:a"]["seq"] == 1
+        assert latest["worker:b"]["seq"] == 5
+        unsubscribe()
+        unsubscribe()  # idempotent
+        hub.publish({"source": "worker:a", "seq": 2, "delta": {}})
+        assert len(seen) == 3  # unsubscribed
+        assert hub.latest()["worker:a"]["seq"] == 2  # latest still tracks
+
+    def test_broken_subscriber_does_not_block_others(self):
+        hub = MetricsHub()
+        seen = []
+        hub.subscribe(lambda s: 1 / 0)
+        hub.subscribe(seen.append)
+        hub.publish({"source": "worker:a", "seq": 0})  # must not raise
+        assert len(seen) == 1
+
+    def test_ambient_hub_reset_isolates(self):
+        first = get_hub()
+        assert get_hub() is first
+        first.publish({"source": "worker:a", "seq": 0})
+        fresh = reset_hub()
+        assert get_hub() is fresh and fresh is not first
+        assert fresh.latest() == {}
+
+    def test_concurrent_publish_is_safe(self):
+        hub = MetricsHub()
+        seen = []
+        lock = threading.Lock()
+
+        def keep(sample):
+            with lock:
+                seen.append(sample)
+
+        hub.subscribe(keep)
+
+        def blast(source):
+            for seq in range(200):
+                hub.publish({"source": source, "seq": seq})
+
+        threads = [
+            threading.Thread(target=blast, args=(f"worker:{i}",))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 800
+        assert all(s["seq"] == 199 for s in hub.latest().values())

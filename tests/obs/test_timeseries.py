@@ -1,0 +1,111 @@
+"""TimeSeriesStore: JSONL round-trip, torn-tail recovery, delta merging.
+
+The store borrows the job journal's crash-safety idiom (truncate an
+unterminated tail on open) but is deliberately *more* tolerant on
+replay — telemetry is advisory, so one damaged line is skipped and
+counted, never raised (satellite 4 of ISSUE 9).
+"""
+
+import json
+
+from repro.obs import TimeSeriesStore, merge_samples
+from repro.obs.timeseries import TIMESERIES_VERSION
+from repro.perf import PerfRegistry
+
+
+def _sample(seq, evaluations=0):
+    delta = {"counters": {}, "timers": {}, "caches": {}}
+    if evaluations:
+        delta["counters"]["worker.evaluations"] = evaluations
+    return {"source": "server:t", "seq": seq, "t": float(seq), "delta": delta}
+
+
+class TestRoundTrip:
+    def test_append_replay_roundtrip(self, tmp_path):
+        perf = PerfRegistry()
+        store = TimeSeriesStore(tmp_path / "ts.jsonl", perf=perf)
+        records = [store.append(_sample(i, evaluations=i)) for i in range(5)]
+        assert all(r["v"] == TIMESERIES_VERSION for r in records)
+        back = store.replay()
+        assert back == records
+        assert len(store) == 5
+        assert perf.counters["obs.samples"].value == 5
+        store.close()
+        # a fresh handle on the same path sees the same trajectory
+        again = TimeSeriesStore(tmp_path / "ts.jsonl", perf=perf)
+        assert again.replay() == records
+
+    def test_merge_samples_inverts_diffing(self, tmp_path):
+        store = TimeSeriesStore(tmp_path / "ts.jsonl", perf=PerfRegistry())
+        for i in range(1, 5):
+            store.append(_sample(i, evaluations=i))
+        merged = merge_samples(store.replay())
+        assert merged["counters"]["worker.evaluations"] == 1 + 2 + 3 + 4
+        store.close()
+
+    def test_fsync_mode_appends(self, tmp_path):
+        store = TimeSeriesStore(
+            tmp_path / "ts.jsonl", perf=PerfRegistry(), fsync=True
+        )
+        store.append(_sample(0, evaluations=2))
+        assert store.replay()[0]["delta"]["counters"] == {
+            "worker.evaluations": 2
+        }
+        store.close()
+
+
+class TestTornTail:
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        perf = PerfRegistry()
+        store = TimeSeriesStore(tmp_path / "ts.jsonl", perf=perf)
+        store.append(_sample(0, evaluations=3))
+        store.append(_sample(1, evaluations=4))
+        store.close()
+        # crash mid-append: an unterminated JSON fragment at the tail
+        with open(store.path, "ab") as fh:
+            fh.write(b'{"source": "server:t", "se')
+        reopened = TimeSeriesStore(tmp_path / "ts.jsonl", perf=perf)
+        reopened.append(_sample(2, evaluations=5))  # triggers recovery
+        assert perf.counters["obs.torn_tails"].value == 1
+        samples = reopened.replay()
+        assert [s["seq"] for s in samples] == [0, 1, 2]
+        merged = merge_samples(samples)
+        assert merged["counters"]["worker.evaluations"] == 3 + 4 + 5
+        reopened.close()
+
+    def test_replay_alone_tolerates_torn_tail(self, tmp_path):
+        perf = PerfRegistry()
+        store = TimeSeriesStore(tmp_path / "ts.jsonl", perf=perf)
+        store.append(_sample(0))
+        store.close()
+        with open(store.path, "ab") as fh:
+            fh.write(b'{"half": ')
+        # read-only consumers (watch tooling) replay without appending:
+        # the torn fragment is skipped, not raised
+        assert [s["seq"] for s in store.replay()] == [0]
+        assert perf.counters["obs.torn_tails"].value == 1
+
+    def test_corrupt_mid_file_line_skipped_not_raised(self, tmp_path):
+        """Stricter than the job journal on purpose-reversed grounds:
+        the journal raises on mid-file corruption (authoritative state),
+        the time series skips it (advisory telemetry)."""
+        perf = PerfRegistry()
+        store = TimeSeriesStore(tmp_path / "ts.jsonl", perf=perf)
+        store.append(_sample(0, evaluations=1))
+        store.append(_sample(1, evaluations=2))
+        store.close()
+        lines = store.path.read_bytes().splitlines()
+        lines[0] = b"\xff\xfenot json at all"
+        lines.insert(1, json.dumps(["not", "an", "object"]).encode())
+        store.path.write_bytes(b"\n".join(lines) + b"\n")
+        samples = store.replay()
+        assert [s["seq"] for s in samples] == [1]
+        assert perf.counters["obs.torn_tails"].value == 2
+        assert merge_samples(samples)["counters"] == {
+            "worker.evaluations": 2
+        }
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        store = TimeSeriesStore(tmp_path / "ts.jsonl", perf=PerfRegistry())
+        assert store.replay() == []
+        assert len(store) == 0

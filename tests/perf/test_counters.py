@@ -1,5 +1,6 @@
 """Perf-counter subsystem (repro.perf)."""
 
+import threading
 import time
 
 from repro.perf import PerfRegistry, get_perf, reset_perf
@@ -73,3 +74,83 @@ class TestRegistry:
         assert get_perf().counter("test.global").value >= 1
         reset_perf()
         assert "test.global" not in get_perf().counters
+
+
+class TestSnapshotUnderMutation:
+    """Regression for the telemetry-era race (ISSUE 9 satellite 3):
+    ``snapshot()`` iterates the metric dicts while worker threads call
+    the create-on-first-use accessors.  Before the registry grew its
+    lock, a concurrent insert could blow up the iteration with
+    ``RuntimeError: dictionary changed size during iteration``."""
+
+    def test_snapshot_while_threads_create_metrics(self):
+        reg = PerfRegistry()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn(worker: int) -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    reg.counter(f"churn.c{worker}.{i}").inc()
+                    with reg.timer(f"churn.t{worker}.{i}").time():
+                        pass
+                    reg.cache(f"churn.m{worker}.{i}").hit()
+                    i += 1
+            except BaseException as exc:  # surfaced in the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                snap = reg.snapshot()
+                # every observed value is internally consistent
+                assert all(v >= 1 for v in snap["counters"].values())
+                reg.report()  # the report path iterates too
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors, errors
+
+    def test_snapshot_during_thread_backend_search(self):
+        """The real-world trigger: sampling the live registry while a
+        thread-backend search creates metrics on worker threads (what a
+        MetricsEmitter does every tick)."""
+        from repro.obs import MetricsEmitter
+        from repro.parallel import ExecutorConfig
+        from repro.quant import LPQConfig, lpq_quantize
+        from repro.spec import CalibSpec, SearchSpec
+
+        config = LPQConfig(population=3, passes=1, cycles=1,
+                           block_size=2, diversity_parents=2,
+                           hw_widths=(4, 8), seed=21)
+        spec = SearchSpec(
+            model="tiny:mlp", calib=CalibSpec(batch=4, seed=3),
+            config=config, seed=5,
+        )
+        ref = lpq_quantize(spec=spec)
+        threaded = SearchSpec(
+            model="tiny:mlp", calib=CalibSpec(batch=4, seed=3),
+            config=config, seed=5,
+            executor=ExecutorConfig("thread", workers=2),
+        )
+        perf = reset_perf()  # ambient registry: what the search mutates
+        samples: list[dict] = []
+        emitter = MetricsEmitter(perf, samples.append, interval_s=0.001,
+                                 source="test:thread-search")
+        emitter.start()
+        try:
+            got = lpq_quantize(spec=threaded)
+        finally:
+            emitter.stop()
+            reset_perf()
+        # telemetry was passive: the hammered search is still bitwise
+        assert got.fitness == ref.fitness
+        assert got.solution == ref.solution
+        assert samples, "emitter never sampled"

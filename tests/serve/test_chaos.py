@@ -89,6 +89,36 @@ class TestControllerClock:
         fired = [controller.on_task(None) for _ in range(5)]
         assert [len(events) for events in fired] == [0, 2, 0, 1, 0]
 
+    def test_ghost_starts_on_a_killed_server_do_not_tick_the_clock(self):
+        """A ``kill`` stops its server on a helper thread, so the dying
+        worker can race more queued tasks into their start hooks.  Those
+        ghost starts must not advance the clock — otherwise a later kill
+        event can be swallowed by a death the client only observes once,
+        and plans like ``poison_chunk`` (which needs the *same* chunk
+        killed twice to prove quarantine) go nondeterministic."""
+
+        class _Server:
+            def stop(self):
+                pass
+
+        plan = FaultPlan(name="t", events=(
+            FaultEvent(at_task=1, action="kill"),
+            FaultEvent(at_task=2, action="kill"),
+        ))
+        controller = ChaosController(plan)
+        first, replacement = _Server(), _Server()
+        events = controller.on_task(first)
+        assert [e.at_task for e in events] == [1]
+        assert controller.apply_task_events(first, None, events)
+        # the dying server races two more task starts: no ticks, no events
+        assert controller.on_task(first) == ()
+        assert controller.on_task(first) == ()
+        assert controller.task_count == 1
+        # the restarted replacement is a fresh object: its first start is
+        # logical task 2 and collects the second kill
+        events = controller.on_task(replacement)
+        assert [e.at_task for e in events] == [2]
+
 
 @pytest.mark.parametrize("name", sorted(COMMITTED_PLANS))
 def test_soak_bitwise_identical_under_fault_plan(name, serial_reference):
@@ -100,7 +130,10 @@ def test_soak_bitwise_identical_under_fault_plan(name, serial_reference):
     before = {
         counter: perf.counter(counter).value for counter in scenario.expect
     }
-    with ChaosFleet(scenario.plan, count=scenario.count) as addresses:
+    # telemetry runs hot through the whole soak (ISSUE 9): live
+    # emission on every chaos worker must not move a bit of any result
+    with ChaosFleet(scenario.plan, count=scenario.count,
+                    metrics_interval=0.1) as addresses:
         scheduler = SearchScheduler(executor=ExecutorConfig(
             "remote", addresses=addresses, retry=scenario.retry,
             on_fleet_death=scenario.on_fleet_death,

@@ -256,3 +256,65 @@ class TestAdaptiveChunking:
             state, ChunkResult("cnn", 0, 1, [1.0], {}, 1.5)
         )
         assert state.cost_est == pytest.approx(1.0)
+
+
+class TestSchedulerStats:
+    """``stats()`` — the advisory snapshot the daemon's ``fleet_status``
+    op is built on (ISSUE 9 satellite 1)."""
+
+    def test_stats_before_and_after_run(self, serve_setup):
+        cnn, mlp, images = serve_setup
+        scheduler = SearchScheduler(
+            executor=ExecutorConfig("thread", workers=2)
+        )
+        scheduler.submit("cnn", cnn, images, config=SEARCH)
+        scheduler.submit("mlp", mlp, images, config=SEARCH)
+        before = scheduler.stats()
+        assert set(before) == {"jobs", "queue_depth", "workers", "fleet"}
+        assert set(before["jobs"]) == {"cnn", "mlp"}
+        for job in before["jobs"].values():
+            assert job["state"] == "pending"
+            assert job["chunks_outstanding"] == 0
+            assert job["evaluations"] == 0
+        # no pool outside run(): parallelism reads as zero, fleet empty
+        assert before["workers"] == 0 and before["fleet"] == []
+
+        results = scheduler.run()
+        after = scheduler.stats()
+        assert sorted(results) == ["cnn", "mlp"]
+        for name, job in after["jobs"].items():
+            assert job["state"] == "done"
+            assert job["evaluations"] == results[name].evaluations
+            assert 0 < job["computed_evaluations"] <= job["evaluations"]
+        # finished jobs contribute nothing to the queue
+        assert after["queue_depth"] == 0
+        # the run-scoped pool was torn down again
+        assert after["workers"] == 0 and after["fleet"] == []
+
+    def test_stats_mid_run_sees_live_pool(self, serve_setup):
+        """Sampled from a progress callback (exactly how the daemon's
+        emitter reads it): running state, live worker parallelism."""
+        cnn, _, images = serve_setup
+        seen: list[dict] = []
+        scheduler = SearchScheduler(
+            executor=ExecutorConfig("thread", workers=2),
+            on_batch=lambda name, info: seen.append(scheduler.stats()),
+        )
+        scheduler.submit("cnn", cnn, images, config=SEARCH)
+        scheduler.run()
+        assert seen, "progress callback never fired"
+        mid = seen[0]
+        # handles report terminal states only: mid-run is still pending
+        assert mid["jobs"]["cnn"]["state"] == "pending"
+        assert mid["workers"] == 2  # the live pool's parallelism
+        assert any(s["jobs"]["cnn"]["evaluations"] > 0 for s in seen)
+
+    def test_stats_is_plain_json(self, serve_setup):
+        import json
+
+        cnn, _, images = serve_setup
+        scheduler = SearchScheduler()
+        scheduler.submit("cnn", cnn, images, config=SEARCH)
+        scheduler.run()
+        stats = scheduler.stats()
+        assert json.loads(json.dumps(stats)) == stats

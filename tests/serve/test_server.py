@@ -93,9 +93,12 @@ class TestRestartRecovery:
             except ServerError:  # j1 not submitted yet
                 return False
 
+        # telemetry stays on across the crash/restart cycle (ISSUE 9):
+        # live emission must not move a bit of the recovered results
         first = SearchServer(
             data_dir=data_dir, max_jobs_per_round=1,
             crash_hook=crash_when, perf=PerfRegistry(),
+            metrics_interval=0.1,
         ).start()
         for idx, seed in enumerate(SEEDS):
             first.submit_job(_spec(seed), name=f"j{idx}")
@@ -111,6 +114,7 @@ class TestRestartRecovery:
 
         second = SearchServer(
             data_dir=data_dir, max_jobs_per_round=1, perf=PerfRegistry(),
+            metrics_interval=0.1,
         ).start()
         try:
             # j0's result landed in the store before the crash → replayed

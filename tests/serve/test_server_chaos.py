@@ -61,7 +61,10 @@ def test_daemon_survives_worker_kill_and_client_drop(tmp_path,
         gate.wait(timeout=60.0)
         return False
 
-    with ChaosFleet(scenario.plan, count=scenario.count) as addresses:
+    # telemetry on at every layer (ISSUE 9): chaos workers and daemon
+    # both emit live while the faults fire — still bitwise below
+    with ChaosFleet(scenario.plan, count=scenario.count,
+                    metrics_interval=0.1) as addresses:
         server = SearchServer(
             data_dir=tmp_path / "daemon",
             executor=ExecutorConfig(
@@ -69,6 +72,7 @@ def test_daemon_survives_worker_kill_and_client_drop(tmp_path,
                 on_fleet_death=scenario.on_fleet_death,
             ),
             crash_hook=hold,
+            metrics_interval=0.1,
         ).start()
         try:
             first = SearchClient(server.address)
@@ -138,13 +142,15 @@ def test_fleet_death_degrades_to_local_under_daemon(tmp_path,
     scenario = COMMITTED_PLANS["fleet_death_local"]
     perf = get_perf()
     before = perf.counter("fault.fallbacks").value
-    with ChaosFleet(scenario.plan, count=scenario.count) as addresses:
+    with ChaosFleet(scenario.plan, count=scenario.count,
+                    metrics_interval=0.1) as addresses:
         with SearchServer(
             data_dir=tmp_path / "daemon",
             executor=ExecutorConfig(
                 "remote", addresses=addresses, retry=scenario.retry,
                 on_fleet_death=scenario.on_fleet_death,
             ),
+            metrics_interval=0.1,
         ) as server:
             client = SearchClient(server.address)
             client.submit(SPEC)

@@ -32,13 +32,16 @@ from repro.spec.wire import (
     encode_job,
     encode_stats,
     event_message,
+    fleet_status_message,
     frame_message,
     list_jobs_message,
+    metrics_message,
     reply_message,
     result_get_message,
     status_message,
     submit_message,
     subscribe_message,
+    subscribe_metrics_message,
 )
 
 from .conftest import SEARCH
@@ -264,6 +267,16 @@ server_frames = st.one_of(
     st.builds(event_message, job=_jobs,
               kind=st.sampled_from(["progress", "state"]),
               data=_payloads, final=st.booleans()),
+    st.builds(fleet_status_message, req=_reqs),
+    st.builds(subscribe_metrics_message, req=_reqs),
+    st.builds(metrics_message, source=_jobs, seq=_reqs,
+              t=st.floats(0, 2**40, allow_nan=False),
+              delta=st.one_of(st.none(), _payloads),
+              gauges=st.one_of(st.none(), _payloads),
+              workers=st.one_of(
+                  st.none(), st.lists(_payloads, max_size=3)
+              ),
+              status=st.one_of(st.none(), _payloads)),
 )
 
 
@@ -303,8 +316,27 @@ class TestServerFrameWire:
             cancel_message("j")["type"],
             list_jobs_message()["type"],
             subscribe_message("j")["type"],
+            fleet_status_message()["type"],
+            subscribe_metrics_message()["type"],
         }
         assert requests == set(SERVER_OPS)
+
+    def test_metrics_frame_is_a_push_not_a_request(self):
+        """``metrics`` frames are server→client pushes like ``event``:
+        no ``req`` correlation id, never a dispatchable op."""
+        frame = metrics_message("worker:h:1", 7, 12.5,
+                                delta={"counters": {"x": 1}})
+        assert frame["type"] == "metrics"
+        assert "req" not in frame
+        assert frame["type"] not in SERVER_OPS
+        assert frame["delta"] == {"counters": {"x": 1}}
+        # optional fleet fields only appear when supplied
+        assert "workers" not in frame and "status" not in frame
+        merged = metrics_message("server:h:2", 0, 1.0,
+                                 workers=[], status={"queue_depth": 0})
+        assert merged["workers"] == [] and merged["status"] == {
+            "queue_depth": 0
+        }
 
     def test_reply_ok_tracks_error(self):
         ok = reply_message(3, {"state": "queued"})
