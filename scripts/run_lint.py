@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Project-invariant lint front end (`repro.analysis`).
+
+Runs every rule in the ``lint_rule`` registry family over ``src/``,
+``scripts/`` and ``benchmarks/`` and reports structured findings.  A
+finding is suppressed by a ``# lint: disable=RULE -- reason`` comment
+on its line or by the committed baseline (``LINT_BASELINE.json``);
+anything else fails the run — this is the CI ``lint`` leg's hard gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_lint.py              # human output
+    PYTHONPATH=src python scripts/run_lint.py --json       # machine output
+    PYTHONPATH=src python scripts/run_lint.py --baseline   # regrandfather
+    PYTHONPATH=src python scripts/run_lint.py --list-rules
+    PYTHONPATH=src python scripts/run_lint.py --bench-drift
+
+``--bench-drift`` cross-checks the committed
+``BENCH_search_throughput.json`` against the docs/perf.md counter table
+and a fresh in-process smoke search: recorded metric names that no
+longer exist (renames/drops) and engine counters the smoke run stopped
+emitting are reported as drift.  See ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import engine as lint_engine  # noqa: E402
+
+BENCH_RECORD = "BENCH_search_throughput.json"
+
+
+def _bench_record_names(record: dict) -> dict[str, set[str]]:
+    """Every counter/timer/cache name any perf section of the record
+    mentions, collected recursively."""
+    names = {"counter": set(), "timer": set(), "cache": set()}
+
+    def collect(node) -> None:
+        if not isinstance(node, dict):
+            return
+        if {"counters", "timers", "caches"} <= set(node):
+            names["counter"] |= set(node.get("counters", {}))
+            names["timer"] |= set(node.get("timers", {}))
+            names["cache"] |= set(node.get("caches", {}))
+        for value in node.values():
+            collect(value)
+
+    collect(record)
+    return names
+
+
+def _smoke_snapshot() -> dict:
+    """A tiny serial search, returning the perf snapshot it produced."""
+    from repro import nn
+    from repro.data import calibration_batch
+    from repro.perf import get_perf, reset_perf
+    from repro.quant import LPQConfig, lpq_quantize
+    from repro.spec import registry as spec_registry
+
+    nn.seed(5)
+    model = spec_registry.resolve("model", "tiny:mlp")()
+    model.eval()
+    images = calibration_batch(4, seed=3)
+    reset_perf()
+    lpq_quantize(model, images, LPQConfig(
+        population=3, passes=1, cycles=1, block_size=2,
+        diversity_parents=2, hw_widths=(4, 8), seed=11,
+    ))
+    return get_perf().snapshot()
+
+
+def run_bench_drift(record_path: Path) -> int:
+    from repro.analysis.rules.counter_namespace import load_declared_metrics
+
+    if not record_path.exists():
+        print(f"bench-drift: FAIL — no record at {record_path}")
+        return 1
+    record = json.loads(record_path.read_text())
+    recorded = _bench_record_names(record)
+    declared = load_declared_metrics((REPO / "docs" / "perf.md").read_text())
+    problems = 0
+    # 1. every name the committed record tracks must still be declared:
+    #    a rename/drop in src shows up here before the next regen
+    for kind, names in sorted(recorded.items()):
+        for name in sorted(names):
+            if name not in declared:
+                print(
+                    f"bench-drift: FAIL — recorded {kind} {name!r} is no "
+                    "longer in the docs/perf.md counter table (renamed or "
+                    "dropped without regenerating the record?)"
+                )
+                problems += 1
+    if problems:
+        # stale names make the smoke comparison meaningless; report early
+        print(f"bench-drift: {problems} drift problem(s)")
+        return 1
+    # 2. a fresh smoke search must still emit the engine-path metrics the
+    #    record's fast sections are built from
+    snapshot = _smoke_snapshot()
+    fresh = {
+        "counter": set(snapshot.get("counters", {})),
+        "timer": set(snapshot.get("timers", {})),
+        "cache": set(snapshot.get("caches", {})),
+    }
+    core = {
+        kind: {
+            name for name in recorded[kind]
+            if name.split(".", 1)[0] in ("lpq", "fitness", "quant", "replay")
+        }
+        for kind in recorded
+    }
+    for kind, names in sorted(core.items()):
+        for name in sorted(names - fresh[kind]):
+            print(
+                f"bench-drift: FAIL — the smoke search no longer emits "
+                f"{kind} {name!r} that the committed record tracks"
+            )
+            problems += 1
+    # 3. and everything the smoke run emitted must be declared (same bar
+    #    as the counter-namespace rule, enforced on live names)
+    for kind, names in sorted(fresh.items()):
+        for name in sorted(names):
+            if name not in declared:
+                print(
+                    f"bench-drift: FAIL — live {kind} {name!r} from the "
+                    "smoke search is not in the docs/perf.md table"
+                )
+                problems += 1
+    if problems:
+        print(f"bench-drift: {problems} drift problem(s)")
+        return 1
+    total = sum(len(v) for v in recorded.values())
+    print(
+        f"bench-drift: ok — {total} recorded metric names still declared, "
+        f"smoke search emits all {sum(len(v) for v in core.values())} "
+        "tracked engine metrics"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="lint a different project root (default: "
+                             "this repo; used by the rule fixture tests)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable findings on stdout")
+    parser.add_argument("--baseline", action="store_true",
+                        help="rewrite LINT_BASELINE.json with every "
+                             "current finding and exit 0")
+    parser.add_argument("--baseline-file", default=None, metavar="PATH",
+                        help=f"baseline path (default {lint_engine.BASELINE_FILE})")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    parser.add_argument("--bench-drift", action="store_true",
+                        help=f"check {BENCH_RECORD} against the counter "
+                             "table and a fresh smoke run")
+    parser.add_argument("--bench-record", default=None, metavar="PATH",
+                        help=f"record path for --bench-drift "
+                             f"(default {BENCH_RECORD})")
+    args = parser.parse_args(argv)
+
+    if args.bench_drift:
+        return run_bench_drift(
+            Path(args.bench_record) if args.bench_record
+            else REPO / BENCH_RECORD
+        )
+
+    rules = lint_engine.default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else REPO
+    baseline_path = (
+        Path(args.baseline_file) if args.baseline_file
+        else root / lint_engine.BASELINE_FILE
+    )
+    project = lint_engine.Project(root)
+    report = lint_engine.LintEngine(rules).run(
+        project,
+        set() if args.baseline else lint_engine.load_baseline(baseline_path),
+    )
+
+    if args.baseline:
+        count = lint_engine.save_baseline(baseline_path, report.findings)
+        print(f"lint: baselined {count} finding(s) into {baseline_path}")
+        return 0
+
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        print(
+            f"lint: {len(report.findings)} finding(s) "
+            f"({len(report.baselined)} baselined, "
+            f"{len(report.disabled)} disabled) across {report.files} "
+            f"files, {len(report.rules)} rules"
+        )
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Project-invariant static analysis (`repro.analysis`).
+
+The serve stack's correctness rests on conventions — a hand-rolled
+framed wire protocol, lock-guarded shared state, a repo-wide
+bitwise-determinism bar, namespaced perf counters, registry
+indirection — that tests can only probe after the fact.  This package
+enforces them *mechanically*:
+
+* :mod:`repro.analysis.engine` — an AST lint engine that walks
+  ``src/``, ``scripts/`` and ``benchmarks/`` and runs pluggable
+  :class:`Rule` classes (registered in the ``lint_rule`` family of
+  :mod:`repro.spec.registry`), with a ``lint: disable=<rule>`` escape
+  hatch and a committed baseline for grandfathered findings.
+* :mod:`repro.analysis.rules` — the project rules: wire-frame
+  dispatcher coverage, lock-guarded attribute discipline, engine-path
+  determinism, perf-counter namespacing, broad-except triage, and
+  registry-bypass detection.
+* :mod:`repro.analysis.races` — a runtime lock-order analyzer (an
+  instrumented ``threading.Lock`` + acquisition-order graph with cycle
+  detection) the serve/obs test suites run under.
+
+Front end: ``scripts/run_lint.py`` (human or ``--json`` output,
+``--baseline`` update mode, ``--bench-drift`` record check); the CI
+``lint`` leg fails on any non-baselined finding.  See
+``docs/analysis.md`` for the rule catalog and policies.
+"""
+
+from .engine import (
+    Finding,
+    LintEngine,
+    Project,
+    Rule,
+    default_rules,
+    load_baseline,
+    run_lint,
+)
+from .races import LockOrderMonitor, LockOrderViolation
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LockOrderMonitor",
+    "LockOrderViolation",
+    "Project",
+    "Rule",
+    "default_rules",
+    "load_baseline",
+    "run_lint",
+]

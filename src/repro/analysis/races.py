@@ -1,0 +1,270 @@
+"""Runtime lock-order analysis for the serve stack.
+
+Static rules can prove an attribute is *guarded*; they cannot prove two
+locks are always taken in the same order.  :class:`LockOrderMonitor`
+does that at runtime: while installed it replaces ``threading.Lock`` /
+``threading.RLock`` with instrumented wrappers that maintain, per
+thread, the stack of locks currently held, and a process-wide directed
+graph with an edge ``A -> B`` the first time any thread acquires ``B``
+while holding ``A``.  A new edge that closes a cycle is a potential
+deadlock: two threads can interleave the two paths and block forever.
+Violations are recorded (with the acquisition stacks of both edges) and
+reported by :meth:`LockOrderMonitor.report`; the autouse fixtures in
+``tests/serve/conftest.py`` and ``tests/obs/conftest.py`` fail the test
+that produced one.  Self-deadlocks — re-acquiring a non-reentrant
+``Lock`` the same thread already holds — are reported immediately too.
+
+The wrappers implement the full lock protocol including the private
+``_is_owned`` / ``_release_save`` / ``_acquire_restore`` hooks, so
+``threading.Condition`` built over an instrumented lock (the
+``SearchServer`` wake condition) keeps correct bookkeeping across
+``wait()``.  Instrumentation is passive: it never changes acquisition
+semantics, only observes them, and a wrapper outliving its monitor
+degrades to plain delegation.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+__all__ = ["LockOrderMonitor", "LockOrderViolation", "lock_order_monitor"]
+
+#: the real factories, captured at import so monitors can patch/restore
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class LockOrderViolation(AssertionError):
+    """A potential deadlock found by the acquisition-order graph."""
+
+
+def _site(depth: int = 8) -> str:
+    """Compact acquisition stack, innermost frames last."""
+    frames = traceback.extract_stack()[: -3][-depth:]
+    return "".join(traceback.format_list(frames))
+
+
+class _Instrumented:
+    """Wrapper recording acquisition order; delegates everything else."""
+
+    def __init__(self, monitor: "LockOrderMonitor", inner, reentrant: bool,
+                 label: str) -> None:
+        self._monitor = monitor
+        self._inner = inner
+        self._reentrant = reentrant
+        self.label = label
+
+    # -- core protocol ---------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        self._monitor._before_acquire(self, blocking)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._monitor._acquired(self)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor._released(self)
+
+    __enter__ = acquire
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # -- Condition integration hooks -------------------------------------
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def _release_save(self):
+        state = (
+            self._inner._release_save()
+            if hasattr(self._inner, "_release_save")
+            else self._inner.release()
+        )
+        self._monitor._released(self, fully=True)
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        self._monitor._before_acquire(self, True)
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._monitor._acquired(self)
+
+    def __getattr__(self, name: str):
+        # everything else (e.g. RLock._recursion_count, _at_fork_reinit)
+        # delegates straight to the real lock
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:
+        return f"<instrumented {self._inner!r} from {self.label}>"
+
+
+class LockOrderMonitor:
+    """Patch the lock factories and maintain the acquisition graph."""
+
+    def __init__(self) -> None:
+        self._mutex = _REAL_LOCK()  # guards the graph, never instrumented
+        self._held = threading.local()
+        self.active = False
+        #: (id(a), id(b)) -> (label_a, label_b, stack at first occurrence)
+        self.edges: dict[tuple[int, int], tuple[str, str, str]] = {}
+        #: adjacency over lock ids, for cycle search
+        self._adj: dict[int, set[int]] = {}
+        self.violations: list[str] = []
+
+    # -- factory patching ------------------------------------------------
+    def install(self) -> "LockOrderMonitor":
+        self.active = True
+
+        def make_lock():
+            return _Instrumented(self, _REAL_LOCK(), False, _creation_site())
+
+        def make_rlock():
+            return _Instrumented(self, _REAL_RLOCK(), True, _creation_site())
+
+        def _creation_site() -> str:
+            for frame in reversed(traceback.extract_stack()[:-2]):
+                return f"{frame.filename}:{frame.lineno}"
+            return "<unknown>"
+
+        threading.Lock = make_lock
+        threading.RLock = make_rlock
+        return self
+
+    def uninstall(self) -> None:
+        self.active = False
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+
+    def __enter__(self) -> "LockOrderMonitor":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- per-thread bookkeeping ------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _before_acquire(self, lock: _Instrumented, blocking) -> None:
+        """Only flags self-deadlock: a blocking acquire of a held Lock
+        would hang right here, so it must be reported pre-acquire."""
+        if not self.active or not blocking or lock._reentrant:
+            return
+        if any(entry[0] is lock for entry in self._stack()):
+            message = (
+                f"self-deadlock: non-reentrant Lock from {lock.label} "
+                f"re-acquired by the holding thread\n{_site()}"
+            )
+            self._record_violation(message)
+            # proceeding would hang this thread forever; a crisp raise
+            # is the only useful way to surface a guaranteed deadlock
+            raise LockOrderViolation(message)
+
+    def _acquired(self, lock: _Instrumented) -> None:
+        if not self.active:
+            return
+        stack = self._stack()
+        for entry in stack:
+            if entry[0] is lock:
+                entry[1] += 1
+                return  # re-entrant: no new ordering information
+        for entry in stack:
+            self._add_edge(entry[0], lock)
+        stack.append([lock, 1])
+
+    def _released(self, lock: _Instrumented, fully: bool = False) -> None:
+        stack = getattr(self._held, "stack", None)
+        if not stack:
+            return
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is lock:
+                stack[index][1] -= 1
+                if fully or stack[index][1] <= 0:
+                    del stack[index]
+                return
+
+    # -- the graph -------------------------------------------------------
+    def _add_edge(self, held: _Instrumented, wanted: _Instrumented) -> None:
+        key = (id(held), id(wanted))
+        with self._mutex:
+            if key in self.edges:
+                return
+            stack_text = _site()
+            self.edges[key] = (held.label, wanted.label, stack_text)
+            self._adj.setdefault(id(held), set()).add(id(wanted))
+            cycle = self._find_path(id(wanted), id(held))
+        if cycle is not None:
+            first = self.edges.get((cycle[-2], cycle[-1])) if len(
+                cycle
+            ) >= 2 else None
+            other = first[2] if first else "<stack unavailable>"
+            self._record_violation(
+                "lock-order cycle: "
+                f"{held.label} -> {wanted.label} closes a cycle with the "
+                f"reverse path.\n--- this acquisition ---\n{stack_text}"
+                f"--- prior conflicting acquisition ---\n{other}"
+            )
+
+    def _find_path(self, start: int, goal: int) -> list[int] | None:
+        """DFS path start -> goal over the edge graph (caller holds mutex)."""
+        seen = {start}
+        path = [start]
+
+        def walk(node: int) -> bool:
+            if node == goal:
+                return True
+            for nxt in self._adj.get(node, ()):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                path.append(nxt)
+                if walk(nxt):
+                    return True
+                path.pop()
+            return False
+
+        return path if walk(start) else None
+
+    def _record_violation(self, message: str) -> None:
+        with self._mutex:
+            self.violations.append(message)
+
+    # -- reporting -------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable summary; empty string when clean."""
+        if not self.violations:
+            return ""
+        parts = [
+            f"{len(self.violations)} lock-order violation(s) detected:"
+        ]
+        parts.extend(
+            f"\n[{index}] {text}"
+            for index, text in enumerate(self.violations, start=1)
+        )
+        return "\n".join(parts)
+
+    def check(self) -> None:
+        """Raise :class:`LockOrderViolation` if any cycle was recorded."""
+        text = self.report()
+        if text:
+            raise LockOrderViolation(text)
+
+
+def lock_order_monitor() -> LockOrderMonitor:
+    """A fresh, not-yet-installed monitor (fixture convenience)."""
+    return LockOrderMonitor()

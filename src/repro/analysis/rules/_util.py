@@ -1,0 +1,63 @@
+"""Shared AST helpers for the project lint rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "dotted_name",
+    "import_aliases",
+    "str_const",
+    "class_defs",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``np.random.default_rng`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> real dotted module for top-level ``import`` forms.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``import os`` maps
+    ``os -> os``; ``from numpy import random`` maps
+    ``random -> numpy.random``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                real = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = real
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*" or node.module is None:
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def str_const(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def class_defs(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    """Top-level class name -> ClassDef node."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }

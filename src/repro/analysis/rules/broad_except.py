@@ -1,0 +1,71 @@
+"""``broad-except``: every ``except Exception`` is a deliberate choice.
+
+A broad handler at a worker/session/telemetry boundary is often right —
+an evaluation failure must become a transported error result, a
+subscriber bug must not stall an emitter — but the *same syntax* also
+swallows genuine engine bugs.  The rule forces every broad handler to
+show its justification:
+
+* re-raise (a ``raise`` statement anywhere in the handler body), or
+* carry ``# lint: disable=broad-except -- <reason>`` on the
+  ``except`` line, stating the boundary contract it implements.
+
+Bare ``except:`` clauses and ``except BaseException`` are flagged the
+same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Rule
+from ._util import dotted_name
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> str | None:
+    if handler.type is None:
+        return "bare except:"
+    names = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in names:
+        dotted = dotted_name(node)
+        if dotted is not None and dotted.rsplit(".", 1)[-1] in _BROAD:
+            return f"except {dotted}"
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+class BroadExceptRule(Rule):
+    name = "broad-except"
+    description = (
+        "broad exception handlers must re-raise or carry a justified "
+        "disable comment naming the boundary contract"
+    )
+
+    def check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _is_broad(node)
+            if broad is None or _reraises(node):
+                continue
+            yield module.finding(
+                self.name, node,
+                f"{broad} neither re-raises nor justifies itself; "
+                "narrow the type, re-raise, or add "
+                "`# lint: disable=broad-except -- reason`",
+            )

@@ -1,0 +1,122 @@
+"""``determinism``: no ambient entropy inside the engine paths.
+
+The repo's core bar is bitwise reproducibility — remote ≡ process ≡
+thread ≡ serial, replays identical.  That only holds while the engine
+packages (:mod:`repro.quant`, :mod:`repro.numerics`,
+:mod:`repro.parallel`) draw randomness exclusively from explicitly
+seeded ``numpy.random.Generator`` objects and never read wall-clock
+state into results.  This rule forbids, inside those packages:
+
+* ``time.time()`` (wall clock; ``time.monotonic``/``perf_counter`` are
+  fine — they only feed telemetry),
+* any ``random.*`` call (the stdlib global RNG),
+* ``os.urandom`` / ``secrets.*`` (OS entropy),
+* ``numpy.random.*`` module-level calls except the explicit-Generator
+  constructors (``default_rng``, ``Generator``, ``SeedSequence``),
+* iterating directly over a perf ``snapshot()`` (dict-order-dependent;
+  wrap in ``sorted(...)`` to make traversal order part of the
+  contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Rule
+from ._util import dotted_name, import_aliases
+
+__all__ = ["DeterminismRule"]
+
+#: packages holding the bitwise-deterministic engine paths
+ENGINE_PACKAGES = ("repro.quant", "repro.numerics", "repro.parallel")
+
+_NUMPY_GENERATOR_OK = {"default_rng", "Generator", "SeedSequence"}
+
+
+def _in_engine_path(module: ModuleSource) -> bool:
+    dotted = module.dotted
+    return any(
+        dotted == pkg or dotted.startswith(pkg + ".")
+        for pkg in ENGINE_PACKAGES
+    )
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "engine packages must not read ambient entropy (wall clock, "
+        "global RNGs, OS randomness) or iterate raw perf snapshots"
+    )
+
+    def check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        if not _in_engine_path(module):
+            return
+        aliases = import_aliases(module.tree)
+
+        def resolve(call: ast.Call) -> str | None:
+            dotted = dotted_name(call.func)
+            if dotted is None:
+                return None
+            root, _, rest = dotted.partition(".")
+            real = aliases.get(root)
+            if real is None:
+                return None
+            return f"{real}.{rest}" if rest else real
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = resolve(node)
+                if dotted is None:
+                    continue
+                if dotted == "time.time":
+                    yield module.finding(
+                        self.name, node,
+                        "time.time() in an engine path (wall clock is "
+                        "ambient state; monotonic/perf_counter for "
+                        "telemetry only)",
+                    )
+                elif dotted == "os.urandom" or dotted.startswith("secrets."):
+                    yield module.finding(
+                        self.name, node,
+                        f"{dotted}() draws OS entropy in an engine path",
+                    )
+                elif dotted.startswith("random."):
+                    yield module.finding(
+                        self.name, node,
+                        f"{dotted}() uses the stdlib global RNG; thread "
+                        "a seeded numpy Generator instead",
+                    )
+                elif dotted.startswith("numpy.random."):
+                    leaf = dotted.rsplit(".", 1)[-1]
+                    if leaf not in _NUMPY_GENERATOR_OK:
+                        yield module.finding(
+                            self.name, node,
+                            f"{dotted}() without an explicit Generator; "
+                            "use numpy.random.default_rng(seed)",
+                        )
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                it = node.iter
+                # `for k in x.snapshot()` / `... .snapshot().items()`
+                target = None
+                if isinstance(it, ast.Call):
+                    func = it.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "snapshot"
+                    ):
+                        target = it
+                    elif (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in ("items", "keys", "values")
+                        and isinstance(func.value, ast.Call)
+                        and isinstance(func.value.func, ast.Attribute)
+                        and func.value.func.attr == "snapshot"
+                    ):
+                        target = it
+                if target is not None:
+                    yield module.finding(
+                        self.name, target,
+                        "iteration over a raw perf snapshot() is "
+                        "dict-order-dependent; wrap in sorted(...)",
+                    )

@@ -1,0 +1,135 @@
+"""``guarded-by``: lock-guarded attributes stay guarded everywhere.
+
+In a class that owns a ``threading.Lock``/``RLock``, an instance
+attribute assigned under ``with self._lock`` in one method and bare in
+another is the PerfRegistry-snapshot class of race PR 9 fixed by hand:
+the unguarded write is invisible until two threads interleave on it.
+
+The rule is intra-class and assignment-based: it finds the lock
+attributes a class creates in ``__init__`` (including
+``threading.Condition(self._lock)`` aliases), classifies every
+``self.X = ...`` / ``self.X += ...`` statement as guarded (lexically
+inside a ``with self._lock`` block) or bare, and reports attributes
+that have both — at each bare write site.  ``__init__`` writes are
+construction (happens-before thread start) and never count as bare.
+Reads and container mutation (``self.x.append``) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Rule
+from ._util import dotted_name, str_const
+
+__all__ = ["GuardedByRule"]
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``x`` for a ``self.x`` attribute node."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attributes holding a Lock/RLock or a Condition built on one."""
+    locks: set[str] = set()
+    conditions: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        attr = _self_attr(node.targets[0])
+        if attr is None or not isinstance(node.value, ast.Call):
+            continue
+        dotted = dotted_name(node.value.func) or ""
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf in _LOCK_FACTORIES:
+            locks.add(attr)
+        elif leaf == "Condition" and node.value.args:
+            wrapped = _self_attr(node.value.args[0])
+            if wrapped is not None:
+                conditions[attr] = wrapped
+    # a Condition over an owned lock guards that lock's attributes too
+    locks |= {name for name, tgt in conditions.items() if tgt in locks}
+    return locks
+
+
+class _WriteCollector(ast.NodeVisitor):
+    """Classify every ``self.X`` assignment as guarded or bare."""
+
+    def __init__(self, locks: set[str]) -> None:
+        self.locks = locks
+        self.depth = 0  # with-lock nesting
+        self.guarded: dict[str, list[int]] = {}
+        self.bare: dict[str, list[int]] = {}
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = any(
+            (_self_attr(item.context_expr) or "") in self.locks
+            for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+        self.depth += 1 if holds else 0
+        for stmt in node.body:
+            self.visit(stmt)
+        self.depth -= 1 if holds else 0
+
+    def _record(self, target: ast.AST, lineno: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record(elt, lineno)
+            return
+        attr = _self_attr(target)
+        if attr is None or attr in self.locks:
+            return
+        bucket = self.guarded if self.depth else self.bare
+        bucket.setdefault(attr, []).append(lineno)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node.lineno)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, node.lineno)
+        self.visit(node.value)
+
+
+class GuardedByRule(Rule):
+    name = "guarded-by"
+    description = (
+        "attributes assigned under `with self._lock` anywhere must be "
+        "assigned under it everywhere outside __init__"
+    )
+
+    def check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        for cls in module.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _lock_attrs(cls)
+            if not locks:
+                continue
+            collector = _WriteCollector(locks)
+            for stmt in cls.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name != "__init__"
+                ):
+                    collector.visit(stmt)
+            for attr in sorted(set(collector.guarded) & set(collector.bare)):
+                for lineno in collector.bare[attr]:
+                    yield module.finding(
+                        self.name, lineno,
+                        f"{cls.name}.{attr} is assigned under a lock at "
+                        f"line {collector.guarded[attr][0]} but bare "
+                        "here",
+                    )

@@ -113,7 +113,7 @@ class MetricsEmitter:
             self._seq += 1
         try:
             self._emit(sample)
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- telemetry passivity: a broken sink must not touch the host
             pass  # passive: a broken sink must not touch the host
 
     def _read_gauges(self) -> dict:
@@ -121,7 +121,7 @@ class MetricsEmitter:
             return {}
         try:
             return dict(self._gauges())
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- telemetry passivity: a failing gauge reads as absent
             return {}
 
     def _run(self) -> None:

@@ -73,7 +73,7 @@ class MetricsHub:
         for callback in subscribers:
             try:
                 callback(sample)
-            except Exception:
+            except Exception:  # lint: disable=broad-except -- telemetry passivity: a broken subscriber must not stall the publisher
                 pass  # passive: a broken reader must not stall the writer
 
     def latest(self) -> dict[str, dict]:

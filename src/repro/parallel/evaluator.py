@@ -31,7 +31,7 @@ import numpy as np
 
 from ..nn import Module
 from ..perf import get_perf
-from ..quant import (
+from ..quant import (  # lint: disable=registry-bypass -- EvaluatorSpec.build is the registered construction path; the objective registry carries labels, not classes
     FitnessConfig,
     FitnessEvaluator,
     LayerStats,

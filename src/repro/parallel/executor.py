@@ -321,7 +321,7 @@ def _init_worker(spec: EvaluatorSpec | None, wire: dict | None = None,
         _WORKER_REPLICA = spec.build(perf=_WORKER_PERF, copy_model=False)
         _WORKER_SNAP = _WORKER_PERF.snapshot()
         _WORKER_INIT_ERROR = None
-    except BaseException:
+    except BaseException:  # lint: disable=broad-except -- worker-process boundary: init failure is parked and reported via the first result
         import traceback
 
         _WORKER_REPLICA = None
@@ -443,7 +443,7 @@ spec_registry.register(
 def _make_remote_executor(spec, config, perf):
     # deferred import: the transport layer builds on repro.serve, which
     # builds on this module
-    from ..serve.remote import RemoteExecutor
+    from ..serve.remote import RemoteExecutor  # lint: disable=registry-bypass -- this IS the registered 'remote' executor factory
 
     return RemoteExecutor(spec, config, perf)
 

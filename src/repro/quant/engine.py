@@ -119,11 +119,12 @@ class IncrementalEvaluator:
       multiplies it by ``L_CR^λ``.
 
     ``timer_name``/``memo_name`` label the perf sections so both
-    evaluators report uniformly.
+    evaluators report uniformly; every concrete evaluator must set them
+    to names declared in the docs/perf.md counter table.
     """
 
-    timer_name = "evaluate"
-    memo_name = "evaluate.memo"
+    timer_name: str
+    memo_name: str
 
     def __init__(
         self,

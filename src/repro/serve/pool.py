@@ -194,7 +194,7 @@ class SharedSerialPool(WorkerPool):
             result = ChunkResult(
                 job, seq, chunk, fits, delta, time.perf_counter() - start
             )
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- worker boundary: any evaluation failure becomes an error ChunkResult
             result = ChunkResult(
                 job, seq, chunk, None, None, time.perf_counter() - start,
                 error=traceback.format_exc(),
@@ -245,7 +245,7 @@ class SharedThreadPool(WorkerPool):
                 result = ChunkResult(
                     job, seq, chunk, fits, delta, time.perf_counter() - start
                 )
-            except Exception:
+            except Exception:  # lint: disable=broad-except -- worker boundary: any evaluation failure becomes an error ChunkResult
                 result = ChunkResult(
                     job, seq, chunk, None, None, time.perf_counter() - start,
                     error=traceback.format_exc(),
@@ -287,7 +287,7 @@ def _init_shared_worker(wires: dict[str, dict],
             from ..spec.blob import attach_transport_table
 
             _SHARED_BLOBS = attach_transport_table(blob_table)
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- init failure is parked and re-raised with the first task
             _SHARED_BLOBS_ERROR = traceback.format_exc()
 
 
@@ -313,7 +313,7 @@ def _evaluate_shared_chunk(job: str, solutions):
             _SHARED_STATE[job] = entry
         fits, delta = _evaluate_with_entry(entry, solutions)
         return fits, delta, time.perf_counter() - start, None
-    except Exception:
+    except Exception:  # lint: disable=broad-except -- worker boundary: failures travel home as error tuples
         return (
             None, None, time.perf_counter() - start, traceback.format_exc()
         )

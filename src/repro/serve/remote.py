@@ -359,7 +359,7 @@ class _WorkerSession(threading.Thread):
             )
             self.server._task_done(delta, len(solutions))
             return reply
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- worker boundary: any evaluation failure becomes an error result frame
             self.server._task_done(None, 0)
             return result_message(
                 task, job, seq, chunk, None, None,
@@ -1478,7 +1478,7 @@ class SharedRemotePool(WorkerPool):
                     entry.job, entry.seq, entry.chunk, fits, delta,
                     time.perf_counter() - start,
                 )
-            except Exception:
+            except Exception:  # lint: disable=broad-except -- local-fallback boundary: failures become error ChunkResults
                 result = ChunkResult(
                     entry.job, entry.seq, entry.chunk, None, None,
                     time.perf_counter() - start,

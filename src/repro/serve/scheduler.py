@@ -476,7 +476,7 @@ class SearchScheduler:
             except StopIteration:
                 self._finalize_done(st)
                 return 0
-            except Exception:
+            except Exception:  # lint: disable=broad-except -- job isolation: one job's engine failure must only fail that job
                 self._finalize_failed(st, traceback.format_exc())
                 return 0
             if st.handle._cancel_requested:

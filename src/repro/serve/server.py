@@ -230,7 +230,7 @@ class _ServerSession(threading.Thread):
             except ServerError as exc:
                 self.enqueue(reply_message(req, error=str(exc)))
                 continue
-            except Exception as exc:
+            except Exception as exc:  # lint: disable=broad-except -- session survival: a malformed request is answered, not fatal
                 # a malformed request must not kill the session: reply
                 # with the problem and keep listening
                 self.enqueue(reply_message(
@@ -700,7 +700,7 @@ class SearchServer:
         for job in batch:
             try:
                 job.handle = scheduler.submit(job.name, spec=job.spec)
-            except Exception:
+            except Exception:  # lint: disable=broad-except -- job isolation: a submit failure fails that job record only
                 self._finish(job, "failed", error=traceback.format_exc())
                 continue
             if job.cancel_requested or self._closed:
@@ -712,7 +712,7 @@ class SearchServer:
             scheduler.run()
         except _SimulatedCrash:
             raise
-        except Exception:
+        except Exception:  # lint: disable=broad-except -- daemon survival: a scheduler crash fails the running jobs, not the server
             error = traceback.format_exc()
             for job in started:
                 if job.state == "running":
@@ -1081,7 +1081,7 @@ class SearchClient:
         the job keeps running server-side either way)."""
         reply = self._request(subscribe_message(job))
         if reply.get("state") in _TERMINAL:
-            yield event_message(job, "state", {
+            yield event_message(job, "state", {  # lint: disable=wire-frame-coverage -- synthesized client-side for already-terminal jobs, never sent on the wire
                 "state": reply["state"],
                 "cached": reply.get("cached", False),
                 "error": reply.get("error"),

@@ -169,6 +169,9 @@ REGISTRIES: dict[str, Registry] = {
         ),
     ),
     "calib": Registry("calib", bootstrap=("repro.data",)),
+    "lint_rule": Registry(
+        "lint_rule", bootstrap=("repro.analysis.rules",)
+    ),
 }
 
 

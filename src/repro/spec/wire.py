@@ -82,6 +82,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "FrameCorruptionError",
+    "FrameTooLargeError",
     "FrameDecoder",
     "frame_message",
     "read_frame",
@@ -147,6 +148,24 @@ class FrameCorruptionError(ValueError):
     """
 
 
+class FrameTooLargeError(FrameCorruptionError):
+    """A frame's length prefix exceeds the receiver's ``max_bytes``.
+
+    A subclass of :class:`FrameCorruptionError` (and therefore
+    ``ValueError``): every drop-the-connection handler still fires, but
+    callers that care — e.g. a server deciding whether to advise a
+    bigger ``max_frame`` instead of suspecting stream corruption — can
+    distinguish an oversized frame from a failed checksum.
+    """
+
+
+def _check_length(length: int, max_bytes: int) -> None:
+    if length > max_bytes:
+        raise FrameTooLargeError(
+            f"frame length {length} exceeds the {max_bytes}-byte limit"
+        )
+
+
 def _check_crc(body: bytes, expected: int) -> None:
     actual = zlib.crc32(body) & 0xFFFFFFFF
     if actual != expected:
@@ -172,10 +191,11 @@ class FrameDecoder:
 
     Feed it byte chunks in any segmentation (TCP guarantees order, not
     boundaries); it returns every completely received message, keeping
-    partial frames buffered.  A length prefix above ``max_bytes`` or a
-    body that is not a JSON object raises ``ValueError``, a checksum
-    mismatch :class:`FrameCorruptionError` — the caller drops the
-    connection rather than resynchronize a corrupt stream.
+    partial frames buffered.  A length prefix above ``max_bytes``
+    raises :class:`FrameTooLargeError`, a body that is not a JSON
+    object ``ValueError``, a checksum mismatch
+    :class:`FrameCorruptionError` — the caller drops the connection
+    rather than resynchronize a corrupt stream.
     """
 
     def __init__(self, max_bytes: int = MAX_FRAME_BYTES) -> None:
@@ -189,11 +209,7 @@ class FrameDecoder:
             if len(self._buffer) < _FRAME_HEADER.size:
                 return messages
             length, crc = _FRAME_HEADER.unpack_from(self._buffer)
-            if length > self.max_bytes:
-                raise ValueError(
-                    f"frame length {length} exceeds the "
-                    f"{self.max_bytes}-byte limit"
-                )
+            _check_length(length, self.max_bytes)
             end = _FRAME_HEADER.size + length
             if len(self._buffer) < end:
                 return messages
@@ -225,9 +241,10 @@ def read_frame(stream, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
     """Read exactly one frame from a binary stream.
 
     Returns ``None`` on a clean EOF at a frame boundary; raises
-    ``ValueError`` on a truncated frame, an oversized length prefix, or
-    a non-object body, and :class:`FrameCorruptionError` on a checksum
-    mismatch (the stream is unrecoverable in every case).
+    ``ValueError`` on a truncated frame or a non-object body,
+    :class:`FrameTooLargeError` on an oversized length prefix, and
+    :class:`FrameCorruptionError` on a checksum mismatch (the stream is
+    unrecoverable in every case).
     """
     header = stream.read(_FRAME_HEADER.size)
     if not header:
@@ -235,10 +252,7 @@ def read_frame(stream, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
     if len(header) < _FRAME_HEADER.size:
         raise ValueError("truncated frame header")
     length, crc = _FRAME_HEADER.unpack(header)
-    if length > max_bytes:
-        raise ValueError(
-            f"frame length {length} exceeds the {max_bytes}-byte limit"
-        )
+    _check_length(length, max_bytes)
     body = stream.read(length)
     if len(body) < length:
         raise ValueError("truncated frame body")

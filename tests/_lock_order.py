@@ -1,0 +1,38 @@
+"""Shared lock-order fixture for the concurrency-heavy suites.
+
+``tests/serve/conftest.py`` and ``tests/obs/conftest.py`` re-export
+:func:`lock_order_guard` as an autouse fixture: every test in those
+suites runs with ``threading.Lock``/``RLock`` instrumented by a fresh
+:class:`repro.analysis.races.LockOrderMonitor`, and a recorded
+acquisition-order cycle fails the test that produced it.  Set
+``REPRO_LOCK_ORDER=0`` to opt out (e.g. when bisecting an unrelated
+failure without the instrumentation overhead).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.races import LockOrderMonitor
+
+
+def _enabled() -> bool:
+    return os.environ.get("REPRO_LOCK_ORDER", "1") != "0"
+
+
+@pytest.fixture(autouse=True)
+def lock_order_guard(request):
+    if not _enabled():
+        yield None
+        return
+    monitor = LockOrderMonitor()
+    monitor.install()
+    try:
+        yield monitor
+    finally:
+        monitor.uninstall()
+    report = monitor.report()
+    if report:
+        pytest.fail(
+            f"lock-order analysis for {request.node.nodeid}:\n{report}"
+        )

@@ -1,0 +1,131 @@
+"""Engine mechanics: disable comments, baseline, registry wiring."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import engine as lint_engine
+from repro.analysis.engine import (
+    Finding,
+    LintEngine,
+    ModuleSource,
+    Project,
+    Rule,
+    default_rules,
+)
+from repro.spec import registry as spec_registry
+
+
+class AlwaysFire(Rule):
+    """Test rule: one finding per module, on line 1."""
+
+    name = "always-fire"
+    description = "fires on every module"
+
+    def check_module(self, module):
+        yield module.finding(self.name, 1, "it fired")
+
+
+def make_project(tmp_path, files):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return Project(tmp_path)
+
+
+def test_project_walks_default_targets(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/a.py": "x = 1\n",
+        "scripts/b.py": "y = 2\n",
+        "benchmarks/c.py": "z = 3\n",
+        "tests/d.py": "ignored = True\n",
+    })
+    assert sorted(m.path for m in project.modules) == [
+        "benchmarks/c.py", "scripts/b.py", "src/repro/a.py",
+    ]
+    assert project.module("repro.a").dotted == "repro.a"
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    project = make_project(tmp_path, {"src/bad.py": "def broken(:\n"})
+    report = LintEngine([AlwaysFire()]).run(project)
+    assert any(f.rule == "parse-error" for f in report.findings)
+
+
+def test_disable_comment_suppresses_with_reason(tmp_path):
+    project = make_project(tmp_path, {
+        "src/a.py": "x = 1  # lint: disable=always-fire -- test reason\n",
+    })
+    report = LintEngine([AlwaysFire()]).run(project)
+    assert report.findings == []
+    assert len(report.disabled) == 1
+
+
+def test_reasonless_disable_is_itself_a_finding(tmp_path):
+    project = make_project(tmp_path, {
+        "src/a.py": "x = 1  # lint: disable=always-fire\n",
+    })
+    report = LintEngine([AlwaysFire()]).run(project)
+    assert [f.rule for f in report.findings] == ["lint-disable"]
+    assert report.disabled  # the always-fire finding was still disabled
+
+
+def test_disable_comment_only_covers_its_line(tmp_path):
+    project = make_project(tmp_path, {
+        "src/a.py": "x = 1\ny = 2  # lint: disable=always-fire -- reason\n",
+    })
+    report = LintEngine([AlwaysFire()]).run(project)
+    # finding is on line 1; the disable on line 2 does not reach it
+    assert [f.rule for f in report.findings] == ["always-fire"]
+
+
+def test_baseline_grandfathers_by_key_not_line(tmp_path):
+    project = make_project(tmp_path, {"src/a.py": "x = 1\n"})
+    engine = LintEngine([AlwaysFire()])
+    first = engine.run(project)
+    assert first.exit_code == 1
+    baseline_path = tmp_path / lint_engine.BASELINE_FILE
+    lint_engine.save_baseline(baseline_path, first.findings)
+    # the same finding at a different line still matches its key
+    shifted = make_project(tmp_path, {"src/a.py": "\n\nx = 1\n"})
+    report = engine.run(shifted, lint_engine.load_baseline(baseline_path))
+    assert report.findings == []
+    assert len(report.baselined) == 1
+    assert report.exit_code == 0
+
+
+def test_baseline_file_round_trip(tmp_path):
+    path = tmp_path / "b.json"
+    findings = [Finding("r", "src/a.py", 3, "msg")]
+    lint_engine.save_baseline(path, findings)
+    assert lint_engine.load_baseline(path) == {findings[0].key()}
+    assert json.loads(path.read_text())["findings"]
+
+
+def test_default_rules_come_from_registry():
+    names = {rule.name for rule in default_rules()}
+    assert {
+        "wire-frame-coverage", "guarded-by", "determinism",
+        "counter-namespace", "broad-except", "registry-bypass",
+    } <= names
+    # the family is a first-class registry citizen
+    assert "lint_rule" in spec_registry.REGISTRIES
+    assert set(spec_registry.names("lint_rule")) == names
+
+
+def test_module_source_dotted_names(tmp_path):
+    project = make_project(tmp_path, {
+        "src/repro/serve/__init__.py": "",
+        "scripts/tool.py": "pass\n",
+    })
+    dotteds = {m.path: m.dotted for m in project.modules}
+    assert dotteds["src/repro/serve/__init__.py"] == "repro.serve"
+    assert dotteds["scripts/tool.py"] == "scripts.tool"
+
+
+def test_repo_at_head_is_clean():
+    """The acceptance bar: zero non-baselined findings on this repo."""
+    report = lint_engine.run_lint(Path(__file__).parents[2])
+    assert report.findings == [], "\n".join(
+        f.render() for f in report.findings
+    )

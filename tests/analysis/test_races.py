@@ -1,0 +1,171 @@
+"""LockOrderMonitor: cycle detection, self-deadlock, Condition hooks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.races import (
+    LockOrderMonitor,
+    LockOrderViolation,
+    lock_order_monitor,
+)
+
+
+def test_install_patches_and_uninstall_restores():
+    real_lock, real_rlock = threading.Lock, threading.RLock
+    monitor = lock_order_monitor()
+    with monitor:
+        assert threading.Lock is not real_lock
+        lock = threading.Lock()
+        assert lock.__class__.__name__ == "_Instrumented"
+        assert not lock.locked()
+    assert threading.Lock is real_lock
+    assert threading.RLock is real_rlock
+
+
+def test_consistent_order_is_clean():
+    monitor = LockOrderMonitor()
+    with monitor:
+        a, b = threading.Lock(), threading.Lock()
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+    assert monitor.violations == []
+    assert monitor.report() == ""
+    monitor.check()  # does not raise
+    assert len(monitor.edges) == 1  # a->b, recorded once
+
+
+def test_abba_cycle_is_detected_with_both_stacks():
+    monitor = LockOrderMonitor()
+    with monitor:
+        a, b = threading.Lock(), threading.Lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:  # closes the a->b cycle
+                pass
+    assert len(monitor.violations) == 1
+    text = monitor.violations[0]
+    assert "lock-order cycle" in text
+    assert "--- this acquisition ---" in text
+    assert "--- prior conflicting acquisition ---" in text
+    with pytest.raises(LockOrderViolation):
+        monitor.check()
+
+
+def test_three_lock_cycle_is_detected():
+    monitor = LockOrderMonitor()
+    with monitor:
+        a, b, c = (threading.Lock() for _ in range(3))
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:  # a -> b -> c -> a
+                pass
+    assert any("lock-order cycle" in v for v in monitor.violations)
+
+
+def test_cycle_found_across_threads():
+    monitor = LockOrderMonitor()
+    with monitor:
+        a, b = threading.Lock(), threading.Lock()
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        thread = threading.Thread(target=forward)
+        thread.start()
+        thread.join(5)
+        with b:
+            with a:
+                pass
+    assert len(monitor.violations) == 1
+
+
+def test_self_deadlock_raises_immediately():
+    monitor = LockOrderMonitor()
+    with monitor:
+        lock = threading.Lock()
+        lock.acquire()
+        with pytest.raises(LockOrderViolation, match="self-deadlock"):
+            lock.acquire()
+        lock.release()
+    assert any("self-deadlock" in v for v in monitor.violations)
+
+
+def test_nonblocking_reacquire_does_not_raise():
+    monitor = LockOrderMonitor()
+    with monitor:
+        lock = threading.Lock()
+        lock.acquire()
+        assert lock.acquire(blocking=False) is False
+        lock.release()
+    assert monitor.violations == []
+
+
+def test_rlock_reentrancy_adds_no_edges():
+    monitor = LockOrderMonitor()
+    with monitor:
+        rlock = threading.RLock()
+        with rlock:
+            with rlock:
+                pass
+    assert monitor.violations == []
+    assert monitor.edges == {}
+
+
+def test_condition_over_instrumented_lock():
+    """threading.Condition built on an instrumented Lock keeps correct
+    held-stack bookkeeping across wait()/notify() (the SearchServer
+    wake-condition pattern)."""
+    monitor = LockOrderMonitor()
+    with monitor:
+        lock = threading.Lock()
+        cond = threading.Condition(lock)
+        other = threading.Lock()
+        ready = []
+
+        def waiter():
+            with cond:
+                while not ready:
+                    cond.wait(timeout=5)
+                with other:  # held stack must be [lock] here, not stale
+                    pass
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        with cond:
+            ready.append(1)
+            cond.notify()
+        thread.join(5)
+        assert not thread.is_alive()
+        # the notifier took the lock while the waiter was parked in
+        # wait(): _release_save/_acquire_restore kept that legal
+        with other:
+            pass
+    assert monitor.violations == []
+    # the only ordering edge is lock -> other, from the waiter
+    assert len(monitor.edges) == 1
+
+
+def test_wrapper_degrades_after_uninstall():
+    monitor = LockOrderMonitor()
+    monitor.install()
+    lock = threading.Lock()
+    monitor.uninstall()
+    lock.acquire()
+    lock.acquire(blocking=False)
+    lock.release()
+    assert monitor.edges == {}
+    assert monitor.violations == []

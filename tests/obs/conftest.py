@@ -1,0 +1,3 @@
+"""Observability-suite fixtures: lock-order analysis on every test."""
+
+from .._lock_order import lock_order_guard  # noqa: F401

@@ -1,0 +1,177 @@
+"""scripts/watch_fleet.py: table rendering and the client-driving modes."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def wf():
+    spec = importlib.util.spec_from_file_location(
+        "watch_fleet_under_test", REPO / "scripts" / "watch_fleet.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+MESSAGE = {
+    "type": "metrics",
+    "source": "daemon",
+    "seq": 4,
+    "t": 12.0,
+    "status": {"queue_depth": 2, "workers": 2, "jobs": {"j1": "running"}},
+    "workers": [
+        {
+            "source": "w2",
+            "delta": {"counters": {
+                "worker.evaluations": 30, "fault.drop": 1, "fault.retry": 2,
+            }},
+            "gauges": {"queue_depth": 1, "heartbeat_ms": 7},
+        },
+        {
+            "source": "w1",
+            "delta": {
+                "counters": {"worker.evaluations": 10},
+                "caches": {"fitness.memo": {"hits": 8, "misses": 2}},
+            },
+            "gauges": {},
+        },
+    ],
+}
+
+
+class FakeClient:
+    """Stands in for SearchClient; records construction and close()."""
+
+    instances = []
+
+    def __init__(self, address, token=None):
+        self.address = address
+        self.token = token
+        self.closed = False
+        self.stream = []
+        self.status = {"workers": 0, "jobs": {}}
+        self.error = None
+        FakeClient.instances.append(self)
+
+    def fleet_status(self):
+        if self.error is not None:
+            raise self.error
+        return self.status
+
+    def metrics_stream(self):
+        if self.error is not None:
+            raise self.error
+        yield from self.stream
+
+    def close(self):
+        self.closed = True
+
+
+@pytest.fixture(autouse=True)
+def fresh_instances():
+    FakeClient.instances = []
+
+
+# ------------------------------------------------------------- rendering
+
+
+def test_render_table_rates_and_rows(wf):
+    text = wf.render_table(MESSAGE, elapsed=2.0)
+    lines = text.splitlines()
+    assert lines[0] == "fleet @ daemon   seq 4"
+    assert lines[1] == "queue depth 2   workers 2   jobs 1"
+    w1_row, w2_row = (
+        next(line for line in lines if line.startswith(name))
+        for name in ("w1", "w2")
+    )
+    assert lines.index(w1_row) < lines.index(w2_row)  # sorted by source
+    assert "5.0" in w1_row                 # 10 evaluations / 2s
+    assert "8/10 (80%)" in w1_row          # cache hit cell
+    assert "15.0" in w2_row                # 30 evaluations / 2s
+    assert w2_row.rstrip().endswith("3")   # fault.* counters summed
+
+
+def test_render_table_first_sample_shows_raw_counts(wf):
+    # no elapsed on the first frame: the delta is printed, not a rate
+    w1_row = next(
+        line for line in wf.render_table(MESSAGE, elapsed=None).splitlines()
+        if line.startswith("w1")
+    )
+    assert "10" in w1_row and "5.0" not in w1_row
+
+
+def test_render_table_without_workers(wf):
+    text = wf.render_table({"source": "d", "seq": 1, "status": {}}, None)
+    assert "(no worker samples this interval)" in text
+
+
+def test_cache_cell_dash_without_lookups(wf):
+    assert wf._cache_cell({}) == "-"
+    assert wf._cache_cell({"caches": {"m": {"hits": 0, "misses": 0}}}) == "-"
+
+
+# ----------------------------------------------------------- main() modes
+
+
+def test_main_once_json(wf, monkeypatch, capsys):
+    monkeypatch.setattr(wf, "SearchClient", FakeClient)
+    assert wf.main(["127.0.0.1:7400", "--json", "--once"]) == 0
+    client = FakeClient.instances[0]
+    assert client.address == "127.0.0.1:7400"
+    assert client.closed
+    out = capsys.readouterr().out.strip()
+    assert json.loads(out) == client.status
+    assert "\n" not in out  # --json is one object per line
+
+
+def test_main_json_stream_emits_each_sample(wf, monkeypatch, capsys):
+    monkeypatch.setattr(wf, "SearchClient", FakeClient)
+    second = dict(MESSAGE, seq=5, t=14.0)
+    monkeypatch.setattr(
+        FakeClient, "metrics_stream",
+        lambda self: iter([MESSAGE, second, dict(MESSAGE, seq=6)]),
+    )
+    assert wf.main(["host:1", "--json", "--samples", "2"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2  # --samples stopped the stream
+    assert [json.loads(line)["seq"] for line in lines] == [4, 5]
+    assert FakeClient.instances[0].closed
+
+
+def test_main_table_stream(wf, monkeypatch, capsys):
+    monkeypatch.setattr(wf, "SearchClient", FakeClient)
+    monkeypatch.setattr(
+        FakeClient, "metrics_stream", lambda self: iter([MESSAGE]),
+    )
+    assert wf.main(["host:1", "--samples", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet @ daemon   seq 4" in out
+    assert "\x1b[2J" not in out  # captured stdout is not a tty: no clear
+
+
+def test_main_token_from_environment(wf, monkeypatch):
+    monkeypatch.setattr(wf, "SearchClient", FakeClient)
+    monkeypatch.setenv("REPRO_SERVER_TOKEN", "sekrit")
+    wf.main(["host:1", "--json", "--once"])
+    assert FakeClient.instances[0].token == "sekrit"
+    # explicit --token wins over the environment
+    wf.main(["host:1", "--json", "--once", "--token", "cli"])
+    assert FakeClient.instances[1].token == "cli"
+
+
+def test_main_server_error_exits_nonzero(wf, monkeypatch, capsys):
+    monkeypatch.setattr(wf, "SearchClient", FakeClient)
+
+    def boom(self):
+        raise wf.ServerError("bad token")
+
+    monkeypatch.setattr(FakeClient, "fleet_status", boom)
+    assert wf.main(["host:1", "--once"]) == 1
+    assert "bad token" in capsys.readouterr().err
+    assert FakeClient.instances[0].closed

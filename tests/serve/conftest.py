@@ -6,6 +6,7 @@ from repro import nn
 from repro.data import calibration_batch
 from repro.quant import LPQConfig
 
+from .._lock_order import lock_order_guard  # noqa: F401
 from .servemodels import ServeBNCNN, ServeMLP
 
 

@@ -7,6 +7,7 @@ actual wire payloads through ``json.dumps``/``loads`` and running the
 reconstructed replicas against the originals, bitwise.
 """
 
+import io
 import json
 import queue
 
@@ -23,7 +24,9 @@ from repro.spec import CalibSpec, SearchSpec
 from repro.spec.wire import (
     SERVER_OPS,
     WIRE_VERSION,
+    FrameCorruptionError,
     FrameDecoder,
+    FrameTooLargeError,
     cancel_message,
     decode_callable,
     decode_job,
@@ -36,6 +39,7 @@ from repro.spec.wire import (
     frame_message,
     list_jobs_message,
     metrics_message,
+    read_frame,
     reply_message,
     result_get_message,
     status_message,
@@ -348,6 +352,38 @@ class TestServerFrameWire:
         event = event_message("j", "state", {"state": "done"}, final=True)
         assert event["final"] and event["event"] == "state"
         assert not event_message("j", "progress", {})["final"]
+
+
+class TestFrameTooLarge:
+    """Oversized frames raise the dedicated FrameCorruptionError
+    subclass, so callers can tell a too-small ``max_bytes`` from a
+    corrupt stream."""
+
+    def test_decoder_raises_dedicated_subclass(self):
+        frame = frame_message({"type": "ping", "pad": "x" * 64})
+        with pytest.raises(FrameTooLargeError, match="16-byte limit"):
+            FrameDecoder(max_bytes=16).feed(frame)
+
+    def test_read_frame_raises_dedicated_subclass(self):
+        frame = frame_message({"type": "ping", "pad": "x" * 64})
+        with pytest.raises(FrameTooLargeError):
+            read_frame(io.BytesIO(frame), max_bytes=16)
+
+    def test_oversize_refused_from_header_alone(self):
+        # the length prefix is enough: no body bytes are ever buffered
+        frame = frame_message({"pad": "x" * 64})
+        with pytest.raises(FrameTooLargeError):
+            FrameDecoder(max_bytes=16).feed(frame[:8])
+
+    def test_is_a_corruption_error_for_existing_handlers(self):
+        assert issubclass(FrameTooLargeError, FrameCorruptionError)
+        assert issubclass(FrameTooLargeError, ValueError)
+
+    def test_frame_at_the_limit_still_decodes(self):
+        message = {"type": "ping"}
+        frame = frame_message(message)
+        body_len = len(frame) - 8  # 4-byte length + 4-byte CRC header
+        assert FrameDecoder(max_bytes=body_len).feed(frame) == [message]
 
 
 class TestSpecSubmissionEndToEnd:
